@@ -1,0 +1,91 @@
+"""E10 — substitution audit: cycle-accurate VM vs the counted engine.
+
+For each primitive, the VM's measured step count per mesh side, next to
+the engine's charged cost.  Success: route/scan/broadcast linear in side;
+shearsort within its side*log(side) envelope (the documented gap to the
+optimal-sort model the engine charges).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import Table
+from repro.mesh.concurrent_read import vm_concurrent_read
+from repro.mesh.engine import MeshEngine
+from repro.mesh.machine import MeshVM
+from repro.mesh.routing import route_permutation
+from repro.mesh.scan import broadcast_from_origin, snake_prefix_sum
+from repro.mesh.sorting import shearsort
+
+SIDES = [8, 16, 32, 64]
+
+
+def vm_costs(side: int):
+    rng = np.random.default_rng(side)
+    n = side * side
+    out = {}
+    vm = MeshVM(side)
+    vm.load_rowmajor("k", rng.permutation(n))
+    shearsort(vm, "k")
+    out["sort"] = vm.steps
+    vm = MeshVM(side)
+    route_permutation(vm, rng.permutation(n), np.arange(n))
+    out["route"] = vm.steps
+    vm = MeshVM(side)
+    vm.load_rowmajor("v", rng.integers(0, 9, n))
+    snake_prefix_sum(vm, "v", "p")
+    out["scan"] = vm.steps
+    vm = MeshVM(side)
+    vm.alloc("s", 1.0)
+    broadcast_from_origin(vm, "s", "d")
+    out["broadcast"] = vm.steps
+    # concurrent read (runs on a 2n-processor VM internally)
+    addr = rng.integers(0, n, n)
+    mem = rng.uniform(size=n)
+    vals, steps = vm_concurrent_read(addr, mem)
+    assert np.allclose(vals, mem[addr])
+    out["rar"] = steps
+    return out
+
+
+@pytest.fixture(scope="module")
+def e10_table(save_table):
+    cost = MeshEngine(2).clock.cost
+    table = Table(
+        "E10: VM measured steps vs engine charged cost, per primitive",
+        ["side", "vm_sort", "eng_sort", "vm_route", "eng_route",
+         "vm_scan", "eng_scan", "vm_bcast", "eng_bcast", "vm_rar", "eng_rar"],
+    )
+    rows = []
+    for s in SIDES:
+        c = vm_costs(s)
+        rows.append((s, c))
+        table.add(
+            s,
+            c["sort"], cost.sort * s,
+            c["route"], cost.route * s,
+            c["scan"], cost.scan * s,
+            c["broadcast"], cost.broadcast * s,
+            c["rar"], cost.route * s,
+        )
+    save_table(table, "e10_vm")
+    return rows
+
+
+def test_e10_shape(e10_table, benchmark):
+    for s, c in e10_table:
+        assert c["sort"] <= 4 * s * (math.log2(s) + 2)
+        assert c["route"] <= 4 * s * (math.log2(s) + 2)  # route = one sort
+        assert c["scan"] <= 6 * s
+        assert c["broadcast"] == 2 * s - 2
+        # RAR = two sorts + sweeps on the 2n mesh (side * sqrt(2))
+        s2 = math.ceil(math.sqrt(2) * s)
+        assert c["rar"] <= 10 * s2 * (math.log2(s2) + 2)
+    # scan and broadcast scale linearly; sort superlinearly but gently
+    (_, c16), (_, c32) = e10_table[1], e10_table[2]
+    assert 1.7 < c32["scan"] / c16["scan"] < 2.3
+    assert 1.7 < c32["broadcast"] / c16["broadcast"] < 2.3
+    assert c32["sort"] / c16["sort"] < 3.0
+    benchmark(vm_costs, 32)

@@ -1,0 +1,82 @@
+"""E2 — Lemma 3: Constrained-Multisearch runs in O(sqrt(n)) regardless of
+congestion.
+
+Two sweeps: (a) n sweep at maximum congestion (all queries in one
+subgraph); (b) congestion sweep at fixed n, from uniform spread to
+everything-on-one-subgraph.  Success: steps/sqrt(n) bounded in (a);
+steps vary by at most a small constant factor across (b).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import Table
+from repro.core.constrained import constrained_multisearch
+from repro.core.model import QuerySet
+from repro.core.splitters import splitting_from_labels
+from repro.graphs.adapters import ktree_directed_structure
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import MeshEngine
+
+M = 1024
+
+
+def setup(height):
+    t = build_balanced_search_tree(2, height, seed=1)
+    st = ktree_directed_structure(t)
+    sp = splitting_from_labels(t.alpha_splitter().comp, t.children, 0.5)
+    return t, st, sp
+
+
+def run_once(height=12, skew=1.0):
+    """skew = fraction of queries starting at the root (max congestion);
+    the rest start spread over the depth-cut subtree roots."""
+    t, st, sp = setup(height)
+    rng = np.random.default_rng(3)
+    keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], M)
+    cut = max(1, (t.height + 1) // 2)
+    roots = np.flatnonzero(t.depth == cut)
+    starts = np.zeros(M, dtype=np.int64)
+    spread = rng.random(M) >= skew
+    picks = roots[rng.integers(0, roots.size, M)]
+    starts[spread] = picks[spread]
+    keys[spread] = t.subtree_lo[starts[spread]] + 1e-9
+    eng = MeshEngine.for_problem(max(t.size, M))
+    qs = QuerySet.start(keys, starts)
+    stats = constrained_multisearch(eng, st, qs, sp)
+    return eng.clock.time, t.size, stats
+
+
+@pytest.fixture(scope="module")
+def e2_tables(save_table):
+    t1 = Table(
+        "E2a / Lemma 3: n sweep at max congestion (all queries on one subgraph)",
+        ["height", "n", "steps", "steps/sqrt(n)", "copies", "max_q_per_copy"],
+    )
+    nsweep = []
+    for h in (8, 10, 12, 14):
+        steps, n, stats = run_once(height=h, skew=1.0)
+        nsweep.append((n, steps))
+        t1.add(h, n, steps, steps / n**0.5, stats.copies_created, stats.max_queries_per_copy)
+    save_table(t1, "e2a_constrained_nsweep")
+
+    t2 = Table(
+        "E2b / Lemma 3: congestion sweep at height=12 (skew = fraction at root)",
+        ["skew", "steps", "copies", "max_q_per_copy"],
+    )
+    skews = []
+    for s in (0.0, 0.25, 0.5, 0.75, 1.0):
+        steps, _, stats = run_once(height=12, skew=s)
+        skews.append(steps)
+        t2.add(s, steps, stats.copies_created, stats.max_queries_per_copy)
+    save_table(t2, "e2b_constrained_skew")
+    return nsweep, skews
+
+
+def test_e2_shape(e2_tables, benchmark):
+    nsweep, skews = e2_tables
+    ratios = [steps / n**0.5 for n, steps in nsweep]
+    assert max(ratios) / min(ratios) < 2.0
+    # congestion invariance: the whole sweep within a 2.5x envelope
+    assert max(skews) / min(skews) < 2.5
+    benchmark(run_once, 12, 1.0)

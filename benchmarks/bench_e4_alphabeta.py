@@ -1,0 +1,82 @@
+"""E4 — Theorem 7: alpha-beta-partitionable multisearch (undirected range
+walks) in O(sqrt(n) + r*sqrt(n)/log n).
+
+Range walks over an undirected balanced tree; the range width sweeps the
+walk length r.  Success: Algorithm 3's steps grow like ceil(r / Omega(log
+n)) phase units while the baseline pays r full-mesh multisteps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import Table
+from repro.core.alphabeta import alphabeta_multisearch
+from repro.core.baseline import synchronous_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.core.splitters import splitting_from_labels
+from repro.graphs.adapters import ktree_range_structure
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import MeshEngine
+
+HEIGHT = 11
+M = 512
+WIDTHS = [2.0, 16.0, 64.0, 256.0]
+
+
+def setup():
+    t = build_balanced_search_tree(2, HEIGHT, seed=1)
+    st = ktree_range_structure(t)
+    s1, s2, _ = t.alpha_beta_splitters()
+    sp1 = splitting_from_labels(s1.comp, t.children, 0.5)
+    sp2 = splitting_from_labels(s2.comp, t.children, 1 / 3)
+    return t, st, sp1, sp2
+
+
+def make_keys(t, width):
+    rng = np.random.default_rng(3)
+    lo = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1] - width, M)
+    return np.stack([lo, lo + width], axis=1)
+
+
+def run_once(width: float, method: str):
+    t, st, sp1, sp2 = setup()
+    keys = make_keys(t, width)
+    eng = MeshEngine.for_problem(max(t.size, M))
+    qs = QuerySet.start(keys, 0, state_width=2)
+    if method == "alphabeta":
+        res = alphabeta_multisearch(eng, st, qs, sp1, sp2)
+    else:
+        res = synchronous_multisearch(eng, st, qs, max_steps=10**6)
+    return res.mesh_steps, t.size
+
+
+@pytest.fixture(scope="module")
+def e4_table(save_table):
+    t, st, _, _ = setup()
+    table = Table(
+        f"E4 / Theorem 7: range-walk width sweep (height={HEIGHT}, m={M})",
+        ["width", "r_max", "alg3_steps", "base_steps", "speedup"],
+    )
+    rows = []
+    for w in WIDTHS:
+        keys = make_keys(t, w)
+        ref = run_reference(st, keys, 0, state_width=2, max_steps=200_000)
+        r = max(len(p) for p in ref.paths())
+        ours, n = run_once(w, "alphabeta")
+        base, _ = run_once(w, "baseline")
+        rows.append((r, n, ours, base))
+        table.add(w, r, ours, base, base / ours)
+    save_table(table, "e4_alphabeta")
+    return rows
+
+
+def test_e4_shape(e4_table, benchmark):
+    rows = e4_table
+    speedups = [b / o for (_, _, o, b) in rows]
+    assert speedups[-1] > 1.4
+    assert speedups[-1] == max(speedups)
+    # ours sublinear in r: the widest walk costs far less than r/ r0 times
+    r0, _, o0, _ = rows[0]
+    r1, _, o1, _ = rows[-1]
+    assert o1 / o0 < 0.5 * r1 / r0
+    benchmark(run_once, 64.0, "alphabeta")

@@ -1,0 +1,110 @@
+"""E8 — Section 6: multiple interval intersection search.
+
+Counting (two Theorem 5 rank multisearches) and reporting (Theorem 7
+range walk + interval-tree stabbing), vs the sequential interval tree.
+Success: counting cost ~ sqrt(n); reporting cost output-sensitive
+(~ sqrt(n) * (1 + k_max/log n) phase scaling); all answers verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.interval_search import (
+    count_intersections_mesh,
+    report_intersections_mesh,
+    setup_interval_search,
+)
+from repro.bench.reporting import Table
+from repro.bench.workloads import random_intervals
+from repro.intervals.interval_tree import brute_force_intersections
+from repro.util.rng import make_rng
+
+SIZES = [256, 512, 1024, 2048]
+M = 128
+
+
+def make_queries(n, width=20.0):
+    rng = make_rng(7)
+    a = rng.uniform(0, 1000, M)
+    return a, a + rng.uniform(0.1, width, M)
+
+
+def run_once(n: int, mode: str):
+    lefts, rights = random_intervals(n, seed=n, domain=1000.0)
+    setup = setup_interval_search(lefts, rights)
+    a, b = make_queries(n)
+    if mode == "count":
+        out, steps = count_intersections_mesh(setup, a, b)
+    else:
+        out, steps = report_intersections_mesh(setup, a, b)
+    return out, steps, (lefts, rights, a, b)
+
+
+@pytest.fixture(scope="module")
+def e8_table(save_table):
+    table = Table(
+        f"E8 / Section 6: interval intersection, m={M} queries",
+        ["n", "count_steps", "count/sqrt(n)", "report_steps", "total_k", "verified"],
+    )
+    rows = []
+    for n in SIZES:
+        counts, csteps, (lefts, rights, a, b) = run_once(n, "count")
+        reports, rsteps, _ = run_once(n, "report")
+        ok = True
+        total_k = 0
+        for i in range(M):
+            want = brute_force_intersections(lefts, rights, a[i], b[i])
+            total_k += want.size
+            ok &= counts[i] == want.size
+            ok &= set(reports[i].tolist()) == set(want.tolist())
+        rows.append((n, csteps, rsteps, ok))
+        table.add(n, csteps, csteps / n**0.5, rsteps, total_k, ok)
+    save_table(table, "e8_intervals")
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e8_output_table(save_table):
+    """Output-sensitivity sweep: reporting cost vs answer size at fixed n."""
+    n = 1024
+    lefts, rights = random_intervals(n, seed=n, domain=1000.0)
+    setup = setup_interval_search(lefts, rights)
+    rng = make_rng(9)
+    a = rng.uniform(0, 900, M)
+    table = Table(
+        f"E8b / Section 6: reporting cost vs output size (n={n}, m={M})",
+        ["width", "total_k", "report_steps", "steps_per_k"],
+    )
+    rows = []
+    for width in (2.0, 10.0, 50.0, 250.0):
+        b = a + width
+        reports, steps = report_intersections_mesh(setup, a, b)
+        total_k = int(sum(r.size for r in reports))
+        ok = all(
+            set(r.tolist())
+            == set(brute_force_intersections(lefts, rights, a[i], b[i]).tolist())
+            for i, r in list(enumerate(reports))[::16]
+        )
+        assert ok
+        rows.append((width, total_k, steps))
+        table.add(width, total_k, steps, steps / max(total_k, 1))
+    save_table(table, "e8b_output_sensitivity")
+    return rows
+
+
+def test_e8_shape(e8_table, benchmark):
+    for n, csteps, rsteps, ok in e8_table:
+        assert ok
+    ratios = [c / n**0.5 for n, c, _, _ in e8_table]
+    assert max(ratios) / min(ratios) < 2.5
+    benchmark(run_once, 512, "count")
+
+
+def test_e8_output_sensitivity(e8_output_table, benchmark):
+    """Reporting cost grows with the answer size, sublinearly in k."""
+    widths, ks, steps = zip(*e8_output_table)
+    assert ks[-1] > 10 * ks[0]
+    assert steps[-1] > steps[0]
+    # sublinear: 10x+ the output costs far less than 10x the steps
+    assert steps[-1] / steps[0] < 0.6 * ks[-1] / ks[0]
+    benchmark(run_once, 256, "report")

@@ -1,0 +1,40 @@
+"""F1-F5 — figure reproductions: construct, validate, render.
+
+Each figure's construction is validated against the definitional laws it
+illustrates (see repro.figures); the renderings are written to
+benchmarks/results/figures.txt.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.figures import figure1, figure2, figure3, figure4, figure5
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="module")
+def figure_reports():
+    reports = [
+        figure1(height=8),
+        figure2(height=10),
+        figure3(height=18),
+        figure4(height=32, c=2),
+        figure5(height=32, c=2),
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(str(r) for r in reports)
+    (RESULTS_DIR / "figures.txt").write_text(text + "\n")
+    print("\n" + text, flush=True)
+    return reports
+
+
+def test_figures(figure_reports, benchmark):
+    f1, f2, f3, f4, f5 = figure_reports
+    assert f1.facts["mu"] == 2.0
+    assert f2.facts["components"] == 33
+    assert f3.facts["border_distance"] >= 2  # ~h/6 - 1 at h = 18
+    assert f4.facts["bands"] >= 1
+    assert any(k.endswith("size_ratio") for k in f5.facts)
+    benchmark(figure2, 8)

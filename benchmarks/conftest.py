@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Every experiment bench computes its sweep once (module-scoped fixture),
+prints the paper-style table, and writes it to ``benchmarks/results/`` so
+the numbers quoted in EXPERIMENTS.md are regenerable; the ``benchmark``
+fixture then times one representative run for wall-clock tracking.
+
+Mesh *step counts* (the paper's cost measure) are deterministic and live
+in the tables; pytest-benchmark's timings measure the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.reporting import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(table: Table, name: str) -> None:
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text, flush=True)
+
+    return _save

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Multiple interval intersection search on the mesh (paper Section 6, E8).
+
+Counts and reports, for each of m query intervals, the stored intervals it
+intersects — counting via two rank multisearches (Theorem 5), reporting
+via a range-walk plus an interval-tree stabbing multisearch (Theorem 7) —
+and verifies both against brute force.
+"""
+
+import numpy as np
+
+from repro.apps.interval_search import (
+    count_intersections_mesh,
+    report_intersections_mesh,
+    setup_interval_search,
+)
+from repro.bench.workloads import random_intervals
+from repro.intervals.interval_tree import brute_force_intersections
+from repro.util.rng import make_rng
+
+
+def main() -> None:
+    rng = make_rng(3)
+    n, m = 1000, 300
+    lefts, rights = random_intervals(n, seed=5)
+    a = rng.uniform(0, 1000, m)
+    b = a + rng.uniform(0.5, 30, m)
+
+    setup = setup_interval_search(lefts, rights)
+    counts, steps_c = count_intersections_mesh(setup, a, b)
+    reports, steps_r = report_intersections_mesh(setup, a, b)
+
+    total_k = 0
+    for i in range(m):
+        want = brute_force_intersections(lefts, rights, a[i], b[i])
+        assert counts[i] == want.size
+        assert set(reports[i].tolist()) == set(want.tolist())
+        total_k += want.size
+    print(f"{n} stored intervals, {m} queries, total output k = {total_k}")
+    print(f"counting  : {steps_c:10.0f} mesh steps (two Theorem 5 rank multisearches)")
+    print(f"reporting : {steps_r:10.0f} mesh steps (Theorem 7 range walk + stabbing)")
+    print("all counts and reports verified against brute force")
+
+
+if __name__ == "__main__":
+    main()

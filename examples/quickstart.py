@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: n key searches on a mu-ary search DAG, three ways.
+
+Runs the same batch of queries with (1) the sequential reference oracle,
+(2) the synchronous [DR90]-style baseline, and (3) the paper's Algorithm 1
+(Theorem 2), and prints mesh step counts — the paper's cost measure.
+"""
+
+import numpy as np
+
+from repro import (
+    MeshEngine,
+    QuerySet,
+    build_mu_ary_search_dag,
+    hierdag_multisearch,
+    hierdag_search_structure,
+    run_reference,
+    synchronous_multisearch,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    height = 14
+    dag, leaf_keys = build_mu_ary_search_dag(mu=2, height=height, seed=1)
+    structure = hierdag_search_structure(dag)
+    n = structure.size
+    m = 4096
+    keys = rng.uniform(leaf_keys[0], leaf_keys[-1], m)
+    print(f"search DAG: mu=2 height={height}  n=|V|+|E|={n}  queries m={m}")
+
+    # 1. sequential oracle
+    ref = run_reference(structure, keys, start_vertex=0)
+    print(f"reference: every search path has {len(ref.paths()[0])} vertices")
+
+    # 2. synchronous baseline: one full-mesh step per path vertex
+    engine = MeshEngine.for_problem(max(n, m))
+    qs = QuerySet.start(keys, 0, record_trace=True)
+    base = synchronous_multisearch(engine, structure, qs)
+    assert qs.paths() == ref.paths()
+    print(f"baseline : {base.mesh_steps:10.0f} mesh steps "
+          f"({base.mesh_steps / n ** 0.5:.1f} x sqrt(n))")
+
+    # 3. Algorithm 1 (Theorem 2)
+    engine = MeshEngine.for_problem(max(n, m))
+    qs = QuerySet.start(keys, 0, record_trace=True)
+    ours = hierdag_multisearch(engine, structure, qs, mu=2.0, c=2)
+    assert qs.paths() == ref.paths()
+    print(f"Theorem 2: {ours.mesh_steps:10.0f} mesh steps "
+          f"({ours.mesh_steps / n ** 0.5:.1f} x sqrt(n))")
+    print(f"speedup  : {base.mesh_steps / ours.mesh_steps:.2f}x "
+          f"(grows with n; see benchmarks/bench_e1_hierdag.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The pinned environment has setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim lets ``python setup.py develop`` (and the ``make
+install`` path in README) work offline; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — multisearch on a mesh-connected computer.
+
+A full reproduction of
+
+    Atallah, Dehne, Miller, Rau-Chaplin, Tsay:
+    "Multisearch Techniques for Implementing Data Structures on a
+    Mesh-Connected Computer" (SPAA 1991)
+
+as an executable Python library: a step-counted mesh-computer simulator,
+the paper's multisearch algorithms (hierarchical DAGs, alpha-partitionable
+and alpha-beta-partitionable graphs, constrained multisearch), and the
+applications (planar point location, line-polyhedron queries, polyhedron
+separation, 3-d hull merging, multiple interval intersection search).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        MeshEngine, QuerySet, hierdag_multisearch,
+        build_mu_ary_search_dag, hierdag_search_structure,
+    )
+
+    dag, leaf_keys = build_mu_ary_search_dag(mu=2, height=12)
+    structure = hierdag_search_structure(dag)
+    engine = MeshEngine.for_problem(structure.size)
+    keys = np.random.default_rng(0).uniform(leaf_keys[0], leaf_keys[-1], 4096)
+    qs = QuerySet.start(keys, start_vertex=0)
+    result = hierdag_multisearch(engine, structure, qs, mu=2.0)
+    print(result.mesh_steps / structure.size ** 0.5)  # O(sqrt(n)) ratio
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-theorem experiment results.
+"""
+
+from repro.core import (
+    MultisearchResult,
+    QuerySet,
+    SearchStructure,
+    alpha_multisearch,
+    alphabeta_multisearch,
+    constrained_multisearch,
+    hierdag_multisearch,
+    run_reference,
+    synchronous_multisearch,
+)
+from repro.core.splitters import Splitting, normalize_splitting, splitting_from_labels
+from repro.graphs import (
+    BalancedKTree,
+    HierarchicalDAG,
+    build_balanced_search_tree,
+    build_mu_ary_search_dag,
+)
+from repro.graphs.adapters import (
+    hierdag_search_structure,
+    ktree_directed_structure,
+    ktree_range_structure,
+)
+from repro.mesh import MeshEngine, MeshVM
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeshEngine",
+    "MeshVM",
+    "QuerySet",
+    "SearchStructure",
+    "MultisearchResult",
+    "Splitting",
+    "run_reference",
+    "hierdag_multisearch",
+    "alpha_multisearch",
+    "alphabeta_multisearch",
+    "constrained_multisearch",
+    "synchronous_multisearch",
+    "splitting_from_labels",
+    "normalize_splitting",
+    "HierarchicalDAG",
+    "BalancedKTree",
+    "build_mu_ary_search_dag",
+    "build_balanced_search_tree",
+    "hierdag_search_structure",
+    "ktree_directed_structure",
+    "ktree_range_structure",
+]

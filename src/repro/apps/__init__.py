@@ -1,0 +1,17 @@
+"""End-to-end applications of multisearch (paper Sections 5 and 6).
+
+Each module builds the data structure (sequentially, per the DESIGN.md
+substitution), loads it onto the mesh engine, runs the query batch as a
+multisearch, and exposes a brute-force oracle for verification.
+
+==================================  =========================
+Theorem 8 / Section 5               module
+==================================  =========================
+multiple planar point location      :mod:`repro.apps.pointloc`
+line-polyhedron + tangent planes    :mod:`repro.apps.linepoly`
+tangent planes from query points    :mod:`repro.apps.tangent`
+polyhedra separation                :mod:`repro.apps.separation`
+3-d hull merging / construction     :mod:`repro.apps.hullmerge`
+Section 6 interval intersection     :mod:`repro.apps.interval_search`
+==================================  =========================
+"""

@@ -1,0 +1,177 @@
+"""Multiple interval intersection search on the mesh (paper Section 6).
+
+Given ``n`` stored intervals and ``m`` query intervals, answer for each
+query ``[a, b]``:
+
+* **count** — ``#{i : [l_i, r_i] intersects [a, b]}``, by the rank
+  identity ``#{l_i <= b} - #{r_i < a}``: two root-to-leaf rank descents
+  on balanced search trees over the left and right endpoints, run as
+  alpha-partitionable multisearches (Algorithm 2 / Theorem 5);
+* **report** — the intersecting intervals themselves, as the disjoint
+  union ``{l_i in [a, b]}  +  {l_i < a <= r_i}``: a range walk on the
+  left-endpoint tree (alpha-beta multisearch, Algorithm 3 / Theorem 7)
+  plus a stabbing query at ``a`` on the flattened interval tree
+  (:mod:`repro.intervals.structure`), also an alpha-beta multisearch.
+
+Every mesh result is verified against
+:func:`repro.intervals.interval_tree.brute_force_intersections` in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alpha import alpha_multisearch
+from repro.core.alphabeta import alphabeta_multisearch
+from repro.core.model import QuerySet
+from repro.core.splitters import Splitting, normalize_splitting, splitting_from_labels
+from repro.graphs.adapters import ktree_range_structure, ktree_rank_structure
+from repro.graphs.ktree import BalancedKTree, tree_from_keys
+from repro.intervals.interval_tree import IntervalTree
+from repro.intervals.structure import IntervalStructure, build_interval_structure
+from repro.mesh.engine import MeshEngine
+from repro.mesh.topology import MeshShape
+
+__all__ = ["IntervalSearchSetup", "setup_interval_search", "count_intersections_mesh", "report_intersections_mesh"]
+
+
+def _tree_splitting(tree: BalancedKTree, delta: float = 0.5) -> Splitting:
+    lab = tree.alpha_splitter()
+    sp = splitting_from_labels(lab.comp, tree.children, delta)
+    return normalize_splitting(sp, tree.size)
+
+
+def _tree_splittings_ab(tree: BalancedKTree) -> tuple[Splitting, Splitting]:
+    if tree.height >= 6:
+        s1, s2, _ = tree.alpha_beta_splitters()
+    else:
+        s1 = tree.alpha_splitter()
+        s2 = tree.splitter_at_depths([max(1, tree.height - 1)])
+    sp1 = splitting_from_labels(s1.comp, tree.children, 0.5)
+    sp2 = splitting_from_labels(s2.comp, tree.children, 1.0 / 3.0)
+    return sp1, sp2
+
+
+@dataclass
+class IntervalSearchSetup:
+    """Prebuilt structures shared by counting and reporting runs."""
+
+    lefts: np.ndarray
+    rights: np.ndarray
+    tree_lefts: BalancedKTree
+    tree_rights: BalancedKTree
+    #: permutation: left-sorted leaf rank -> interval id
+    left_order: np.ndarray
+    itree: IntervalTree
+    istruct: IntervalStructure
+    k: int
+
+
+def setup_interval_search(lefts: np.ndarray, rights: np.ndarray, k: int = 2) -> IntervalSearchSetup:
+    """Build the trees and the flattened interval tree for a dataset."""
+    lefts = np.asarray(lefts, dtype=np.float64)
+    rights = np.asarray(rights, dtype=np.float64)
+    left_order = np.argsort(lefts, kind="stable")
+    tree_lefts = tree_from_keys(k, lefts[left_order])
+    tree_rights = tree_from_keys(k, np.sort(rights))
+    itree = IntervalTree(lefts, rights)
+    istruct = build_interval_structure(itree)
+    return IntervalSearchSetup(
+        lefts=lefts,
+        rights=rights,
+        tree_lefts=tree_lefts,
+        tree_rights=tree_rights,
+        left_order=left_order,
+        itree=itree,
+        istruct=istruct,
+        k=k,
+    )
+
+
+def count_intersections_mesh(
+    setup: IntervalSearchSetup,
+    a: np.ndarray,
+    b: np.ndarray,
+    engine: MeshEngine | None = None,
+) -> tuple[np.ndarray, float]:
+    """Counts per query; returns ``(counts, mesh_steps)``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m = a.shape[0]
+    st_l = ktree_rank_structure(setup.tree_lefts, strict=False)
+    st_r = ktree_rank_structure(setup.tree_rights, strict=True)
+    size = max(setup.tree_lefts.size, setup.tree_rights.size, m)
+    if engine is None:
+        engine = MeshEngine(MeshShape.for_size(size).side)
+    t0 = engine.clock.current
+
+    qs1 = QuerySet.start(b, 0, state_width=1)
+    alpha_multisearch(engine, st_l, qs1, _tree_splitting(setup.tree_lefts))
+    rank_le_b = qs1.state[:, 0]
+
+    qs2 = QuerySet.start(a, 0, state_width=1)
+    alpha_multisearch(engine, st_r, qs2, _tree_splitting(setup.tree_rights))
+    rank_lt_a = qs2.state[:, 0]
+
+    counts = (rank_le_b - rank_lt_a).astype(np.int64)
+    return counts, engine.clock.current - t0
+
+
+def report_intersections_mesh(
+    setup: IntervalSearchSetup,
+    a: np.ndarray,
+    b: np.ndarray,
+    engine: MeshEngine | None = None,
+) -> tuple[list[np.ndarray], float]:
+    """Intersecting interval ids per query; returns ``(reports, mesh_steps)``.
+
+    Output-sensitive: each query's mesh search path has length
+    ``O(log n + k_query)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    m = a.shape[0]
+    tree = setup.tree_lefts
+    st_range = ktree_range_structure(tree)
+    istruct = setup.istruct
+    size = max(tree.size, istruct.size, m)
+    if engine is None:
+        engine = MeshEngine(MeshShape.for_size(size).side)
+    t0 = engine.clock.current
+
+    # leg 1: range walk over left endpoints for l in [a, b].  The walker
+    # visits leaves with key strictly above its lower bound, so nudge the
+    # bound just below ``a`` to make the range closed at ``a``.
+    keys = np.stack([np.nextafter(a, -np.inf), b], axis=1)
+    qs1 = QuerySet.start(keys, 0, state_width=2, record_trace=True)
+    sp1, sp2 = _tree_splittings_ab(tree)
+    alphabeta_multisearch(engine, st_range, qs1, sp1, sp2)
+
+    first_leaf = tree.first_leaf()
+    n = setup.lefts.size
+    leg1: list[np.ndarray] = []
+    for i, path in enumerate(qs1.paths()):
+        visited = np.array([v for v in path if v >= first_leaf], dtype=np.int64)
+        ranks = visited - first_leaf
+        ranks = ranks[ranks < n]
+        ids = setup.left_order[ranks]
+        sel = (setup.lefts[ids] >= a[i]) & (setup.lefts[ids] <= b[i])
+        leg1.append(np.unique(ids[sel]))
+
+    # leg 2: stabbing at a on the flattened interval tree
+    qs2 = QuerySet.start(a, istruct.root_vertex, state_width=1, record_trace=True)
+    alphabeta_multisearch(
+        engine, istruct.structure, qs2, istruct.splitting1, istruct.splitting2
+    )
+    leg2: list[np.ndarray] = []
+    for path in qs2.paths():
+        ivs = istruct.vertex_interval[np.array(path, dtype=np.int64)]
+        leg2.append(np.unique(ivs[ivs >= 0]))
+
+    reports = [
+        np.unique(np.concatenate([l1, l2])).astype(np.int64)
+        for l1, l2 in zip(leg1, leg2)
+    ]
+    return reports, engine.clock.current - t0

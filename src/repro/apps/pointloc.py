@@ -1,0 +1,141 @@
+"""Multiple planar point location on the mesh (paper Section 5).
+
+Builds the Kirkpatrick subdivision hierarchy over a point set's Delaunay
+triangulation, loads the hierarchical DAG onto the mesh, and answers m
+point-location queries as one Theorem 2 multisearch in ``O(sqrt(n))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baseline import synchronous_multisearch
+from repro.core.hierdag import hierdag_multisearch
+from repro.core.model import QuerySet
+from repro.geometry.kirkpatrick import (
+    KirkpatrickHierarchy,
+    build_kirkpatrick,
+    kirkpatrick_structure,
+)
+from repro.mesh.engine import MeshEngine
+from repro.mesh.topology import MeshShape
+
+__all__ = ["PointLocationRun", "locate_points_mesh", "locate_faces_mesh"]
+
+
+@dataclass
+class PointLocationRun:
+    """Outcome of a mesh point-location batch."""
+
+    hierarchy: KirkpatrickHierarchy
+    #: base-triangulation triangle index per query (-1 = outside all)
+    triangle: np.ndarray
+    mesh_steps: float
+    dag_size: int
+    method: str
+
+
+def _final_triangles(hier: KirkpatrickHierarchy, qs: QuerySet, structure) -> np.ndarray:
+    """Map final DAG vertices back to base-triangulation triangle indices."""
+    levels = hier.levels
+    L = len(levels)
+    sizes = [levels[L - 1 - d].triangles.shape[0] for d in range(L)]
+    starts = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    h = L - 1
+    finals = np.array([p[-1] if p else -1 for p in qs.paths()], dtype=np.int64)
+    ok = (finals >= 0) & (structure.level[np.clip(finals, 0, None)] == h)
+    out = np.where(ok, finals - starts[h], -1)
+    return out
+
+
+def locate_points_mesh(
+    sites: np.ndarray,
+    queries: np.ndarray,
+    seed=0,
+    engine: MeshEngine | None = None,
+    method: str = "hierdag",
+    c: int | None = 2,
+) -> PointLocationRun:
+    """Locate ``queries`` in the Delaunay subdivision of ``sites``.
+
+    ``method`` is ``"hierdag"`` (Algorithm 1) or ``"baseline"``
+    (synchronous level-by-level).  ``c = 2`` is the engineering value of
+    the band constant (DESIGN.md) — pass ``None`` for the paper's.
+    """
+    hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
+    structure, mu = kirkpatrick_structure(hier)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if engine is None:
+        engine = MeshEngine(MeshShape.for_size(max(structure.size, queries.shape[0])).side)
+    qs = QuerySet.start(queries, 0, record_trace=True)
+    t0 = engine.clock.current
+    if method == "hierdag":
+        hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
+    elif method == "baseline":
+        synchronous_multisearch(engine, structure, qs)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return PointLocationRun(
+        hierarchy=hier,
+        triangle=_final_triangles(hier, qs, structure),
+        mesh_steps=engine.clock.current - t0,
+        dag_size=structure.size,
+        method=method,
+    )
+
+
+@dataclass
+class FaceLocationRun:
+    """Outcome of a mesh face-location batch on a polygonal subdivision."""
+
+    subdivision: "PlanarSubdivision"
+    hierarchy: KirkpatrickHierarchy
+    #: polygonal face index per query (-1 = outside the bounding triangle)
+    face: np.ndarray
+    triangle: np.ndarray
+    mesh_steps: float
+
+
+def locate_faces_mesh(
+    sites: np.ndarray,
+    queries: np.ndarray,
+    merge_fraction: float = 0.6,
+    seed=0,
+    engine: MeshEngine | None = None,
+    c: int | None = 2,
+) -> FaceLocationRun:
+    """Point location in a *polygonal* planar subdivision ([Kir83] proper).
+
+    Builds the hierarchy over the base triangulation, derives a random
+    polygonal subdivision over the same triangulation
+    (:func:`repro.geometry.subdivision.merged_face_subdivision`), runs the
+    Theorem 2 triangle multisearch, and maps each located triangle to its
+    face — one local step per query, charged as such.
+    """
+    from repro.geometry.subdivision import PlanarSubdivision, merged_face_subdivision
+
+    hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
+    sub = merged_face_subdivision(hier, merge_fraction=merge_fraction, seed=seed)
+    structure, mu = kirkpatrick_structure(hier)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if engine is None:
+        engine = MeshEngine(
+            MeshShape.for_size(max(structure.size, queries.shape[0])).side
+        )
+    qs = QuerySet.start(queries, 0, record_trace=True)
+    t0 = engine.clock.current
+    hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
+    triangle = _final_triangles(hier, qs, structure)
+    # triangle -> face: O(1) local work per query (the map rides with the
+    # triangle record on a real mesh)
+    engine.root.charge_local(1, label="pointloc:face-map")
+    face = np.where(triangle >= 0, sub.face_of_triangle[np.clip(triangle, 0, None)], -1)
+    return FaceLocationRun(
+        subdivision=sub,
+        hierarchy=hier,
+        face=face,
+        triangle=triangle,
+        mesh_steps=engine.clock.current - t0,
+    )

@@ -1,0 +1,112 @@
+"""3-d convex polyhedron separation (paper Theorem 8.2).
+
+Decide whether two convex polyhedra ``P`` and ``Q`` admit a separating
+plane, and produce one if so.
+
+Method (documented substitution — the preliminary paper gives no
+algorithmic detail for this theorem): Frank-Wolfe iteration on
+``min ||p - q||  (p in P, q in Q)``, where every step's direction
+optimization is a *support query* answered by the Dobkin-Kirkpatrick
+descent — the same extremal primitive as Theorem 8.1, so a batch of
+separation instances turns each FW round into one multisearch.  The
+certificates are one-sided and exact:
+
+* **separated**: if for the current direction ``n = (p - q)/|p - q|``
+  the supports satisfy ``min_P <n, x>  >  max_Q <n, y>``, the plane
+  perpendicular to ``n`` between those support values separates —
+  verified by construction, no epsilon gymnastics;
+* **intersecting**: if the Frank-Wolfe duality gap vanishes while the
+  distance estimate is (numerically) zero, the minimum distance is zero.
+
+Near-touching pairs may exhaust the iteration budget; the result then
+reports ``decided=False`` and tests fall back to the exact LP oracle
+(:func:`separation_oracle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.dk3d import DKHierarchy
+
+__all__ = ["SeparationResult", "separate_polyhedra", "separation_oracle"]
+
+
+@dataclass
+class SeparationResult:
+    decided: bool
+    separated: bool
+    #: plane [normal (3), offset]: ``normal . x = offset``; P on the > side
+    plane: np.ndarray | None
+    iterations: int
+    support_queries: int
+
+
+def separate_polyhedra(
+    hier_p: DKHierarchy,
+    hier_q: DKHierarchy,
+    max_iter: int = 512,
+    eps: float = 1e-9,
+) -> SeparationResult:
+    """Frank-Wolfe separation using hierarchy support queries."""
+    vp = hier_p.points[hier_p.hulls[0].vertices]
+    vq = hier_q.points[hier_q.hulls[0].vertices]
+    p = vp.mean(axis=0)
+    q = vq.mean(axis=0)
+    support_queries = 0
+    scale = max(1.0, float(np.abs(vp).max()), float(np.abs(vq).max()))
+    for it in range(1, max_iter + 1):
+        d = p - q
+        dist = float(np.linalg.norm(d))
+        if dist < eps * scale:
+            return SeparationResult(True, False, None, it, support_queries)
+        n = d / dist
+        sp = hier_p.support(-n)  # minimizes <n, .> over P
+        sq = hier_q.support(n)  # maximizes <n, .> over Q
+        support_queries += 2
+        lo_p = float(hier_p.points[sp] @ n)
+        hi_q = float(hier_q.points[sq] @ n)
+        if lo_p > hi_q:  # exact separation certificate
+            plane = np.concatenate([n, [(lo_p + hi_q) / 2.0]])
+            return SeparationResult(True, True, plane, it, support_queries)
+        # Frank-Wolfe step towards the support vertices
+        dp = hier_p.points[sp] - p
+        dq = hier_q.points[sq] - q
+        gap = float(-(d @ dp) + (d @ dq))  # = <grad, x - s> / 2 >= 0
+        if gap <= eps * scale * max(dist, 1.0):
+            # optimal: distance is dist but no separating certificate was
+            # produced; at an exact optimum with dist > 0 the certificate
+            # fires, so this means dist ~ 0 within tolerance
+            return SeparationResult(True, False, None, it, support_queries)
+        delta = dp - dq
+        denom = float(delta @ delta)
+        step = 1.0 if denom < 1e-30 else min(1.0, max(0.0, float(-(d @ delta)) / denom))
+        p = p + step * dp
+        q = q + step * dq
+    return SeparationResult(False, False, None, max_iter, support_queries)
+
+
+def separation_oracle(points_p: np.ndarray, points_q: np.ndarray) -> bool:
+    """Exact LP separability test (margin-scaled strict separation)."""
+    from scipy.optimize import linprog
+
+    vp = np.asarray(points_p, dtype=np.float64)
+    vq = np.asarray(points_q, dtype=np.float64)
+    # variables: a (3), b (1); constraints a.x - b <= -1 for Q, b - a.y <= -1 for P
+    A_ub = np.concatenate(
+        [
+            np.concatenate([vq, -np.ones((vq.shape[0], 1))], axis=1),
+            np.concatenate([-vp, np.ones((vp.shape[0], 1))], axis=1),
+        ]
+    )
+    b_ub = -np.ones(A_ub.shape[0])
+    res = linprog(
+        c=np.zeros(4),
+        A_ub=A_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * 4,
+        method="highs",
+    )
+    return bool(res.status == 0)

@@ -1,0 +1,17 @@
+"""Benchmark harness support: workload generators and table reporting."""
+
+from repro.bench.workloads import (
+    sphere_points,
+    random_intervals,
+    random_lines,
+    uniform_sites,
+)
+from repro.bench.reporting import Table
+
+__all__ = [
+    "sphere_points",
+    "random_intervals",
+    "random_lines",
+    "uniform_sites",
+    "Table",
+]

@@ -1,0 +1,47 @@
+"""Plain-text tables for bench output (the "rows the paper would report").
+
+The paper has no numeric tables, so each bench prints the table its
+theorem implies: measured mesh steps next to the predicted form and the
+baseline, one row per sweep point.  ``Table`` keeps that output uniform
+and machine-greppable (EXPERIMENTS.md quotes these tables verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.3g}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(self.columns, widths)))
+        for r in cells:
+            lines.append("  " + "  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render(), flush=True)

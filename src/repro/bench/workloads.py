@@ -1,0 +1,48 @@
+"""Workload generators shared by benches and tests.
+
+All generators are seeded and return plain numpy arrays; geometric ones
+avoid the degeneracies the substrates do not promise to handle (points on
+a sphere for full-size hulls, uniform boxes for subdivisions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["sphere_points", "uniform_sites", "random_lines", "random_intervals"]
+
+
+def sphere_points(n: int, seed=0, center=(0.0, 0.0, 0.0), radius: float = 1.0) -> np.ndarray:
+    """``n`` points uniform on a sphere — every one is a hull vertex."""
+    rng = make_rng(seed)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    return np.asarray(center, dtype=np.float64) + radius * v
+
+
+def uniform_sites(n: int, seed=0, box: float = 100.0) -> np.ndarray:
+    """``n`` uniform points in a square — sites for planar subdivisions."""
+    rng = make_rng(seed)
+    return rng.uniform(0.0, box, (n, 2))
+
+
+def random_lines(m: int, seed=0, scale: float = 2.0) -> tuple[np.ndarray, np.ndarray]:
+    """``m`` random lines near the origin: ``(points, directions)``."""
+    rng = make_rng(seed)
+    p0 = rng.normal(scale=scale, size=(m, 3))
+    d = rng.normal(size=(m, 3))
+    return p0, d
+
+
+def random_intervals(
+    n: int, seed=0, domain: float = 1000.0, mean_len: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` random intervals in ``[0, domain]``: ``(lefts, rights)``."""
+    rng = make_rng(seed)
+    if mean_len is None:
+        mean_len = domain / max(n, 1) * 8.0
+    lefts = rng.uniform(0.0, domain, n)
+    lengths = rng.exponential(mean_len, n)
+    return lefts, lefts + lengths

@@ -1,0 +1,41 @@
+"""The paper's algorithms: multisearch on a mesh-connected computer.
+
+Module map (paper section -> module):
+
+========================================  =============================
+Section 2 + Appendix (problem model)      :mod:`repro.core.model`
+Section 3 bands ``B_i`` / ``B*``          :mod:`repro.core.bands`
+Algorithm 1 Step 1 labels                 :mod:`repro.core.labels`
+Section 3 / Algorithm 1 / Theorem 2       :mod:`repro.core.hierdag`
+Section 4.1-4.3 splitters                 :mod:`repro.core.splitters`
+Section 4.4 Constrained-Multisearch       :mod:`repro.core.constrained`
+Section 4.5 / Algorithm 2 / Theorem 5     :mod:`repro.core.alpha`
+Section 4.6 / Algorithm 3 / Theorem 7     :mod:`repro.core.alphabeta`
+[DR90]-style synchronous baseline         :mod:`repro.core.baseline`
+Closed-form predicted costs               :mod:`repro.core.analysis`
+========================================  =============================
+"""
+
+from repro.core.model import (
+    SearchStructure,
+    QuerySet,
+    MultisearchResult,
+    run_reference,
+)
+from repro.core.constrained import constrained_multisearch
+from repro.core.hierdag import hierdag_multisearch
+from repro.core.alpha import alpha_multisearch
+from repro.core.alphabeta import alphabeta_multisearch
+from repro.core.baseline import synchronous_multisearch
+
+__all__ = [
+    "SearchStructure",
+    "QuerySet",
+    "MultisearchResult",
+    "run_reference",
+    "constrained_multisearch",
+    "hierdag_multisearch",
+    "alpha_multisearch",
+    "alphabeta_multisearch",
+    "synchronous_multisearch",
+]

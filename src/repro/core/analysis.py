@@ -1,0 +1,71 @@
+"""Closed-form predicted mesh costs for the paper's theorems.
+
+Benches compare measured ``engine.clock`` step counts against these
+predictions; the point is the *shape* (ratios bounded, crossovers in the
+right place), not the constants, but the constants here are derived from
+the same :class:`~repro.mesh.clock.CostModel` the engine charges, so the
+agreement is usually tight.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mesh.clock import CostModel
+
+__all__ = [
+    "predict_sqrt_n",
+    "predict_theorem5",
+    "predict_baseline",
+    "predict_logphase",
+    "crossover_r",
+]
+
+
+def predict_sqrt_n(n: int, constant: float = 1.0) -> float:
+    """``constant * sqrt(n)`` — Theorem 2 / Lemma 3 / Lemma 4 shape."""
+    return constant * math.sqrt(n)
+
+
+def predict_logphase(n: int, cost: CostModel | None = None) -> float:
+    """Predicted steps for one Algorithm 2/3 log-phase on an n-mesh.
+
+    2 full-mesh multisteps (RAR + local) + 2 Constrained-Multisearch
+    calls; each CM is ~5 global ops plus ``log2 n`` submesh rounds at side
+    ``n^(1/4)`` (for delta = 1/2).
+    """
+    cost = cost or CostModel()
+    side = math.sqrt(n)
+    advance = cost.route * side + cost.local
+    cm_global = (cost.route * 4 + cost.sort) * side
+    cm_rounds = math.log2(max(n, 2)) * (cost.route * n**0.25 + cost.local)
+    return 2 * advance + 2 * (cm_global + cm_rounds)
+
+
+def predict_theorem5(n: int, r: int, cost: CostModel | None = None) -> float:
+    """``O(sqrt(n) + r sqrt(n)/log n)``: log-phases needed for path length r."""
+    phases = max(1, math.ceil(r / math.log2(max(n, 2))))
+    return phases * predict_logphase(n, cost)
+
+
+def predict_baseline(n: int, r: int, cost: CostModel | None = None) -> float:
+    """Synchronous baseline: ``r`` full-mesh multisteps."""
+    cost = cost or CostModel()
+    return r * (cost.route * math.sqrt(n) + cost.local)
+
+
+def crossover_r(n: int, cost: CostModel | None = None) -> float:
+    """Path length ``r`` beyond which Theorem 5 beats the baseline.
+
+    Solves ``predict_theorem5(n, r) = predict_baseline(n, r)`` treating
+    the phase count as the continuous ``r / log2 n``; the paper's claim is
+    that this is ``Theta(log n)`` (constant number of log-phases).
+    """
+    cost = cost or CostModel()
+    per_step_base = cost.route * math.sqrt(n) + cost.local
+    per_phase = predict_logphase(n, cost)
+    # baseline: r * per_step_base ; ours: (r / log n) * per_phase
+    # equal when r * per_step_base = (r / log n) * per_phase, i.e. never in r;
+    # ours wins iff per_phase / log n < per_step_base, so the crossover is
+    # the r at which one full phase pays off:
+    return per_phase / per_step_base

@@ -1,0 +1,212 @@
+"""Constrained-Multisearch (paper Section 4.4, Lemma 3).
+
+Given a splitting ``Psi = {G_1, ..., G_k}`` with ``|G_i| = O(n^delta)`` and
+``k = O(n^(1-delta))``, advance every query currently visiting a vertex of
+some ``G_i`` by up to ``log2 n`` steps, stopping early when the next vertex
+leaves its subgraph.  Implementation follows the paper's seven steps:
+
+1. mark queries whose current vertex lies in some ``G_i``;
+2. compute the congestion ``Gamma_i = ceil(#queries in G_i / n^delta)``;
+3. exit if no query is marked;
+4. create ``Gamma_i`` copies of each ``G_i``, one per *virtual
+   delta-submesh* (the mesh is cut into a grid of physical submeshes of
+   ``~n^delta`` processors, each simulating O(1) virtual ones);
+5. route every marked query to a copy of its subgraph, at most
+   ``O(n^delta)`` queries per copy;
+6. ``log2 n`` rounds: each copy advances its queries one step, unmarking
+   those whose next vertex leaves the subgraph (they stay put);
+7. discard the copies (and route the queries back for the next stage).
+
+Cost: steps 1–5 and 7 are a constant number of full-mesh operations
+(``O(sqrt(n))``); each round of step 6 runs on all delta-submeshes in
+parallel (``O(sqrt(n^delta))`` per round, ``O(sqrt(n^delta) * log n) =
+o(sqrt(n))`` total).  The engine charges exactly this: the global ops are
+executed as root-region primitives; the per-round submesh work is charged
+on the most-loaded physical submesh (the parallel max) while the data
+movement of all copies is executed as one vectorized batch — each copy
+only ever touches vertex records it owns, so the batch is observationally
+identical to the per-submesh RARs it accounts for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import STOP, QuerySet, SearchStructure
+from repro.core.splitters import Splitting
+from repro.mesh.engine import MeshEngine, Region
+from repro.util.mathx import ceil_div
+
+__all__ = ["constrained_multisearch", "ConstrainedStats"]
+
+
+@dataclass
+class ConstrainedStats:
+    """Diagnostics from one Constrained-Multisearch call."""
+
+    marked: int = 0
+    copies_created: int = 0
+    rounds: int = 0
+    max_queries_per_copy: int = 0
+    max_copies_per_submesh: int = 0
+    advanced_total: int = 0
+    steps_histogram: dict[int, int] = field(default_factory=dict)
+
+
+def _delta_grid(engine: MeshEngine, n: int, delta: float) -> tuple[list[Region], int]:
+    """Physical delta-submesh grid: ``g x g`` blocks of ``~n^delta`` processors."""
+    sub_records = max(1.0, float(n) ** delta)
+    sub_side = max(1, math.ceil(math.sqrt(sub_records)))
+    g = max(1, engine.shape.rows // sub_side)
+    regions = engine.root.partition(g, g)
+    return regions, g
+
+
+def constrained_multisearch(
+    engine: MeshEngine,
+    structure: SearchStructure,
+    qs: QuerySet,
+    splitting: Splitting,
+    rounds: int | None = None,
+    stats: ConstrainedStats | None = None,
+) -> ConstrainedStats:
+    """Run Procedure Constrained-Multisearch(Psi, delta) on the engine.
+
+    Mutates ``qs`` in place (query pointers, states, step counts) and
+    charges the engine clock.  ``rounds`` defaults to ``ceil(log2 n)``
+    where ``n = structure.size`` — the paper's ``x = log2 n``.
+    """
+    n = structure.size
+    delta = splitting.delta
+    root = engine.root
+    if stats is None:
+        stats = ConstrainedStats()
+    if rounds is None:
+        rounds = max(1, math.ceil(math.log2(max(n, 2))))
+    stats.rounds = rounds
+
+    # Step 1: mark queries whose current vertex is in some G_i.  The comp
+    # label rides with the vertex record (Section 4 storage convention), so
+    # this is one RAR of the label by current-vertex id.
+    comp_table = splitting.comp
+    cur = qs.current
+    safe = np.where(cur >= 0, cur, 0)
+    (comp_of_cur,) = root.rar(
+        np.where(cur >= 0, cur, -1), comp_table, fill=-1, label="cm:mark"
+    )
+    marked = (cur != STOP) & (comp_of_cur >= 0)
+    stats.marked = int(marked.sum())
+
+    # Step 2: Gamma_i for every G_i (one combining RAW = sort + scan).
+    k = splitting.n_components
+    counts = root.raw(
+        np.where(marked, comp_of_cur, -1),
+        np.ones(qs.m, dtype=np.int64),
+        size=max(k, 1),
+        combine="add",
+        label="cm:gamma",
+    )
+    cap = max(1, int(math.ceil(float(n) ** delta)))
+    gamma = np.array([ceil_div(int(c), cap) for c in counts], dtype=np.int64)
+
+    # Step 3: nothing to do?
+    total_copies = int(gamma.sum())
+    if total_copies == 0:
+        return stats
+
+    # Step 4: create the copies.  Virtual submesh c holds copy
+    # (component_of_copy[c], replica index); copies are assigned to
+    # physical submeshes round-robin.  Creating and distributing all
+    # copies is a constant number of global sort/route operations
+    # (total copied data = sum Gamma_i * |G_i| = O(n)).
+    regions, g = _delta_grid(engine, n, delta)
+    n_phys = len(regions)
+    component_of_copy = np.repeat(np.arange(k), gamma)
+    copy_base = np.concatenate([[0], np.cumsum(gamma)])  # component -> first copy id
+    phys_of_copy = np.arange(total_copies) % n_phys
+    stats.copies_created = total_copies
+    copies_per_phys = np.bincount(phys_of_copy, minlength=n_phys)
+    stats.max_copies_per_submesh = int(copies_per_phys.max())
+    # the copy broadcast: executed as one root sort + route (records of
+    # every G_i annotated with replica ids), charged as such.
+    root.charge_local(1, label="cm:copy-plan")
+    engine.clock.charge(engine.clock.cost.sort * root.side, label="cm:copy-sort")
+    engine.clock.charge(engine.clock.cost.route * root.side, label="cm:copy-route")
+    # capacity honesty: the heaviest physical submesh must hold its share
+    # of copied records within O(1) words per processor.
+    heavy = int(np.argmax(copies_per_phys))
+    heavy_records = int(
+        splitting.sizes[component_of_copy[phys_of_copy == heavy]].sum()
+    ) if total_copies else 0
+    regions[heavy].check_capacity(
+        heavy_records, per_proc=engine.capacity, what="copied subgraph records"
+    )
+
+    # Step 5: route marked queries to copies of their subgraphs.
+    # rank within component -> replica = rank // cap  (so <= cap per copy).
+    sort_key = np.where(marked, comp_of_cur, k)  # unmarked sort to the back
+    order = root.argsort(sort_key, label="cm:query-sort")
+    sorted_comp = sort_key[order]
+    rank_sorted = root.segmented_scan(
+        np.ones(qs.m, dtype=np.int64),
+        sorted_comp,
+        inclusive=False,
+        label="cm:rank-scan",
+    )
+    ranked = np.empty(qs.m, dtype=np.int64)
+    ranked[order] = rank_sorted
+    copy_of_query = np.full(qs.m, -1, dtype=np.int64)
+    mk = marked
+    copy_of_query[mk] = copy_base[comp_of_cur[mk]] + ranked[mk] // cap
+    engine.clock.charge(engine.clock.cost.route * root.side, label="cm:query-route")
+    if mk.any():
+        per_copy = np.bincount(copy_of_query[mk], minlength=total_copies)
+        stats.max_queries_per_copy = int(per_copy.max())
+        if stats.max_queries_per_copy > cap:
+            raise AssertionError("copy overloaded: Lemma 3 packing violated")
+
+    # Step 6: log2 n rounds inside the delta-submeshes (parallel max).
+    # Data movement is executed as one vectorized batch per round; the
+    # cost is that of the most-loaded physical submesh: its virtual copies
+    # run sequentially, each round costing one RAR + one local step on a
+    # submesh of side regions[0].side.
+    sub_side = regions[0].side
+    per_round_cost = (
+        engine.clock.cost.route * sub_side + engine.clock.cost.local
+    ) * stats.max_copies_per_submesh
+    live = mk.copy()
+    steps_in_cm = np.zeros(qs.m, dtype=np.int64)
+    for _ in range(rounds):
+        if not live.any():
+            break
+        engine.clock.charge(per_round_cost, label="cm:round")
+        cur_live = qs.current[live]
+        nxt, new_state = structure.successor(
+            cur_live,
+            structure.payload[cur_live],
+            structure.adjacency[cur_live],
+            structure.level[cur_live],
+            qs.key[live],
+            qs.state[live],
+        )
+        # next vertex stays in the same subgraph copy?
+        stays = (nxt != STOP) & (comp_table[np.clip(nxt, 0, None)] == comp_of_cur[live])
+        li = np.flatnonzero(live)
+        adv = li[stays]
+        qs.current[adv] = nxt[stays]
+        qs.state[adv] = new_state[stays]
+        qs.steps[adv] += 1
+        steps_in_cm[adv] += 1
+        stats.advanced_total += int(stays.sum())
+        # unmark queries that would leave (they stay at their last vertex)
+        live[li[~stays]] = False
+        qs.log_visit()
+
+    # Step 7: discard copies; route the queries back to their home slots.
+    engine.clock.charge(engine.clock.cost.route * root.side, label="cm:return-route")
+    vals, cnts = np.unique(steps_in_cm[mk], return_counts=True) if mk.any() else ([], [])
+    stats.steps_histogram = {int(v): int(c) for v, c in zip(vals, cnts)}
+    return stats

@@ -1,0 +1,253 @@
+"""Multisearch for hierarchical DAGs (paper Section 3, Algorithm 1, Theorem 2).
+
+Strategy: solve the multisearch level-band by level-band — ``B_0``, then
+``B_1``, ..., then the O(1)-level tail ``B*``.  For each band ``B_i`` the
+mesh is partitioned into ``g_i x g_i`` ``B_i``-submeshes (``g_i =
+log^(i) h`` ideally), every submesh holds its own copy of ``B_i`` (made
+affordable by the Step 1/2 labelling and distribution scheme), and every
+submesh advances *its resident queries* through the band with Lemma 1's
+two-phase solver:
+
+* Phase 1: the ``B_i``-submesh is cut into ``Delta h_i x Delta h_i``
+  ``B_i^1``-submeshes, each holding a copy of the (much smaller) prefix
+  ``B_i^1``; queries advance level by level inside those tiny submeshes —
+  ``Delta h_i`` levels at ``O(sqrt(|B_i|) / Delta h_i)`` each =
+  ``O(sqrt(|B_i|))``.
+* Phase 2: the last ``O(log Delta h_i)`` levels (``B_i^2``) advance level
+  by level on the whole ``B_i``-submesh.
+
+Implementation notes (cost honesty):
+
+* All ``B_i``-submeshes execute the identical schedule simultaneously, so
+  the parallel-max cost equals one submesh's cost; the engine clock is
+  charged once per primitive at the submesh's side, and the data movement
+  of all submeshes is executed as one vectorized batch per level (each
+  query reads only vertices of the current band, which its submesh's copy
+  holds, so the batch is observationally identical to the per-submesh
+  RARs it accounts for).
+* Granularities adapt to capacity: ``g_i`` (and the inner grid ``q_i``)
+  shrink below their ideal values when a band's record count would not
+  fit in ``O(1)`` words per processor of the ideal submesh — this only
+  happens at small ``n``, where the paper's asymptotic constants have not
+  kicked in, and degrades cost, never correctness.
+* Queries are advanced strictly level-synchronously; a query whose search
+  path starts below ``L_0`` simply joins when its band is processed, and
+  a query whose successor returns STOP drops out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bands import Band, BandDecomposition, compute_bands
+from repro.core.model import STOP, MultisearchResult, QuerySet, SearchStructure
+from repro.mesh.engine import MeshEngine
+from repro.util.mathx import iterated_log
+
+__all__ = ["BandPlan", "HierDagPlan", "plan_hierdag", "hierdag_multisearch", "lemma1_band_steps"]
+
+
+@dataclass(frozen=True)
+class BandPlan:
+    """Execution plan for one band ``B_i``."""
+
+    band: Band
+    #: ``B_i``-partition granularity (mesh cut into g x g submeshes)
+    g: int
+    #: inner ``B_i^1`` grid granularity within a ``B_i``-submesh
+    q: int
+    #: side of one ``B_i``-submesh
+    sub_side: int
+    #: side of one ``B_i^1``-submesh
+    inner_side: int
+
+
+@dataclass
+class HierDagPlan:
+    """Full Algorithm 1 plan: per-band grids plus the ``B*`` tail."""
+
+    decomposition: BandDecomposition
+    bands: list[BandPlan]
+    mesh_side: int
+    records_per_vertex: int
+
+    @property
+    def grids(self) -> list[int]:
+        return [bp.g for bp in self.bands]
+
+
+def _records(level_sizes: np.ndarray, lo: int, hi: int, rec_per_vertex: int) -> int:
+    return int(level_sizes[lo : hi + 1].sum()) * rec_per_vertex
+
+
+def plan_hierdag(
+    structure: SearchStructure,
+    mesh_side: int,
+    mu: float,
+    c: int | None = None,
+    per_proc: int = 8,
+) -> HierDagPlan:
+    """Choose band grids for Algorithm 1 on a ``mesh_side^2`` mesh.
+
+    ``per_proc`` is the O(1) records-per-processor budget used when
+    shrinking grids below the ideal ``g_i = log^(i) h``.
+    """
+    level_sizes = np.bincount(structure.level, minlength=int(structure.level.max()) + 1)
+    deco = compute_bands(level_sizes, mu, c)
+    rec_per_vertex = 1 + structure.max_degree  # vertex + adjacency words
+    plans: list[BandPlan] = []
+    prev_g = mesh_side  # g_i must not exceed the previous (finer) grid
+    for band in deco.bands:
+        ideal = max(1, int(math.floor(iterated_log(deco.h, band.index, mu))))
+        g = min(ideal, prev_g)
+        records = _records(level_sizes, band.lo_level, band.hi_level, rec_per_vertex)
+        while g > 1 and (mesh_side // g) ** 2 * per_proc < records:
+            g -= 1
+        sub_side = max(1, mesh_side // g)
+        # inner grid for Phase 1
+        q = 1
+        inner_side = sub_side
+        b1 = band.b1_levels
+        if b1 is not None:
+            ideal_q = band.n_levels
+            q = max(1, min(ideal_q, sub_side))
+            rec1 = _records(level_sizes, b1[0], b1[1], rec_per_vertex)
+            while q > 1 and (sub_side // q) ** 2 * per_proc < rec1:
+                q -= 1
+            inner_side = max(1, sub_side // q)
+        plans.append(BandPlan(band, g, q, sub_side, inner_side))
+        prev_g = g
+    return HierDagPlan(deco, plans, mesh_side, rec_per_vertex)
+
+
+def _advance_level(structure: SearchStructure, qs: QuerySet, level: int) -> int:
+    """Advance every active query currently at ``level`` by one step."""
+    act = qs.current != STOP
+    if not act.any():
+        return 0
+    cur = qs.current
+    at = act & (structure.level[np.clip(cur, 0, None)] == level) & (cur >= 0)
+    idx = np.flatnonzero(at)
+    if idx.size == 0:
+        qs.log_visit()
+        return 0
+    cs = cur[idx]
+    nxt, new_state = structure.successor(
+        cs,
+        structure.payload[cs],
+        structure.adjacency[cs],
+        structure.level[cs],
+        qs.key[idx],
+        qs.state[idx],
+    )
+    qs.current[idx] = nxt
+    qs.state[idx] = new_state
+    qs.steps[idx] += 1
+    qs.log_visit()
+    return int(idx.size)
+
+
+def lemma1_band_steps(
+    engine: MeshEngine,
+    structure: SearchStructure,
+    qs: QuerySet,
+    plan: BandPlan,
+    label: str = "hierdag",
+) -> dict[str, float]:
+    """Lemma 1: solve the multisearch for one band on its submeshes.
+
+    Charges: Phase 1 — one duplication of ``B_i^1`` (constant number of
+    standard ops at submesh side) plus one RAR+local per ``B_i^1`` level
+    at the inner side; Phase 2 — one RAR+local per ``B_i^2`` level at the
+    submesh side.  Returns the per-phase charges for diagnostics.
+    """
+    clock = engine.clock
+    cost = clock.cost
+    detail = {"phase1": 0.0, "phase2": 0.0, "dup_b1": 0.0}
+    band = plan.band
+    b1 = band.b1_levels
+    if b1 is not None:
+        dup = (cost.sort + cost.route) * plan.sub_side
+        clock.charge(dup, f"{label}:dup-b1")
+        detail["dup_b1"] += dup
+        step1 = cost.route * plan.inner_side + cost.local
+        for lvl in range(b1[0], b1[1] + 1):
+            clock.charge(step1, f"{label}:phase1")
+            detail["phase1"] += step1
+            _advance_level(structure, qs, lvl)
+    lo2, hi2 = band.b2_levels
+    step2 = cost.route * plan.sub_side + cost.local
+    for lvl in range(lo2, hi2 + 1):
+        clock.charge(step2, f"{label}:phase2")
+        detail["phase2"] += step2
+        _advance_level(structure, qs, lvl)
+    return detail
+
+
+def hierdag_multisearch(
+    engine: MeshEngine,
+    structure: SearchStructure,
+    qs: QuerySet,
+    mu: float,
+    c: int | None = None,
+    plan: HierDagPlan | None = None,
+) -> MultisearchResult:
+    """Algorithm 1: multisearch on a hierarchical DAG in ``O(sqrt(n))``.
+
+    Mutates ``qs`` (all queries run until their successor STOPs or the
+    bottom level is passed) and charges the engine clock.  Returns a
+    :class:`MultisearchResult` whose ``detail`` records per-stage charges.
+    """
+    clock = engine.clock
+    cost = clock.cost
+    if plan is None:
+        plan = plan_hierdag(structure, engine.shape.rows, mu, c)
+    deco = plan.decomposition
+    start_time = clock.current
+    detail: dict[str, float] = {}
+
+    # Steps 1-2: labelling and band distribution.  Step 1 is t local
+    # passes; Step 2 per band i is a constant number of standard ops per
+    # B_{i+1}-submesh (distribute B_i among label-i processors, replicate
+    # the union of earlier bands into each B_i-submesh), all submeshes in
+    # parallel -> charged at the B_{i+1}-submesh side.
+    clock.charge(cost.local * max(1, len(plan.bands)), "hierdag:labels")
+    setup = 0.0
+    for j, bp in enumerate(plan.bands):
+        parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
+        charge = (cost.sort + cost.route + cost.scan) * parent_side
+        clock.charge(charge, "hierdag:distribute")
+        setup += charge
+    detail["setup"] = setup
+
+    # Step 3: per band, duplicate B_i into each B_i-submesh, then Lemma 1.
+    multisteps = 0
+    for j, bp in enumerate(plan.bands):
+        parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
+        dup = (cost.sort + cost.route) * parent_side
+        clock.charge(dup, "hierdag:dup-band")
+        detail[f"band{j}:dup"] = dup
+        d = lemma1_band_steps(engine, structure, qs, bp)
+        for k, v in d.items():
+            detail[f"band{j}:{k}"] = v
+        multisteps += bp.band.n_levels
+
+    # Step 4: B* level by level on the whole mesh (O(1) levels).
+    bstar = 0.0
+    step_cost = cost.route * plan.mesh_side + cost.local
+    for lvl in range(deco.bstar_lo, deco.h + 1):
+        clock.charge(step_cost, "hierdag:bstar")
+        bstar += step_cost
+        _advance_level(structure, qs, lvl)
+        multisteps += 1
+    detail["bstar"] = bstar
+
+    return MultisearchResult(
+        queries=qs,
+        mesh_steps=clock.current - start_time,
+        multisteps=multisteps,
+        detail=detail,
+    )

@@ -1,0 +1,132 @@
+"""Algorithm 1 Step 1: the processor labelling scheme.
+
+Iterating ``i = log*h - 1 .. 0``, every ``B_{i+1}``-submesh marks the
+processors of its top-left ``B_i``-submesh with label ``i`` (later, smaller
+``i`` overwrite).  In Step 2, the processors of each ``B_{i+1}``-submesh
+with label ``i`` store that submesh's copy of ``B_i``.
+
+The paper's counting argument (reproduced by ``count_label_fraction`` and
+checked in the tests) is that the later overwrites steal only a
+``sum_j (log^(j+1) h / log^(j) h)^2`` fraction, so each ``B_i``-submesh
+keeps ``Theta(n / (log^(i) h)^2)`` label-``i`` processors — enough to store
+``B_i`` with O(1) words each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.topology import RegionSpec, block_partition
+
+__all__ = ["compute_labels", "count_label_fraction", "distribute_evenly"]
+
+
+def compute_labels(side: int, grids: list[int]) -> np.ndarray:
+    """Label grid for a ``side x side`` mesh.
+
+    ``grids[i]`` is the ``B_i``-partitioning granularity ``g_i`` (the mesh
+    is cut into ``g_i x g_i`` ``B_i``-submeshes); ``grids`` must be
+    non-increasing in block size, i.e. ``g_0 >= g_1 >= ... >= g_{t-1}``.
+    Returns an ``(side, side)`` int array with label ``i`` on the
+    processors assigned to store ``B_i`` copies, and ``-1`` elsewhere.
+    """
+    t = len(grids)
+    labels = np.full((side, side), -1, dtype=np.int64)
+    root = RegionSpec(0, 0, side, side)
+    for i in range(t - 1, -1, -1):
+        gi = grids[i]
+        g_next = grids[i + 1] if i + 1 < t else 1
+        # each B_{i+1}-submesh marks its top-left B_i-submesh
+        for parent in block_partition(root, g_next, g_next):
+            inner = max(1, gi // g_next)
+            blocks = block_partition(parent, inner, inner)
+            top_left = blocks[0]
+            labels[
+                top_left.row0 : top_left.row_end, top_left.col0 : top_left.col_end
+            ] = i
+    return labels
+
+
+def count_label_fraction(labels: np.ndarray, grids: list[int], i: int) -> float:
+    """Minimum surviving label-``i`` fraction over the labelled submeshes.
+
+    Step 1 labels, inside every ``B_{i+1}``-submesh, the processors of its
+    *top-left* ``B_i``-submesh; later iterations (smaller ``j``) overwrite
+    some of them.  The paper's counting argument bounds the surviving
+    fraction below by ``1 - sum_{j<i} (g_{j+1} / g_j)^2 = Theta(1)``; this
+    returns the worst observed fraction over all labelled windows.
+    """
+    side = labels.shape[0]
+    root = RegionSpec(0, 0, side, side)
+    t = len(grids)
+    gi = grids[i]
+    g_next = grids[i + 1] if i + 1 < t else 1
+    worst = 1.0
+    for parent in block_partition(root, g_next, g_next):
+        inner = max(1, gi // g_next)
+        top_left = block_partition(parent, inner, inner)[0]
+        window = labels[
+            top_left.row0 : top_left.row_end, top_left.col0 : top_left.col_end
+        ]
+        worst = min(worst, float((window == i).mean()))
+    return worst
+
+
+def distribute_evenly(eligible: np.ndarray, n_records: int) -> np.ndarray:
+    """Theorem 2 Step 2(a)'s recursive distribution (Appendix, 5 steps).
+
+    Spread ``n_records`` data items over the ``eligible`` (label = i)
+    processors of a square window so that every eligible processor holds
+    an almost-equal share: recursively split the square into four
+    quadrants, apportion the records in proportion to each quadrant's
+    eligible count (ceil for the leading quadrants so nothing is lost),
+    and recurse until O(1)-size subsquares.
+
+    Returns a grid of per-processor record counts.  Guarantee (tested):
+    counts differ by at most 1 among eligible processors, ineligible
+    processors hold 0, and the counts sum to ``n_records``.
+    """
+    eligible = np.asarray(eligible, dtype=bool)
+    if eligible.ndim != 2:
+        raise ValueError("eligible must be a 2-d window")
+    total = int(eligible.sum())
+    if n_records > 0 and total == 0:
+        raise ValueError("no eligible processors to hold the records")
+    counts = np.zeros(eligible.shape, dtype=np.int64)
+
+    def recurse(r0: int, c0: int, rows: int, cols: int, records: int) -> None:
+        # invariant: base * k <= records <= (base + 1) * k for the window's
+        # eligible count k, where base = records // k — i.e. the records
+        # can be placed with per-processor counts in {base, base + 1}
+        if records == 0:
+            return
+        window = eligible[r0 : r0 + rows, c0 : c0 + cols]
+        k = int(window.sum())
+        if rows * cols <= 4 or rows == 1 or cols == 1:
+            # O(1)-size base case: split evenly over eligible processors
+            pos = np.argwhere(window)
+            base, extra = divmod(records, k)
+            for j, (rr, cc) in enumerate(pos):
+                counts[r0 + rr, c0 + cc] += base + (1 if j < extra else 0)
+            return
+        half_r, half_c = (rows + 1) // 2, (cols + 1) // 2
+        quads = [
+            (r0, c0, half_r, half_c),
+            (r0, c0 + half_c, half_r, cols - half_c),
+            (r0 + half_r, c0, rows - half_r, half_c),
+            (r0 + half_r, c0 + half_c, rows - half_r, cols - half_c),
+        ]
+        quads = [(a, b, h, w) for a, b, h, w in quads if h > 0 and w > 0]
+        base, extra = divmod(records, k)
+        for a, b, h, w in quads:
+            kq = int(eligible[a : a + h, b : b + w].sum())
+            if kq == 0:
+                continue
+            eq = min(kq, extra)
+            extra -= eq
+            recurse(a, b, h, w, base * kq + eq)
+        if extra:  # pragma: no cover - arithmetic guard
+            raise RuntimeError("distribution did not place every record")
+
+    recurse(0, 0, eligible.shape[0], eligible.shape[1], n_records)
+    return counts

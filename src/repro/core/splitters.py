@@ -1,0 +1,109 @@
+"""delta-splitters and splittings (paper Sections 4.1–4.3).
+
+A splitting is represented *by labels*: ``comp[v]`` is the index of the
+subgraph ``G_i`` containing vertex ``v`` (``-1`` when ``v`` is in none —
+Section 4.4 explicitly allows the union of ``Psi`` to miss vertices).
+This matches the paper's storage convention: "every processor stores ...
+an index indicating to which ``G_i`` the vertex belongs, if any".
+
+:func:`normalize_splitting` implements the normalization step of
+Section 4.5: group subgraphs so that each resulting group has size
+``Theta(n^delta)``, giving ``k = O(n^(1-delta))`` groups.  For
+alpha-partitionable graphs the grouping must keep H-side and T-side
+subgraphs apart (a group mixing them could receive a cut edge on both
+ends), which the ``sides`` argument enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Splitting", "normalize_splitting", "splitting_from_labels"]
+
+
+@dataclass
+class Splitting:
+    """A set ``Psi = {G_1, ..., G_k}`` of disjoint subgraphs, by labels.
+
+    Attributes
+    ----------
+    comp:
+        ``(V,)`` int64; ``comp[v]`` is the subgraph index of vertex ``v``
+        or ``-1``.
+    n_components:
+        ``k`` (component indices are dense ``0..k-1``).
+    delta:
+        The size exponent: every ``|G_i| = O(n^delta)``.
+    sizes:
+        ``(k,)`` vertex+internal-edge size of each subgraph.
+    """
+
+    comp: np.ndarray
+    n_components: int
+    delta: float
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.n_components and int(self.comp.max(initial=-1)) >= self.n_components:
+            raise ValueError("component label out of range")
+
+
+def splitting_from_labels(
+    comp: np.ndarray, adjacency: np.ndarray, delta: float
+) -> Splitting:
+    """Build a :class:`Splitting` from per-vertex labels, computing sizes."""
+    comp = np.asarray(comp, dtype=np.int64)
+    k = int(comp.max(initial=-1)) + 1
+    sizes = np.bincount(comp[comp >= 0], minlength=k).astype(np.int64)
+    src = np.repeat(np.arange(adjacency.shape[0]), adjacency.shape[1])
+    dst = adjacency.ravel()
+    live = (dst >= 0) & (comp[src] >= 0)
+    same = live & (comp[src] == comp[dst.clip(min=0)])
+    sizes += np.bincount(comp[src[same]], minlength=k)
+    return Splitting(comp, k, float(delta), sizes)
+
+
+def normalize_splitting(
+    splitting: Splitting,
+    n: int,
+    sides: np.ndarray | None = None,
+) -> Splitting:
+    """Group subgraphs into ``Theta(n^delta)``-sized groups (Section 4.5).
+
+    First-fit-decreasing within each side: components are sorted by size
+    and packed greedily into groups of total size at most ``2 * n^delta``
+    (any component alone is allowed to exceed that by its O(1) constant).
+    ``sides[i]`` (optional, per component) partitions components into
+    classes that must not share a group — used with H/T sides of an
+    alpha-splitting.
+
+    Returns a new :class:`Splitting` with relabelled ``comp``.
+    """
+    target = max(1.0, float(n) ** splitting.delta)
+    k = splitting.n_components
+    if sides is None:
+        sides = np.zeros(k, dtype=np.int64)
+    sides = np.asarray(sides)
+    group_of = np.full(k, -1, dtype=np.int64)
+    next_group = 0
+    for side in np.unique(sides):
+        members = np.flatnonzero(sides == side)
+        order = members[np.argsort(-splitting.sizes[members], kind="stable")]
+        open_group = -1
+        open_load = 0.0
+        for comp_idx in order:
+            size = float(splitting.sizes[comp_idx])
+            if open_group >= 0 and open_load + size <= 2.0 * target:
+                group_of[comp_idx] = open_group
+                open_load += size
+            else:
+                group_of[comp_idx] = next_group
+                open_group = next_group
+                open_load = size
+                next_group += 1
+    new_comp = np.where(splitting.comp >= 0, group_of[splitting.comp], -1)
+    new_sizes = np.zeros(next_group, dtype=np.int64)
+    np.add.at(new_sizes, group_of, splitting.sizes)
+    return Splitting(new_comp, next_group, splitting.delta, new_sizes)

@@ -1,0 +1,171 @@
+"""Reproductions of the paper's Figures 1-5 (experiments F1-F5).
+
+The figures are definitional illustrations; each function here *constructs*
+the pictured object, *validates* the laws the figure illustrates, and
+returns a small report (plus an ASCII rendering for the bench output).
+
+=====  ======================================================
+F1     hierarchical DAG with mu = 2 (Figure 1)
+F2     directed balanced binary tree + alpha-splitter, alpha = 1/2 (Figure 2)
+F3     undirected tree + alpha- and beta-splitters at distance ~h/6 (Figure 3)
+F4     the B_i band decomposition (Figure 4)
+F5     the B_i^1 / B_i^2 split of a band (Figure 5)
+=====  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bands import BandDecomposition, compute_bands
+from repro.graphs.hierarchical import build_mu_ary_search_dag
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.graphs.validate import (
+    check_alpha_partition,
+    check_hierarchical_dag,
+    check_splitter,
+    check_splitter_distance,
+)
+
+__all__ = ["figure1", "figure2", "figure3", "figure4", "figure5", "FigureReport"]
+
+
+@dataclass
+class FigureReport:
+    """Validation outcome + ASCII rendering of one figure."""
+
+    name: str
+    facts: dict[str, float] = field(default_factory=dict)
+    rendering: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"== {self.name} =="]
+        lines += [f"  {k} = {v}" for k, v in self.facts.items()]
+        if self.rendering:
+            lines.append(self.rendering)
+        return "\n".join(lines)
+
+
+def figure1(height: int = 6, seed=0) -> FigureReport:
+    """Figure 1: a hierarchical DAG with mu = 2."""
+    dag, _ = build_mu_ary_search_dag(2, height, seed=seed)
+    check_hierarchical_dag(dag)
+    bars = "\n".join(
+        f"  L_{i}: " + "#" * min(int(s), 64) for i, s in enumerate(dag.level_sizes)
+    )
+    return FigureReport(
+        name="Figure 1: hierarchical DAG, mu=2",
+        facts={
+            "height": float(dag.height),
+            "vertices": float(dag.n_vertices),
+            "mu": float(dag.mu),
+            "max_out_degree": float(dag.max_out_degree),
+        },
+        rendering=bars,
+    )
+
+
+def figure2(height: int = 8, seed=0) -> FigureReport:
+    """Figure 2: directed balanced binary tree and its 1/2-splitter."""
+    tree = build_balanced_search_tree(2, height, seed=seed)
+    lab = tree.alpha_splitter()
+    check_alpha_partition(lab)
+    check_splitter(lab, tree.children, tree.size, 0.5, constant=6.0)
+    sizes = lab.component_sizes(tree.children)
+    return FigureReport(
+        name="Figure 2: alpha-splitter of a directed balanced binary tree",
+        facts={
+            "n": float(tree.size),
+            "components": float(lab.n_components),
+            "H_size": float(sizes[0]),
+            "max_T_size": float(sizes[1:].max()),
+            "cut_edges": float(lab.cut_edges.shape[0]),
+            "sqrt_n": float(tree.size**0.5),
+        },
+    )
+
+
+def figure3(height: int = 12, seed=0) -> FigureReport:
+    """Figure 3: undirected tree with S1 (alpha=1/2) and S2 (beta=1/3)."""
+    tree = build_balanced_search_tree(2, height, seed=seed)
+    s1, s2, dist = tree.alpha_beta_splitters()
+    check_splitter(s1, tree.children, tree.size, 0.5, constant=6.0)
+    check_splitter(s2, tree.children, tree.size, 1.0 / 3.0, constant=16.0)
+    true_dist = check_splitter_distance(tree, s1, s2, dist)
+    return FigureReport(
+        name="Figure 3: alpha- and beta-splitters of an undirected tree",
+        facts={
+            "n": float(tree.size),
+            "height": float(height),
+            "S1_components": float(s1.n_components),
+            "S2_components": float(s2.n_components),
+            "border_distance": float(true_dist),
+            "h_over_6": float(height / 6.0),
+        },
+    )
+
+
+def _band_report(deco: BandDecomposition, level_sizes: np.ndarray) -> list[str]:
+    rows = []
+    for b in deco.bands:
+        rows.append(
+            f"  B_{b.index}: levels [{b.lo_level},{b.hi_level}] "
+            f"dh={b.n_levels} |B|={b.n_vertices} m={b.m}"
+        )
+    rows.append(f"  B*: levels [{deco.bstar_lo},{deco.h}] |B*|={deco.bstar_n_vertices}")
+    return rows
+
+
+def figure4(height: int = 20, mu: float = 2.0, c: int = 2) -> FigureReport:
+    """Figure 4: the band decomposition ``B_0, ..., B_{log*h-1}, B*``."""
+    level_sizes = np.array([int(mu**i) for i in range(height + 1)], dtype=np.int64)
+    deco = compute_bands(level_sizes, mu, c=c)
+    n = int(level_sizes.sum())
+    facts: dict[str, float] = {
+        "h": float(height),
+        "log_star_h": float(deco.log_star_h),
+        "bands": float(len(deco.bands)),
+        "bstar_levels": float(deco.h - deco.bstar_lo + 1),
+    }
+    # the size law |B_i| = O(n / (log^(i) h)^2)
+    from repro.util.mathx import iterated_log
+
+    for b in deco.bands:
+        bound = n / max(iterated_log(height, b.index, mu), 1.0) ** 2
+        facts[f"B{b.index}_size_over_bound"] = float(b.n_vertices / max(bound, 1.0))
+    return FigureReport(
+        name="Figure 4: B_i band decomposition",
+        facts=facts,
+        rendering="\n".join(_band_report(deco, level_sizes)),
+    )
+
+
+def figure5(height: int = 20, mu: float = 2.0, c: int = 2) -> FigureReport:
+    """Figure 5: the ``B_i^1`` / ``B_i^2`` split of each band."""
+    level_sizes = np.array([int(mu**i) for i in range(height + 1)], dtype=np.int64)
+    deco = compute_bands(level_sizes, mu, c=c)
+    cum = np.concatenate([[0], np.cumsum(level_sizes)])
+    facts: dict[str, float] = {}
+    rows = []
+    for b in deco.bands:
+        b1 = b.b1_levels
+        lo2, hi2 = b.b2_levels
+        if b1 is not None:
+            size1 = int(cum[b1[1] + 1] - cum[b1[0]])
+            # law: |B_i^1| = O(|B_i| / (dh_i)^2)
+            facts[f"B{b.index}1_size_ratio"] = float(
+                size1 / max(b.n_vertices / b.n_levels**2, 1.0)
+            )
+            rows.append(
+                f"  B_{b.index}^1: levels [{b1[0]},{b1[1]}] size={size1};"
+                f" B_{b.index}^2: levels [{lo2},{hi2}]"
+            )
+        else:
+            rows.append(f"  B_{b.index}^1 empty; B_{b.index}^2: levels [{lo2},{hi2}]")
+    return FigureReport(
+        name="Figure 5: B_i^1 / B_i^2 split",
+        facts=facts,
+        rendering="\n".join(rows),
+    )

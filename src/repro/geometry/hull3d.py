@@ -1,0 +1,197 @@
+"""Incremental 3-d convex hull (beneath–beyond).
+
+Points are inserted one at a time; the faces visible from the new point
+are found by a vectorized signed-distance test against all live faces,
+the horizon (edges with exactly one visible adjacent face) is extracted
+from an edge->faces map, and a cone of new faces is built on it.  With
+random insertion order this is the standard randomized incremental
+construction; the per-insertion scan is O(F) but fully vectorized, which
+is the right trade-off for the problem sizes the mesh simulation reaches
+(the guides' advice: vectorize the hot loop, don't micro-optimize Python).
+
+Degenerate inputs (coplanar quadruples) are handled by epsilon tests and,
+for the initial simplex, by scanning for a non-degenerate quadruple;
+workloads joggle their inputs when they are adversarially flat.
+
+The result is a watertight, outward-oriented triangulated hull, verified
+in tests against ``scipy.spatial.ConvexHull`` (equal vertex sets, equal
+volume) and by direct invariant checks (every input point inside, every
+face boundary matched by exactly one neighbour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Hull3D", "convex_hull_3d"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class Hull3D:
+    """A triangulated convex hull.
+
+    ``faces`` index into the *original* point array; normals point
+    outward; ``vertices`` are the sorted unique point indices on the hull.
+    """
+
+    points: np.ndarray  # (n, 3) the original input points
+    faces: np.ndarray  # (F, 3) int64, outward-oriented
+    normals: np.ndarray  # (F, 3) unit outward normals
+    offsets: np.ndarray  # (F,) with face plane {x : n.x = d}
+
+    @property
+    def vertices(self) -> np.ndarray:
+        return np.unique(self.faces)
+
+    def volume(self) -> float:
+        """Enclosed volume via the divergence theorem."""
+        a = self.points[self.faces[:, 0]]
+        b = self.points[self.faces[:, 1]]
+        c = self.points[self.faces[:, 2]]
+        return float(np.abs(np.einsum("ij,ij->i", a, np.cross(b, c)).sum()) / 6.0)
+
+    def contains(self, q: np.ndarray, eps: float = 1e-9) -> np.ndarray:
+        """True where query points lie inside (or on) the hull.
+
+        Exact O(F) per point, vectorized; the substrate inclusion test.
+        """
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        d = q @ self.normals.T - self.offsets[None, :]
+        return (d <= eps).all(axis=1)
+
+    def support(self, direction: np.ndarray) -> int:
+        """Index of the hull vertex extreme in ``direction`` (brute force)."""
+        vs = self.vertices
+        return int(vs[np.argmax(self.points[vs] @ np.asarray(direction, dtype=np.float64))])
+
+    def edges(self) -> np.ndarray:
+        """Unique undirected hull edges as an ``(E, 2)`` sorted-index array."""
+        e = np.concatenate(
+            [self.faces[:, [0, 1]], self.faces[:, [1, 2]], self.faces[:, [2, 0]]]
+        )
+        e.sort(axis=1)
+        return np.unique(e, axis=0)
+
+
+def _initial_simplex(points: np.ndarray, eps: float) -> list[int]:
+    """Four affinely independent point indices, or raise."""
+    n = points.shape[0]
+    i0 = 0
+    # farthest from p0
+    d = np.linalg.norm(points - points[i0], axis=1)
+    i1 = int(np.argmax(d))
+    if d[i1] < eps:
+        raise ValueError("all points coincide")
+    # farthest from line p0-p1
+    u = points[i1] - points[i0]
+    u = u / np.linalg.norm(u)
+    rel = points - points[i0]
+    perp = rel - np.outer(rel @ u, u)
+    dists = np.linalg.norm(perp, axis=1)
+    i2 = int(np.argmax(dists))
+    if dists[i2] < eps:
+        raise ValueError("all points collinear")
+    # farthest from plane p0-p1-p2
+    nrm = np.cross(points[i1] - points[i0], points[i2] - points[i0])
+    nrm = nrm / np.linalg.norm(nrm)
+    h = np.abs(rel @ nrm)
+    i3 = int(np.argmax(h))
+    if h[i3] < eps:
+        raise ValueError("all points coplanar")
+    return [i0, i1, i2, i3]
+
+
+def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS) -> Hull3D:
+    """Compute the convex hull of ``points`` ((n, 3), n >= 4).
+
+    ``seed`` randomizes the insertion order (recommended; ``None`` keeps
+    the input order after the initial simplex).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {points.shape}")
+    n = points.shape[0]
+    if n < 4:
+        raise ValueError(f"need >= 4 points, got {n}")
+
+    simplex = _initial_simplex(points, eps)
+    centroid = points[simplex].mean(axis=0)
+
+    faces: list[tuple[int, int, int]] = []
+    normals: list[np.ndarray] = []
+    offsets: list[float] = []
+    alive: list[bool] = []
+    edge_faces: dict[tuple[int, int], list[int]] = {}
+
+    def add_face(a: int, b: int, c: int) -> None:
+        nrm = np.cross(points[b] - points[a], points[c] - points[a])
+        norm = np.linalg.norm(nrm)
+        if norm < 1e-30:
+            raise ValueError("degenerate hull face")
+        nrm = nrm / norm
+        off = float(nrm @ points[a])
+        if nrm @ centroid > off:  # orient outward
+            b, c = c, b
+            nrm = -nrm
+            off = float(nrm @ points[a])
+        fid = len(faces)
+        faces.append((a, b, c))
+        normals.append(nrm)
+        offsets.append(off)
+        alive.append(True)
+        for u, v in ((a, b), (b, c), (c, a)):
+            edge_faces.setdefault((min(u, v), max(u, v)), []).append(fid)
+
+    s = simplex
+    add_face(s[0], s[1], s[2])
+    add_face(s[0], s[1], s[3])
+    add_face(s[0], s[2], s[3])
+    add_face(s[1], s[2], s[3])
+
+    order = [i for i in range(n) if i not in set(simplex)]
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(order)
+
+    normals_arr = np.array(normals)
+    offsets_arr = np.array(offsets)
+
+    for p_idx in order:
+        p = points[p_idx]
+        alive_arr = np.array(alive)
+        dists = normals_arr @ p - offsets_arr
+        visible = np.flatnonzero(alive_arr & (dists > eps))
+        if visible.size == 0:
+            continue  # inside the current hull
+        visible_set = set(int(f) for f in visible)
+        # horizon: edges of visible faces whose other side is hidden (or
+        # boundary — cannot happen on a closed hull)
+        horizon: list[tuple[int, int]] = []
+        for f in visible_set:
+            a, b, c = faces[f]
+            for u, v in ((a, b), (b, c), (c, a)):
+                key = (min(u, v), max(u, v))
+                adj = [g for g in edge_faces[key] if alive[g]]
+                others = [g for g in adj if g not in visible_set]
+                if others:
+                    # orient the horizon edge as it appears in the visible
+                    # face so the new face keeps a consistent winding
+                    horizon.append((u, v))
+        for f in visible_set:
+            alive[f] = False
+        for u, v in horizon:
+            add_face(u, v, p_idx)
+        normals_arr = np.array(normals)
+        offsets_arr = np.array(offsets)
+
+    keep = np.flatnonzero(alive)
+    return Hull3D(
+        points=points,
+        faces=np.array([faces[i] for i in keep], dtype=np.int64),
+        normals=normals_arr[keep],
+        offsets=offsets_arr[keep],
+    )

@@ -1,0 +1,89 @@
+"""Geometric predicates (2-d and 3-d).
+
+Plain float arithmetic with explicit epsilons: the workloads are random
+point sets (joggled where needed), so robustness requirements are mild;
+every consumer states which side of a tie it tolerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "orient2d",
+    "point_in_triangle",
+    "triangles_overlap",
+    "plane_from_points",
+    "signed_volume",
+]
+
+
+def orient2d(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Twice the signed area of triangle abc; > 0 for counter-clockwise.
+
+    Vectorized over leading axes: ``a``, ``b``, ``c`` are ``(..., 2)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    return (b[..., 0] - a[..., 0]) * (c[..., 1] - a[..., 1]) - (
+        b[..., 1] - a[..., 1]
+    ) * (c[..., 0] - a[..., 0])
+
+
+def point_in_triangle(
+    p: np.ndarray, a: np.ndarray, b: np.ndarray, c: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """True where point ``p`` lies in (or on the boundary of) triangle abc.
+
+    Works for either orientation of abc.  Vectorized over leading axes.
+    """
+    d1 = orient2d(p, a, b)
+    d2 = orient2d(p, b, c)
+    d3 = orient2d(p, c, a)
+    has_neg = (d1 < -eps) | (d2 < -eps) | (d3 < -eps)
+    has_pos = (d1 > eps) | (d2 > eps) | (d3 > eps)
+    return ~(has_neg & has_pos)
+
+
+def _tri_axes(tri: np.ndarray) -> np.ndarray:
+    """Outward edge normals of a 2-d triangle ``(3, 2)``."""
+    edges = np.roll(tri, -1, axis=0) - tri
+    return np.stack([edges[:, 1], -edges[:, 0]], axis=1)
+
+
+def triangles_overlap(t1: np.ndarray, t2: np.ndarray, eps: float = 1e-12) -> bool:
+    """True iff the *interiors* of two 2-d triangles intersect (SAT test).
+
+    Shared edges/vertices do not count as overlap, which is what the
+    Kirkpatrick parent-linking needs (a new triangle is linked to the old
+    triangles whose interiors it shares area with).
+    """
+    t1 = np.asarray(t1, dtype=np.float64)
+    t2 = np.asarray(t2, dtype=np.float64)
+    for tri, other in ((t1, t2), (t2, t1)):
+        for axis in _tri_axes(tri):
+            p1 = tri @ axis
+            p2 = other @ axis
+            if p1.max() <= p2.min() + eps or p2.max() <= p1.min() + eps:
+                return False
+    return True
+
+
+def plane_from_points(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, float]:
+    """Plane through 3-d points a, b, c: returns (unit normal n, offset d)
+    with the plane ``{x : n . x = d}``; normal by right-hand rule."""
+    a = np.asarray(a, dtype=np.float64)
+    n = np.cross(b - a, c - a)
+    norm = np.linalg.norm(n)
+    if norm < 1e-30:
+        raise ValueError("degenerate plane (collinear points)")
+    n = n / norm
+    return n, float(n @ a)
+
+
+def signed_volume(a, b, c, d) -> float:
+    """6x the signed volume of tetrahedron abcd (> 0 if d on the positive
+    side of plane abc by the right-hand rule)."""
+    a = np.asarray(a, dtype=np.float64)
+    return float(np.dot(np.cross(np.asarray(b) - a, np.asarray(c) - a), np.asarray(d) - a))

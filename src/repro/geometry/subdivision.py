@@ -1,0 +1,127 @@
+"""General planar subdivisions (polygonal faces) for point location.
+
+Kirkpatrick's result [Kir83] is for arbitrary planar subdivisions, not
+just triangulations: triangulate the faces, build the hierarchy over the
+triangles, and map each located triangle back to its face.  This module
+supplies the subdivision side of that reduction:
+
+* :func:`merged_face_subdivision` generates a random polygonal
+  subdivision *over a hierarchy's own base triangulation* by
+  agglomerating adjacent triangles into faces (union-find over the dual
+  graph) — the standard way to get a valid subdivision workload without
+  implementing a full segment-arrangement builder, and sharing the
+  triangulation keeps the hierarchy and the subdivision exactly
+  consistent;
+* :class:`PlanarSubdivision` holds the triangle -> face map and the
+  brute-force face-location oracle.
+
+The mesh application (:func:`repro.apps.pointloc.locate_faces_mesh`)
+answers face queries by the Theorem 2 triangle multisearch composed with
+the map — the triangle-to-face translation is one local step per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.kirkpatrick import KirkpatrickHierarchy
+from repro.geometry.primitives import point_in_triangle
+from repro.util.rng import make_rng
+
+__all__ = ["PlanarSubdivision", "merged_face_subdivision"]
+
+
+@dataclass
+class PlanarSubdivision:
+    """A triangulated planar subdivision with polygonal faces.
+
+    ``triangles`` is the base triangulation of the (bounded) region;
+    ``face_of_triangle[t]`` is the polygonal face triangle ``t`` belongs
+    to.  Faces are edge-connected unions of triangles.
+    """
+
+    points: np.ndarray  # (P, 2)
+    triangles: np.ndarray  # (T, 3) int64
+    face_of_triangle: np.ndarray  # (T,) int64, dense 0..F-1
+
+    @property
+    def n_faces(self) -> int:
+        return int(self.face_of_triangle.max()) + 1
+
+    def face_sizes(self) -> np.ndarray:
+        return np.bincount(self.face_of_triangle, minlength=self.n_faces)
+
+    def locate_face_brute(self, q: np.ndarray) -> np.ndarray:
+        """Oracle: face containing each query point (-1 = outside)."""
+        q = np.atleast_2d(q)
+        a = self.points[self.triangles[:, 0]]
+        b = self.points[self.triangles[:, 1]]
+        c = self.points[self.triangles[:, 2]]
+        out = np.full(q.shape[0], -1, dtype=np.int64)
+        for i, p in enumerate(q):
+            hits = np.flatnonzero(point_in_triangle(p[None, :], a, b, c))
+            if hits.size:
+                out[i] = self.face_of_triangle[hits[0]]
+        return out
+
+
+def _triangle_adjacency(triangles: np.ndarray) -> list[tuple[int, int]]:
+    """Dual-graph edges: triangle pairs sharing an edge."""
+    edge_owner: dict[tuple[int, int], int] = {}
+    dual: list[tuple[int, int]] = []
+    for t, (a, b, c) in enumerate(triangles):
+        for u, v in ((a, b), (b, c), (c, a)):
+            key = (min(int(u), int(v)), max(int(u), int(v)))
+            if key in edge_owner:
+                dual.append((edge_owner[key], t))
+            else:
+                edge_owner[key] = t
+    return dual
+
+
+def merged_face_subdivision(
+    hier: KirkpatrickHierarchy, merge_fraction: float = 0.6, seed=0
+) -> PlanarSubdivision:
+    """A random polygonal subdivision over ``hier``'s base triangulation.
+
+    ``merge_fraction`` of the spanning budget ``T - 1`` dual-graph
+    contractions are performed (random order, union-find), gluing
+    adjacent triangles into polygonal faces — the face count ends at
+    ``~(1 - merge_fraction) * T``.  Faces stay edge-connected by
+    construction; with fraction 0 every face is a triangle, with
+    fraction near 1 a few large polygons remain.
+    """
+    if not (0.0 <= merge_fraction < 1.0):
+        raise ValueError(f"merge_fraction must be in [0, 1), got {merge_fraction}")
+    rng = make_rng(seed)
+    triangles = hier.base_triangles
+    T = triangles.shape[0]
+    dual = _triangle_adjacency(triangles)
+    rng.shuffle(dual)
+
+    parent = np.arange(T)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    n_merges = int(merge_fraction * max(T - 1, 0))
+    done = 0
+    for a, b in dual:
+        if done >= n_merges:
+            break
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            done += 1
+    roots = np.array([find(t) for t in range(T)])
+    _, face = np.unique(roots, return_inverse=True)
+    return PlanarSubdivision(
+        points=hier.points,
+        triangles=triangles,
+        face_of_triangle=face.astype(np.int64),
+    )

@@ -1,0 +1,71 @@
+"""Ear-clipping triangulation of simple polygons.
+
+Used by the Kirkpatrick hierarchy to retriangulate the star-shaped hole
+left by removing an independent-set vertex.  O(k^2) per polygon, which is
+O(1) amortized in the hierarchy because removed vertices have degree at
+most a constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import orient2d
+
+__all__ = ["ear_clip"]
+
+
+def _strict_inside(p, a, b, c, eps: float) -> bool:
+    d1, d2, d3 = orient2d(p, a, b), orient2d(p, b, c), orient2d(p, c, a)
+    return bool((d1 > eps) and (d2 > eps) and (d3 > eps))
+
+
+def ear_clip(polygon: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Triangulate a simple polygon given in counter-clockwise order.
+
+    Returns ``(k-2, 3)`` vertex-index triples into ``polygon``.  Raises
+    ``ValueError`` if the polygon is not simple/CCW enough to clip.
+    """
+    polygon = np.asarray(polygon, dtype=np.float64)
+    k = polygon.shape[0]
+    if k < 3:
+        raise ValueError(f"polygon needs >= 3 vertices, got {k}")
+    # ensure CCW
+    area2 = float(
+        np.sum(
+            polygon[:, 0] * np.roll(polygon[:, 1], -1)
+            - np.roll(polygon[:, 0], -1) * polygon[:, 1]
+        )
+    )
+    if area2 < 0:
+        raise ValueError("polygon must be counter-clockwise")
+    idx = list(range(k))
+    triangles: list[tuple[int, int, int]] = []
+    guard = 0
+    while len(idx) > 3:
+        guard += 1
+        if guard > 4 * k * k:
+            raise ValueError("ear clipping failed: polygon not simple?")
+        clipped = False
+        m = len(idx)
+        for i in range(m):
+            a_i, b_i, c_i = idx[(i - 1) % m], idx[i], idx[(i + 1) % m]
+            a, b, c = polygon[a_i], polygon[b_i], polygon[c_i]
+            if orient2d(a, b, c) <= eps:
+                continue
+            blocked = False
+            for j_pos, j in enumerate(idx):
+                if j in (a_i, b_i, c_i):
+                    continue
+                if _strict_inside(polygon[j], a, b, c, eps):
+                    blocked = True
+                    break
+            if not blocked:
+                triangles.append((a_i, b_i, c_i))
+                idx.pop(i)
+                clipped = True
+                break
+        if not clipped:
+            raise ValueError("ear clipping stuck: degenerate polygon")
+    triangles.append((idx[0], idx[1], idx[2]))
+    return np.array(triangles, dtype=np.int64)

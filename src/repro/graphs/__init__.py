@@ -1,0 +1,22 @@
+"""Search-structure graph classes from the paper.
+
+* :mod:`repro.graphs.hierarchical` — hierarchical DAGs (Section 1/3,
+  Figure 1): levels ``L_0..L_h`` with ``|L_i| = mu^i`` (or sandwiched by
+  ``c1*mu^i <= |L_i| <= c2*mu^i``), edges only between consecutive levels.
+* :mod:`repro.graphs.ktree` — balanced k-ary search trees, the canonical
+  alpha-partitionable (directed, Figure 2) and alpha-beta-partitionable
+  (undirected, Figure 3) graphs.
+* :mod:`repro.graphs.validate` — checkers for the definitional laws; these
+  back the F1–F3 figure reproductions.
+"""
+
+from repro.graphs.hierarchical import HierarchicalDAG, build_mu_ary_search_dag, build_random_hierarchical_dag
+from repro.graphs.ktree import BalancedKTree, build_balanced_search_tree
+
+__all__ = [
+    "HierarchicalDAG",
+    "build_mu_ary_search_dag",
+    "build_random_hierarchical_dag",
+    "BalancedKTree",
+    "build_balanced_search_tree",
+]

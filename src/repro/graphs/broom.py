@@ -1,0 +1,134 @@
+"""The "broom": the r-sweep workload for Theorem 5 (experiment E3).
+
+A complete k-ary search tree over ``P`` leaves, where each leaf is the
+head of a directed *handle path* of ``L`` further vertices.  A query
+descends the tree by key (``log_k P`` steps) and then walks its handle to
+the end (``L`` steps), so the longest search path is ``r = log_k P + L +
+1`` — tunable from ``Theta(log n)`` up to ``Theta(sqrt(n))`` while the
+graph stays alpha-partitionable:
+
+* ``H`` = the whole tree (one component, size ``O(P)``),
+* ``T_j`` = handle ``j`` (size ``L``),
+* ``S`` = the leaf -> handle-head edges — every one directed from ``H``
+  into some ``T_j``, as Section 4.2 requires.
+
+This is the regime where multisearch genuinely beats the synchronous
+baseline by ``Theta(log n)``: the baseline pays a full-mesh step per
+handle vertex, Algorithm 2 advances ``log n`` handle steps per
+``O(sqrt(n))`` log-phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import STOP, SearchStructure
+from repro.core.splitters import Splitting, splitting_from_labels
+from repro.graphs.ktree import BalancedKTree, build_balanced_search_tree
+
+__all__ = ["Broom", "build_broom", "broom_structure"]
+
+_INTERNAL, _CHAIN = 0.0, 1.0
+
+
+@dataclass
+class Broom:
+    """A broom graph: tree + handle paths, in flat-array form."""
+
+    tree: BalancedKTree
+    handle_length: int
+    adjacency: np.ndarray  # (V, k)
+    payload: np.ndarray  # (V, k): [flag, sep_0..sep_{k-2}]
+    level: np.ndarray  # (V,) distance from root
+    comp: np.ndarray  # (V,) alpha-splitting labels: 0 = tree, 1+j = handle j
+    kind: np.ndarray  # (V,) 0 = H (tree), 1 = T (handles)
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.adjacency.shape[0])
+
+    @property
+    def size(self) -> int:
+        return self.n_vertices + int((self.adjacency >= 0).sum())
+
+    @property
+    def longest_path(self) -> int:
+        """Number of vertices on the longest search path (root to handle end)."""
+        return self.tree.height + 1 + self.handle_length
+
+    def splitting(self) -> Splitting:
+        """The alpha-splitting {tree} + {handles} with measured delta."""
+        n = self.size
+        sizes_max = max(
+            self.tree.size,
+            2 * self.handle_length if self.handle_length else 1,
+        )
+        delta = float(np.log(max(sizes_max, 2)) / np.log(max(n, 2)))
+        return splitting_from_labels(self.comp, self.adjacency, min(0.9, max(0.1, delta)))
+
+
+def build_broom(k: int, tree_height: int, handle_length: int, seed=0) -> Broom:
+    """Build a broom with ``k**tree_height`` handles of ``handle_length`` vertices."""
+    if handle_length < 0:
+        raise ValueError(f"handle_length must be >= 0, got {handle_length}")
+    tree = build_balanced_search_tree(k, tree_height, seed=seed)
+    Vt = tree.n_vertices
+    P = tree.n_leaves
+    L = handle_length
+    V = Vt + P * L
+
+    adjacency = np.full((V, k), -1, dtype=np.int64)
+    adjacency[:Vt] = tree.children
+    payload = np.zeros((V, max(k, 2)))
+    payload[:Vt, 0] = np.where(tree.children[:, 0] >= 0, _INTERNAL, _CHAIN)
+    payload[:Vt, 1:k] = tree.separators
+    payload[Vt:, 0] = _CHAIN
+    level = np.zeros(V, dtype=np.int64)
+    level[:Vt] = tree.depth
+
+    comp = np.zeros(V, dtype=np.int64)
+    kind = np.zeros(V, dtype=np.int8)
+    first_leaf = tree.first_leaf()
+    leaf_ids = np.arange(first_leaf, Vt)
+    if L > 0:
+        # handle j occupies vertices Vt + j*L .. Vt + (j+1)*L - 1
+        handle_ids = Vt + np.arange(P * L).reshape(P, L)
+        adjacency[leaf_ids, 0] = handle_ids[:, 0]
+        adjacency[handle_ids[:, :-1].ravel(), 0] = handle_ids[:, 1:].ravel()
+        comp[handle_ids.ravel()] = 1 + np.repeat(np.arange(P), L)
+        kind[handle_ids.ravel()] = 1
+        level[handle_ids.ravel()] = (
+            tree_height + 1 + np.tile(np.arange(L), P)
+        )
+    return Broom(tree, L, adjacency, payload, level, comp, kind)
+
+
+def broom_structure(broom: Broom) -> SearchStructure:
+    """SearchStructure for key descent + handle walk on a broom."""
+    k = broom.tree.k
+    h = broom.tree.height
+
+    def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
+        m = vid.shape[0]
+        nxt = np.full(m, STOP, dtype=np.int64)
+        internal = vpayload[:, 0] == _INTERNAL
+        if internal.any():
+            seps = vpayload[internal, 1:k]
+            keys = np.asarray(qkey)[internal]
+            idx = (seps < keys[:, None]).sum(axis=1)
+            nxt[internal] = vadjacency[internal, :][np.arange(idx.size), idx]
+        chain = ~internal
+        if chain.any():
+            nxt[chain] = vadjacency[chain, 0]  # -1 at handle end == STOP
+        return nxt, qstate
+
+    return SearchStructure(
+        adjacency=broom.adjacency,
+        payload=broom.payload,
+        level=broom.level,
+        successor=successor,
+        directed=True,
+        labels={"comp": broom.comp, "kind": broom.kind.astype(np.int64)},
+    )

@@ -1,0 +1,220 @@
+"""Hierarchical DAGs (paper Section 1, Figure 1).
+
+A hierarchical DAG has vertex levels ``L_0, ..., L_h`` with ``|L_0| = 1``
+and ``|L_{i+1}| = mu * |L_i|`` for some ``mu > 1`` (the paper also allows
+``c1 * mu^i <= |L_i| <= c2 * mu^i``); every edge goes from some ``L_i`` to
+``L_{i+1}``, and out-degrees are O(1).  Search paths run downward through
+consecutive levels, so ``r <= h + 1 = O(log n)``.
+
+Two builders:
+
+* :func:`build_mu_ary_search_dag` — a complete ``mu``-ary search tree seen
+  as a hierarchical DAG, with router keys so that key queries have a
+  natural on-line successor function.  This is the workload for E1.
+* :func:`build_random_hierarchical_dag` — random level-respecting DAGs with
+  the sandwiched level-size law, used by property tests and F1/F4/F5.
+
+Vertices are numbered level by level (level-order), which makes
+``level_of`` and per-level slicing cheap and keeps the "level index" the
+paper assumes precomputed (it shows it costs ``O(sqrt(n))`` to compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "HierarchicalDAG",
+    "build_mu_ary_search_dag",
+    "build_random_hierarchical_dag",
+]
+
+
+@dataclass
+class HierarchicalDAG:
+    """A hierarchical DAG in flat-array form.
+
+    Attributes
+    ----------
+    mu:
+        Level growth factor (> 1).
+    level_sizes:
+        ``level_sizes[i] = |L_i|``, ``i = 0..h``.
+    children:
+        ``(V, d)`` int64; row ``v`` lists the out-neighbours of vertex ``v``
+        (``-1`` padding).  All children of a level-``i`` vertex are in
+        level ``i+1``.
+    payload:
+        ``(V, p)`` float64; per-vertex search information (router keys for
+        search-tree DAGs; application data otherwise).
+    """
+
+    mu: float
+    level_sizes: np.ndarray
+    children: np.ndarray
+    payload: np.ndarray
+    level_of: np.ndarray = field(init=False)
+    level_start: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.level_sizes = np.asarray(self.level_sizes, dtype=np.int64)
+        self.level_start = np.concatenate([[0], np.cumsum(self.level_sizes)])
+        V = int(self.level_start[-1])
+        if self.children.shape[0] != V:
+            raise ValueError(
+                f"children rows {self.children.shape[0]} != vertex count {V}"
+            )
+        if self.payload.shape[0] != V:
+            raise ValueError(f"payload rows {self.payload.shape[0]} != vertex count {V}")
+        self.level_of = np.repeat(
+            np.arange(self.level_sizes.size, dtype=np.int64), self.level_sizes
+        )
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.level_start[-1])
+
+    @property
+    def n_edges(self) -> int:
+        return int((self.children >= 0).sum())
+
+    @property
+    def size(self) -> int:
+        """Paper's ``n = |V| + |E|``."""
+        return self.n_vertices + self.n_edges
+
+    @property
+    def height(self) -> int:
+        return int(self.level_sizes.size - 1)
+
+    @property
+    def max_out_degree(self) -> int:
+        return int(self.children.shape[1])
+
+    def level_slice(self, i: int) -> slice:
+        """Vertex-id slice of level ``i``."""
+        return slice(int(self.level_start[i]), int(self.level_start[i + 1]))
+
+    def vertices_between(self, lo_level: int, hi_level: int) -> np.ndarray:
+        """Vertex ids of levels ``lo_level .. hi_level`` inclusive (clamped)."""
+        lo_level = max(0, lo_level)
+        hi_level = min(self.height, hi_level)
+        if lo_level > hi_level:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(
+            int(self.level_start[lo_level]),
+            int(self.level_start[hi_level + 1]),
+            dtype=np.int64,
+        )
+
+
+def build_mu_ary_search_dag(mu: int, height: int, seed=0) -> tuple[HierarchicalDAG, np.ndarray]:
+    """A complete ``mu``-ary search tree as a hierarchical DAG.
+
+    Leaves (level ``h``) hold ``mu**h`` sorted keys drawn from a random
+    strictly-increasing sequence; each internal vertex stores ``mu - 1``
+    separator keys so a search key can pick its child on-line.  Returns
+    ``(dag, leaf_keys)``.
+
+    ``payload[v] = [separators..., first_child_id]`` — storing the first
+    child id in the payload reflects that a processor holds its vertex's
+    adjacency (children are ``first_child_id + j`` by construction, but the
+    generic ``children`` table is also populated for algorithms that do not
+    exploit the regularity).
+    """
+    if mu < 2:
+        raise ValueError(f"mu must be >= 2, got {mu}")
+    if height < 0:
+        raise ValueError(f"height must be >= 0, got {height}")
+    rng = make_rng(seed)
+    level_sizes = np.array([mu**i for i in range(height + 1)], dtype=np.int64)
+    V = int(level_sizes.sum())
+    n_leaves = int(mu**height)
+    gaps = rng.uniform(0.5, 1.5, n_leaves)
+    leaf_keys = np.cumsum(gaps)
+
+    children = np.full((V, mu), -1, dtype=np.int64)
+    payload = np.full((V, mu), np.nan)  # mu-1 separators + first-child id
+    level_start = np.concatenate([[0], np.cumsum(level_sizes)])
+
+    # subtree leaf ranges: vertex j (0-based) of level i covers leaves
+    # [j * mu**(h-i), (j+1) * mu**(h-i))
+    for i in range(height):
+        span = mu ** (height - i)
+        child_span = mu ** (height - i - 1)
+        count = int(level_sizes[i])
+        ids = np.arange(count)
+        vids = level_start[i] + ids
+        first_child = level_start[i + 1] + ids * mu
+        children[vids] = first_child[:, None] + np.arange(mu)[None, :]
+        # separators: the largest key of each of the first mu-1 child blocks
+        sep_leaf = (
+            ids[:, None] * span + (np.arange(1, mu)[None, :]) * child_span - 1
+        )
+        payload[vids, : mu - 1] = leaf_keys[sep_leaf]
+        payload[vids, mu - 1] = first_child
+    # leaves: payload = own key in slot 0
+    leaf_ids = np.arange(level_start[height], level_start[height + 1])
+    payload[leaf_ids, 0] = leaf_keys
+    dag = HierarchicalDAG(float(mu), level_sizes, children, payload)
+    return dag, leaf_keys
+
+
+def build_random_hierarchical_dag(
+    mu: float,
+    height: int,
+    seed=0,
+    c1: float = 1.0,
+    c2: float = 1.0,
+    max_out_degree: int | None = None,
+) -> HierarchicalDAG:
+    """A random hierarchical DAG with ``c1*mu^i <= |L_i| <= c2*mu^i``.
+
+    Every vertex of level ``i < h`` gets between 1 and ``max_out_degree``
+    children in level ``i+1``; every vertex of level ``i+1 > 0`` gets at
+    least one in-edge, so all root-to-bottom search paths exist.  Payload
+    slot 0 holds a random routing weight so tests can build arbitrary
+    successor functions.
+    """
+    if mu <= 1:
+        raise ValueError(f"mu must be > 1, got {mu}")
+    if not (0 < c1 <= c2):
+        raise ValueError("need 0 < c1 <= c2")
+    rng = make_rng(seed)
+    sizes = []
+    for i in range(height + 1):
+        lo = max(1, int(np.ceil(c1 * mu**i)))
+        hi = max(lo, int(np.floor(c2 * mu**i)))
+        sizes.append(int(rng.integers(lo, hi + 1)))
+    sizes[0] = 1
+    level_sizes = np.array(sizes, dtype=np.int64)
+    level_start = np.concatenate([[0], np.cumsum(level_sizes)])
+    V = int(level_start[-1])
+    d = max_out_degree if max_out_degree is not None else max(2, int(np.ceil(mu)) + 1)
+
+    children = np.full((V, d), -1, dtype=np.int64)
+    for i in range(height):
+        cnt, nxt = int(level_sizes[i]), int(level_sizes[i + 1])
+        vids = np.arange(level_start[i], level_start[i + 1])
+        # guarantee coverage: distribute next-level vertices round-robin
+        targets = level_start[i + 1] + np.arange(nxt)
+        owners = vids[np.arange(nxt) % cnt]
+        slot_used = np.zeros(V, dtype=np.int64)
+        for owner, target in zip(owners, targets):
+            s = slot_used[owner]
+            if s < d:
+                children[owner, s] = target
+                slot_used[owner] = s + 1
+        # add random extra edges up to degree d
+        for v in vids:
+            s = int(slot_used[v])
+            extra = int(rng.integers(0, d - s + 1))
+            if extra:
+                picks = rng.integers(0, nxt, extra) + level_start[i + 1]
+                children[v, s : s + extra] = picks
+    payload = rng.uniform(0.0, 1.0, (V, 1))
+    return HierarchicalDAG(float(mu), level_sizes, children, payload)

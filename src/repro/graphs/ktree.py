@@ -1,0 +1,263 @@
+"""Balanced k-ary search trees with the paper's splitters (Figures 2 and 3).
+
+A complete k-ary tree of height ``h`` stored in level order (vertex ``v``'s
+children are ``k*v + 1 .. k*v + k``), with sorted keys at the leaves and
+``k-1`` separator keys at every internal vertex, plus each vertex's subtree
+key range (needed by range/traversal queries).
+
+Splitters:
+
+* Directed case (Figure 2): cutting the edges that enter depth ``t`` yields
+  one top component ``H`` and the depth-``t`` subtrees ``T_j``; every cut
+  edge is directed from ``H`` into some ``T_j``, which is precisely the
+  alpha-partitionable condition.  With ``t ~ h/2``, all components have
+  size ``O(sqrt(n))`` (``alpha = 1/2``).
+
+* Undirected case (Figure 3): ``S_1`` cuts at depth ``~h/2``
+  (``alpha = 1/2``); ``S_2`` cuts at depths ``~h/3`` and ``~2h/3``
+  (``beta = 1/3`` — every component spans a third of the height).  The
+  border levels of ``S_1`` and ``S_2`` are ``~h/6`` apart, and in a tree
+  the distance between two full levels is exactly the difference of their
+  depths, giving the required ``Omega(log n)`` separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "BalancedKTree",
+    "SplitterLabeling",
+    "build_balanced_search_tree",
+    "tree_from_keys",
+]
+
+
+@dataclass
+class SplitterLabeling:
+    """A delta-splitting ``G(S) = {G_1, ..., G_k}`` in label form.
+
+    Attributes
+    ----------
+    comp:
+        ``(V,)`` component index of every vertex (0-based, dense).
+    kind:
+        ``(V,)`` int8: for alpha-partitionable splittings, 0 marks vertices
+        in an ``H_i`` (cut edges leave from here) and 1 marks ``T_j``
+        vertices (cut edges arrive here); all zeros otherwise.
+    border:
+        ``(V,)`` bool: vertices incident to a cut edge.
+    n_components:
+        Number of components.
+    cut_edges:
+        ``(S, 2)`` array of the removed edges ``(u, v)`` (directed u -> v
+        for directed graphs).
+    """
+
+    comp: np.ndarray
+    kind: np.ndarray
+    border: np.ndarray
+    n_components: int
+    cut_edges: np.ndarray
+
+    def component_sizes(self, children: np.ndarray) -> np.ndarray:
+        """``|G_i| = |V_i| + |E_i|`` per component (edges internal to it)."""
+        sizes = np.bincount(self.comp, minlength=self.n_components).astype(np.int64)
+        src = np.repeat(np.arange(children.shape[0]), children.shape[1])
+        dst = children.ravel()
+        live = dst >= 0
+        src, dst = src[live], dst[live]
+        internal = self.comp[src] == self.comp[dst]
+        sizes += np.bincount(self.comp[src[internal]], minlength=self.n_components)
+        return sizes
+
+
+@dataclass
+class BalancedKTree:
+    """A complete balanced k-ary search tree."""
+
+    k: int
+    height: int
+    children: np.ndarray  # (V, k), -1 at leaves
+    parent: np.ndarray  # (V,), -1 at root
+    depth: np.ndarray  # (V,)
+    separators: np.ndarray  # (V, k-1), NaN at leaves
+    subtree_lo: np.ndarray  # (V,) smallest leaf key in subtree
+    subtree_hi: np.ndarray  # (V,) largest leaf key in subtree
+    leaf_keys: np.ndarray  # (k**height,) sorted
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.children.shape[0])
+
+    @property
+    def n_edges(self) -> int:
+        return self.n_vertices - 1
+
+    @property
+    def size(self) -> int:
+        """Paper's ``n = |V| + |E|``."""
+        return self.n_vertices + self.n_edges
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_keys.size)
+
+    def first_leaf(self) -> int:
+        """Vertex id of the leftmost leaf."""
+        return (self.k**self.height - 1) // (self.k - 1)
+
+    def leaf_vertex_of_rank(self, rank: np.ndarray) -> np.ndarray:
+        """Vertex id of the leaf holding the rank-th smallest key."""
+        return self.first_leaf() + np.asarray(rank, dtype=np.int64)
+
+    # -- splitters ----------------------------------------------------------
+
+    def splitter_at_depths(self, depths: list[int]) -> SplitterLabeling:
+        """Remove the edges entering each depth in ``depths``.
+
+        Components are the maximal subtrees between consecutive cut levels;
+        a vertex's component is identified by the highest ancestor reachable
+        without crossing a cut.  Components are then renumbered densely in
+        order of their root vertex id.
+        """
+        depths = sorted(set(int(d) for d in depths))
+        for d in depths:
+            if not (1 <= d <= self.height):
+                raise ValueError(f"cut depth {d} out of range 1..{self.height}")
+        V = self.n_vertices
+        cut_level = np.zeros(self.height + 2, dtype=bool)
+        for d in depths:
+            cut_level[d] = True
+        # root of each vertex's component: walk ancestry level by level
+        comp_root = np.arange(V, dtype=np.int64)
+        # a vertex whose depth is not a cut level inherits its parent's root
+        for d in range(1, self.height + 1):
+            vids = self._level_ids(d)
+            if not cut_level[d]:
+                comp_root[vids] = comp_root[self.parent[vids]]
+        roots, comp = np.unique(comp_root, return_inverse=True)
+        # cut edges: (parent(v), v) for every v at a cut depth
+        cut_children = np.concatenate([self._level_ids(d) for d in depths])
+        cut_edges = np.stack([self.parent[cut_children], cut_children], axis=1)
+        border = np.zeros(V, dtype=bool)
+        border[cut_edges.ravel()] = True
+        kind = np.zeros(V, dtype=np.int8)
+        return SplitterLabeling(comp, kind, border, int(roots.size), cut_edges)
+
+    def alpha_splitter(self, cut_depth: int | None = None) -> SplitterLabeling:
+        """The Figure 2 splitter: one cut, H = top tree, T_j = subtrees.
+
+        For the directed (root-to-leaves) tree every cut edge runs from the
+        single ``H`` into some ``T_j``; ``kind`` is 0 on H and 1 on the T's.
+        """
+        if cut_depth is None:
+            cut_depth = max(1, (self.height + 1) // 2)
+        lab = self.splitter_at_depths([cut_depth])
+        lab.kind[self.depth >= cut_depth] = 1
+        return lab
+
+    def alpha_beta_splitters(self) -> tuple[SplitterLabeling, SplitterLabeling, int]:
+        """The Figure 3 pair: S1 at ``~h/2``; S2 at ``~h/3`` and ``~2h/3``.
+
+        Returns ``(S1 labeling, S2 labeling, analytic border distance)``.
+        Requires ``height >= 6`` so the three cut levels are distinct and
+        the distance is positive.
+        """
+        h = self.height
+        if h < 6:
+            raise ValueError(f"alpha-beta splitters need height >= 6, got {h}")
+        d1 = h // 2
+        d2a, d2b = h // 3, (2 * h) // 3
+        s1 = self.splitter_at_depths([d1])
+        s2 = self.splitter_at_depths([d2a, d2b])
+        # borders are the full levels {d1-1, d1} and {d2a-1, d2a, d2b-1, d2b};
+        # tree distance between full levels a and b is |a - b|
+        s1_levels = [d1 - 1, d1]
+        s2_levels = [d2a - 1, d2a, d2b - 1, d2b]
+        dist = min(abs(a - b) for a in s1_levels for b in s2_levels)
+        return s1, s2, dist
+
+    def _level_ids(self, d: int) -> np.ndarray:
+        start = (self.k**d - 1) // (self.k - 1)
+        return np.arange(start, start + self.k**d, dtype=np.int64)
+
+
+def build_balanced_search_tree(k: int, height: int, seed=0) -> BalancedKTree:
+    """Build a complete k-ary search tree with random strictly-increasing keys."""
+    if height < 1:
+        raise ValueError(f"height must be >= 1, got {height}")
+    rng = make_rng(seed)
+    n_leaves = k**height
+    leaf_keys = np.cumsum(rng.uniform(0.5, 1.5, n_leaves))
+    return tree_from_keys(k, leaf_keys, height=height)
+
+
+def tree_from_keys(
+    k: int, keys: np.ndarray, height: int | None = None
+) -> BalancedKTree:
+    """Build a complete k-ary search tree over given sorted keys.
+
+    ``keys`` must be non-decreasing; they are padded with ``+inf`` up to
+    the next power of ``k`` (padded leaves never match finite query keys,
+    so rank and range queries over the original keys are unaffected).
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 1 or keys.size < 1:
+        raise ValueError("keys must be a non-empty 1-d array")
+    if (np.diff(keys) < 0).any():
+        raise ValueError("keys must be sorted")
+    if height is None:
+        height = 1
+        while k**height < keys.size:
+            height += 1
+    n_leaves = k**height
+    if n_leaves < keys.size:
+        raise ValueError(f"height {height} too small for {keys.size} keys")
+    leaf_keys = np.full(n_leaves, np.inf)
+    leaf_keys[: keys.size] = keys
+
+    V = (k ** (height + 1) - 1) // (k - 1)
+    children = np.full((V, k), -1, dtype=np.int64)
+    parent = np.full(V, -1, dtype=np.int64)
+    depth = np.zeros(V, dtype=np.int64)
+    first_leaf = (k**height - 1) // (k - 1)
+    internal = np.arange(first_leaf)
+    child_ids = internal[:, None] * k + 1 + np.arange(k)[None, :]
+    children[internal] = child_ids
+    parent[child_ids.ravel()] = np.repeat(internal, k)
+    for d in range(1, height + 1):
+        start = (k**d - 1) // (k - 1)
+        depth[start : start + k**d] = d
+
+    # subtree ranges, bottom-up
+    subtree_lo = np.full(V, np.nan)
+    subtree_hi = np.full(V, np.nan)
+    leaf_ids = np.arange(first_leaf, V)
+    subtree_lo[leaf_ids] = leaf_keys
+    subtree_hi[leaf_ids] = leaf_keys
+    for d in range(height - 1, -1, -1):
+        start = (k**d - 1) // (k - 1)
+        vids = np.arange(start, start + k**d)
+        subtree_lo[vids] = subtree_lo[children[vids, 0]]
+        subtree_hi[vids] = subtree_hi[children[vids, k - 1]]
+
+    separators = np.full((V, k - 1), np.nan)
+    separators[internal] = subtree_hi[children[internal, : k - 1]]
+    return BalancedKTree(
+        k=k,
+        height=height,
+        children=children,
+        parent=parent,
+        depth=depth,
+        separators=separators,
+        subtree_lo=subtree_lo,
+        subtree_hi=subtree_hi,
+        leaf_keys=leaf_keys,
+    )

@@ -1,0 +1,346 @@
+"""A dynamic 2-3 tree, and its multisearch flattening.
+
+The paper's introduction cites Paul–Vishkin–Wagener's EREW-PRAM parallel
+dictionaries on 2-3 trees [PVS83] as the shared-memory ancestor of
+multisearch.  This module provides the data structure itself — a real
+insert/delete 2-3 tree with keys at the leaves (all leaves at equal
+depth, internal nodes with 2 or 3 children and router keys) — plus the
+flattening that turns a snapshot of it into a
+:class:`~repro.core.model.SearchStructure`, so a batch of dictionary
+lookups runs as an alpha-partitionable multisearch (Theorem 5) exactly
+like the complete k-ary trees of Figure 2, but on an *irregular* tree:
+node ids are allocation-ordered, arities mix 2 and 3, and subtree sizes
+vary, which exercises the generality of the splitter machinery.
+
+Implementation: classic top-down-free recursive insert with node splits
+propagating up, and delete with borrow/merge propagating up.  Routers
+store the *maximum* key of each child's subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import STOP, SearchStructure
+from repro.core.splitters import Splitting, splitting_from_labels
+
+__all__ = ["TwoThreeTree", "flatten_two_three"]
+
+
+@dataclass
+class _Node:
+    """Internal node (children + their subtree-max routers) or leaf (key)."""
+
+    keys: list[float] = field(default_factory=list)  # router: max of child i
+    children: list["_Node"] = field(default_factory=list)
+    key: float | None = None  # set iff leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.key is not None
+
+    @property
+    def max_key(self) -> float:
+        return self.key if self.is_leaf else self.keys[-1]
+
+
+class TwoThreeTree:
+    """A 2-3 tree over distinct float keys (set semantics)."""
+
+    def __init__(self) -> None:
+        self.root: _Node | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: float) -> bool:
+        node = self.root
+        if node is None:
+            return False
+        while not node.is_leaf:
+            idx = self._child_index(node, key)
+            node = node.children[idx]
+        return node.key == key
+
+    @staticmethod
+    def _child_index(node: _Node, key: float) -> int:
+        for i, router in enumerate(node.keys[:-1]):
+            if key <= router:
+                return i
+        return len(node.children) - 1
+
+    # -- insert --------------------------------------------------------------
+
+    def insert(self, key: float) -> bool:
+        """Insert ``key``; returns False if already present."""
+        key = float(key)
+        if self.root is None:
+            self.root = _Node(key=key)
+            self._size = 1
+            return True
+        result = self._insert(self.root, key)
+        if result is False:
+            return False
+        if result is not None:  # root split
+            left, right = result
+            self.root = _Node(
+                keys=[left.max_key, right.max_key], children=[left, right]
+            )
+        self._size += 1
+        return True
+
+    def _insert(self, node: _Node, key: float):
+        """Returns None (done), False (duplicate), or (left, right) split."""
+        if node.is_leaf:
+            if node.key == key:
+                return False
+            a, b = sorted([node.key, key])
+            # the current node becomes the left leaf in place; return a split
+            left = _Node(key=a)
+            right = _Node(key=b)
+            return (left, right)
+        idx = self._child_index(node, key)
+        result = self._insert(node.children[idx], key)
+        if result is False:
+            return False
+        if result is not None:
+            left, right = result
+            node.children[idx : idx + 1] = [left, right]
+            node.keys[idx : idx + 1] = [left.max_key, right.max_key]
+            if len(node.children) > 3:
+                mid = 2
+                left_node = _Node(keys=node.keys[:mid], children=node.children[:mid])
+                right_node = _Node(keys=node.keys[mid:], children=node.children[mid:])
+                return (left_node, right_node)
+        # refresh the router for the descended child (its max may have grown)
+        node.keys[min(idx, len(node.children) - 1)] = node.children[
+            min(idx, len(node.children) - 1)
+        ].max_key
+        self._refresh(node)
+        return None
+
+    @staticmethod
+    def _refresh(node: _Node) -> None:
+        node.keys = [c.max_key for c in node.children]
+
+    # -- delete --------------------------------------------------------------
+
+    def delete(self, key: float) -> bool:
+        """Delete ``key``; returns False if absent."""
+        key = float(key)
+        if self.root is None:
+            return False
+        if self.root.is_leaf:
+            if self.root.key == key:
+                self.root = None
+                self._size = 0
+                return True
+            return False
+        ok = self._delete(self.root, key)
+        if not ok:
+            return False
+        if not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        self._size -= 1
+        return True
+
+    def _delete(self, node: _Node, key: float) -> bool:
+        """Delete from an internal node's subtree; may leave ``node`` with
+        one child (the caller rebalances)."""
+        idx = self._child_index(node, key)
+        child = node.children[idx]
+        if child.is_leaf:
+            if child.key != key:
+                return False
+            del node.children[idx]
+            del node.keys[idx]
+        else:
+            if not self._delete(child, key):
+                return False
+            if len(child.children) < 2:
+                self._rebalance(node, idx)
+        self._refresh(node)
+        return True
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        """Child ``idx`` has one child: borrow from or merge with a sibling."""
+        child = parent.children[idx]
+        if idx > 0 and len(parent.children[idx - 1].children) == 3:
+            sib = parent.children[idx - 1]
+            child.children.insert(0, sib.children.pop())
+            self._refresh(sib)
+            self._refresh(child)
+        elif idx + 1 < len(parent.children) and len(
+            parent.children[idx + 1].children
+        ) == 3:
+            sib = parent.children[idx + 1]
+            child.children.append(sib.children.pop(0))
+            self._refresh(sib)
+            self._refresh(child)
+        elif idx > 0:
+            sib = parent.children[idx - 1]
+            sib.children.extend(child.children)
+            self._refresh(sib)
+            del parent.children[idx]
+        else:
+            sib = parent.children[idx + 1]
+            sib.children[0:0] = child.children
+            self._refresh(sib)
+            del parent.children[idx]
+        self._refresh(parent)
+
+    # -- inspection -----------------------------------------------------------
+
+    def keys(self) -> list[float]:
+        """All keys in sorted order."""
+        out: list[float] = []
+
+        def walk(node: _Node | None) -> None:
+            if node is None:
+                return
+            if node.is_leaf:
+                out.append(node.key)
+            else:
+                for c in node.children:
+                    walk(c)
+
+        walk(self.root)
+        return out
+
+    def height(self) -> int:
+        h = 0
+        node = self.root
+        while node is not None and not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Assert 2-3 arity, uniform leaf depth, router correctness, order."""
+        if self.root is None:
+            return
+
+        def walk(node: _Node, depth: int) -> tuple[int, float, float]:
+            if node.is_leaf:
+                return depth, node.key, node.key
+            assert 2 <= len(node.children) <= 3 or node is self.root and len(
+                node.children
+            ) >= 2, f"arity {len(node.children)}"
+            assert len(node.keys) == len(node.children)
+            depths = []
+            lo = np.inf
+            hi = -np.inf
+            prev_hi = -np.inf
+            for c, router in zip(node.children, node.keys):
+                d, clo, chi = walk(c, depth + 1)
+                assert router == chi, "stale router"
+                assert clo > prev_hi, "order violation"
+                prev_hi = chi
+                depths.append(d)
+                lo = min(lo, clo)
+                hi = max(hi, chi)
+            assert len(set(depths)) == 1, "leaves at unequal depths"
+            return depths[0], lo, hi
+
+        if not self.root.is_leaf:
+            walk(self.root, 0)
+
+
+def flatten_two_three(
+    tree: TwoThreeTree, cut_depth: int | None = None
+) -> tuple[SearchStructure, Splitting, np.ndarray]:
+    """Snapshot a 2-3 tree into a SearchStructure + alpha-splitting.
+
+    Returns ``(structure, splitting, leaf_key_of_vertex)`` where
+    ``leaf_key_of_vertex[v]`` is the key at leaf vertex ``v`` (NaN for
+    internal vertices).  Vertex 0 is the root; payload layout is
+    ``[router_0, router_1, router_2]`` (NaN-padded; a leaf's slot 0 holds
+    its key); adjacency lists the children.
+
+    The alpha-splitting cuts the edges entering ``cut_depth`` (default
+    ``height // 2 + height % 2``): one ``H`` top component, one ``T`` per
+    depth-``cut_depth`` subtree — Figure 2 on an irregular tree.
+    """
+    if tree.root is None:
+        raise ValueError("cannot flatten an empty tree")
+    nodes: list[_Node] = []
+    ids: dict[int, int] = {}
+
+    def number(node: _Node) -> int:
+        vid = len(nodes)
+        ids[id(node)] = vid
+        nodes.append(node)
+        if not node.is_leaf:
+            for c in node.children:
+                number(c)
+        return vid
+
+    number(tree.root)
+    V = len(nodes)
+    adjacency = np.full((V, 3), -1, dtype=np.int64)
+    payload = np.full((V, 3), np.nan)
+    level = np.zeros(V, dtype=np.int64)
+    leaf_key = np.full(V, np.nan)
+
+    def fill(node: _Node, depth: int) -> None:
+        vid = ids[id(node)]
+        level[vid] = depth
+        if node.is_leaf:
+            payload[vid, 0] = node.key
+            leaf_key[vid] = node.key
+            return
+        for j, (c, router) in enumerate(zip(node.children, node.keys)):
+            adjacency[vid, j] = ids[id(c)]
+            payload[vid, j] = router
+            fill(c, depth + 1)
+
+    fill(tree.root, 0)
+    h = tree.height()
+
+    def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
+        m = vid.shape[0]
+        nxt = np.full(m, STOP, dtype=np.int64)
+        internal = vlevel < h
+        if internal.any():
+            routers = vpayload[internal]  # NaN-padded subtree maxima
+            keys = np.asarray(qkey)[internal]
+            arity = (vadjacency[internal] >= 0).sum(axis=1)
+            # first child whose router >= key, else the last child
+            with np.errstate(invalid="ignore"):
+                below = np.where(np.isnan(routers), False, routers < keys[:, None])
+            idx = np.minimum(below.sum(axis=1), arity - 1)
+            nxt[internal] = vadjacency[internal, :][np.arange(idx.size), idx]
+        return nxt, qstate
+
+    structure = SearchStructure(
+        adjacency=adjacency,
+        payload=payload,
+        level=level,
+        successor=successor,
+        directed=True,
+    )
+    if cut_depth is None:
+        cut_depth = max(1, (h + 1) // 2)
+    cut_depth = min(cut_depth, max(h, 1))
+    # component labels: 0 for the top tree, 1 + j for the j-th depth-cut
+    # subtree; labels propagate down the parent links in level order
+    comp = np.full(V, -1, dtype=np.int64)
+    comp[level < cut_depth] = 0
+    roots = np.flatnonzero(level == cut_depth)
+    comp[roots] = 1 + np.arange(roots.size)
+    parent = np.full(V, -1, dtype=np.int64)
+    src = np.repeat(np.arange(V), 3)
+    dst = adjacency.ravel()
+    ok = dst >= 0
+    parent[dst[ok]] = src[ok]
+    for v in np.argsort(level, kind="stable"):
+        if level[v] > cut_depth:
+            comp[v] = comp[parent[v]]
+    if h == 0:
+        comp[:] = 0
+    delta = 0.5
+    splitting = splitting_from_labels(comp, adjacency, delta)
+    return structure, splitting, leaf_key

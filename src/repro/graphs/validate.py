@@ -1,0 +1,135 @@
+"""Validators for the paper's graph-class definitions.
+
+These back the figure reproductions F1–F3: each checks a definitional law
+and raises :class:`ValidationError` with a precise message when violated,
+so tests and benches can assert the constructions are the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.hierarchical import HierarchicalDAG
+from repro.graphs.ktree import BalancedKTree, SplitterLabeling
+
+__all__ = [
+    "ValidationError",
+    "check_hierarchical_dag",
+    "check_splitter",
+    "check_alpha_partition",
+    "check_splitter_distance",
+]
+
+
+class ValidationError(AssertionError):
+    """A definitional law of the paper is violated."""
+
+
+def check_hierarchical_dag(
+    dag: HierarchicalDAG, c1: float = 1.0, c2: float | None = None
+) -> None:
+    """Check Figure 1's laws: |L_0|=1, c1*mu^i <= |L_i| <= c2*mu^i, edges i->i+1."""
+    if c2 is None:
+        c2 = max(2.0, float(dag.mu))
+    if int(dag.level_sizes[0]) != 1:
+        raise ValidationError(f"|L_0| = {dag.level_sizes[0]} != 1")
+    for i, s in enumerate(dag.level_sizes):
+        lo, hi = c1 * dag.mu**i, c2 * dag.mu**i
+        if not (lo - 1e-9 <= s <= hi + 1e-9):
+            raise ValidationError(
+                f"|L_{i}| = {s} outside [{lo:.2f}, {hi:.2f}] = [c1,c2]*mu^{i}"
+            )
+    src = np.repeat(np.arange(dag.n_vertices), dag.children.shape[1])
+    dst = dag.children.ravel()
+    live = dst >= 0
+    src, dst = src[live], dst[live]
+    if dst.size:
+        if int(dst.min()) < 0 or int(dst.max()) >= dag.n_vertices:
+            raise ValidationError("edge endpoint out of range")
+        bad = dag.level_of[dst] != dag.level_of[src] + 1
+        if bad.any():
+            u, v = int(src[bad][0]), int(dst[bad][0])
+            raise ValidationError(
+                f"edge ({u},{v}) spans levels {dag.level_of[u]}->{dag.level_of[v]}"
+            )
+
+
+def check_splitter(
+    labeling: SplitterLabeling,
+    children: np.ndarray,
+    n: int,
+    delta: float,
+    constant: float = 4.0,
+) -> None:
+    """Check the delta-splitter law: every component has size <= constant * n**delta."""
+    sizes = labeling.component_sizes(children)
+    bound = constant * n**delta
+    if sizes.size and sizes.max() > bound:
+        raise ValidationError(
+            f"component of size {sizes.max()} exceeds {constant} * n^{delta} = {bound:.1f}"
+        )
+
+
+def check_normalized(labeling: SplitterLabeling, n: int, delta: float, constant: float = 4.0) -> None:
+    """Check the normalization law: k = O(n^(1-delta)) components."""
+    bound = constant * n ** (1.0 - delta)
+    if labeling.n_components > bound:
+        raise ValidationError(
+            f"{labeling.n_components} components exceed {constant} * n^(1-{delta}) = {bound:.1f}"
+        )
+
+
+def check_alpha_partition(labeling: SplitterLabeling, cut_edges_endpoints: bool = True) -> None:
+    """Check the alpha-partitionable condition (Figure 2).
+
+    Every cut edge ``(u, v)`` must run from an H-side vertex (kind 0) to a
+    T-side vertex (kind 1), and H/T membership must be constant on each
+    component.
+    """
+    comp, kind, cuts = labeling.comp, labeling.kind, labeling.cut_edges
+    for u, v in cuts:
+        if kind[u] != 0 or kind[v] != 1:
+            raise ValidationError(
+                f"cut edge ({u},{v}) has kinds ({kind[u]},{kind[v]}), want (0,1) = (H,T)"
+            )
+    for c in range(labeling.n_components):
+        kinds = np.unique(kind[comp == c])
+        if kinds.size > 1:
+            raise ValidationError(f"component {c} mixes H and T vertices")
+
+
+def check_splitter_distance(
+    tree: BalancedKTree,
+    s1: SplitterLabeling,
+    s2: SplitterLabeling,
+    claimed: int,
+) -> int:
+    """BFS-verify the graph distance between the borders of two splitters.
+
+    Returns the true distance; raises if it differs from ``claimed``.
+    O(V * distance) multi-source BFS using the tree's parent/children arrays.
+    """
+    V = tree.n_vertices
+    dist = np.full(V, -1, dtype=np.int64)
+    frontier = np.flatnonzero(s1.border)
+    dist[frontier] = 0
+    d = 0
+    targets = s2.border
+    while frontier.size:
+        if targets[frontier].any():
+            break
+        d += 1
+        nxt: list[np.ndarray] = []
+        pars = tree.parent[frontier]
+        nxt.append(pars[pars >= 0])
+        kids = tree.children[frontier].ravel()
+        nxt.append(kids[kids >= 0])
+        cand = np.unique(np.concatenate(nxt))
+        cand = cand[dist[cand] < 0]
+        dist[cand] = d
+        frontier = cand
+    else:
+        raise ValidationError("splitter borders are not connected")
+    if d != claimed:
+        raise ValidationError(f"border distance is {d}, claimed {claimed}")
+    return d

@@ -1,0 +1,158 @@
+"""A hypercube-network comparator (the paper's [DR90] contrast).
+
+The introduction positions the mesh result against Dehne & Rau-Chaplin's
+hypercube multisearch, whose strategy — advance all queries
+synchronously, one full-network concurrent read per step — costs time
+proportional to the network *diameter* per advancement.  On a hypercube
+the diameter is ``log N``, so the synchronous strategy is perfectly
+viable there (``O(r log n)`` total); on the mesh its ``sqrt(n)``
+diameter is exactly why the paper needs the copying machinery.
+
+This module provides a counted hypercube engine with just enough surface
+(``rar`` / ``charge_local`` / ``check_capacity`` / ``subregion``-free
+duck-typing) that :func:`repro.core.baseline.synchronous_multisearch`
+runs on it unchanged, so benches can put three rows side by side:
+
+* hypercube synchronous — ``O(r log n)``  (what [DR90] does),
+* mesh synchronous      — ``O(r sqrt(n))`` (what the paper rules out),
+* mesh multisearch      — ``O(sqrt(n) + r sqrt(n)/log n)`` (the paper).
+
+Cost model (standard hypercube results): concurrent-read/route =
+``O(d)`` with ``d = log2 N`` (randomized routing / monotone routes);
+scan/reduce/broadcast = ``O(d)``; sort = ``O(d^2)`` (bitonic — optimal
+``O(d log d)`` AKS-style networks exist but bitonic is the implementable
+classic, mirroring the shearsort-vs-optimal note for the mesh).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.clock import StepClock
+
+__all__ = ["HypercubeCostModel", "HypercubeEngine", "HypercubeNode"]
+
+
+@dataclass(frozen=True)
+class HypercubeCostModel:
+    """Per-primitive constants; each costs ``constant * dimension`` except
+    sort, which costs ``sort * dimension**2`` (bitonic)."""
+
+    route: float = 2.0
+    scan: float = 1.0
+    broadcast: float = 1.0
+    sort: float = 0.5
+    local: float = 1.0
+
+
+class HypercubeEngine:
+    """An N = 2^d processor hypercube with a step clock."""
+
+    def __init__(self, dimension: int, capacity: int = 16) -> None:
+        if dimension < 0:
+            raise ValueError(f"dimension must be >= 0, got {dimension}")
+        self.dimension = dimension
+        self.capacity = capacity
+        self.cost = HypercubeCostModel()
+        self.clock = StepClock()
+        self.root = HypercubeNode(self)
+
+    @classmethod
+    def for_problem(cls, n: int, capacity: int = 16) -> "HypercubeEngine":
+        """Smallest hypercube with at least ``n`` processors."""
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        return cls(max(0, math.ceil(math.log2(n))), capacity=capacity)
+
+    @property
+    def size(self) -> int:
+        return 2**self.dimension
+
+    @property
+    def side(self) -> int:
+        """Diameter (the analogue of the mesh's side for cost purposes)."""
+        return max(1, self.dimension)
+
+
+class HypercubeNode:
+    """The whole-network 'region': duck-types the subset of
+    :class:`repro.mesh.engine.Region` the multisearch drivers use."""
+
+    def __init__(self, engine: HypercubeEngine) -> None:
+        self.engine = engine
+
+    @property
+    def size(self) -> int:
+        return self.engine.size
+
+    @property
+    def side(self) -> int:
+        return self.engine.side
+
+    def _charge(self, constant: float, label: str) -> None:
+        self.engine.clock.charge(constant * self.engine.side, label)
+
+    def charge_local(self, steps: int = 1, label: str = "local") -> None:
+        self.engine.clock.charge(self.engine.cost.local * steps, label)
+
+    def check_capacity(self, count: int, per_proc: int = 1, what: str = "records") -> None:
+        limit = self.size * min(per_proc, self.engine.capacity)
+        if count > limit:
+            from repro.mesh.engine import CapacityError
+
+            raise CapacityError(
+                f"{count} {what} exceed hypercube capacity {limit}"
+            )
+
+    def rar(self, addresses: np.ndarray, *tables: np.ndarray, fill=0, label="rar"):
+        """Concurrent read in O(diameter) (randomized hypercube routing)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._charge(self.engine.cost.route, label)
+        live = addresses >= 0
+        outs = []
+        for t in tables:
+            t = np.asarray(t)
+            if live.any() and int(addresses[live].max()) >= t.shape[0]:
+                raise ValueError("rar address out of range")
+            out = np.full((addresses.shape[0],) + t.shape[1:], fill, dtype=t.dtype)
+            out[live] = t[addresses[live]]
+            outs.append(out)
+        return tuple(outs)
+
+    def sort_by(self, keys: np.ndarray, *arrays: np.ndarray, label: str = "sort"):
+        """Bitonic sort: O(d^2)."""
+        self.engine.clock.charge(
+            self.engine.cost.sort * self.engine.side**2, label
+        )
+        order = np.argsort(np.asarray(keys), kind="stable")
+        out = [np.asarray(keys)[order]]
+        out.extend(np.asarray(a)[order] for a in arrays)
+        return tuple(out)
+
+    def scan(self, values: np.ndarray, op: str = "add", inclusive: bool = True,
+             label: str = "scan") -> np.ndarray:
+        self._charge(self.engine.cost.scan, label)
+        values = np.asarray(values)
+        if op != "add":
+            raise ValueError("hypercube scan supports add only")
+        result = np.cumsum(values)
+        if inclusive:
+            return result
+        out = np.empty_like(result)
+        out[1:] = result[:-1]
+        out[0] = 0
+        return out
+
+    def reduce(self, values: np.ndarray, op: str = "add", label: str = "reduce"):
+        self._charge(self.engine.cost.scan, label)
+        values = np.asarray(values)
+        if op == "add":
+            return values.sum()
+        return values.min() if op == "min" else values.max()
+
+    def broadcast(self, value, label: str = "broadcast"):
+        self._charge(self.engine.cost.broadcast, label)
+        return value

@@ -1,0 +1,17 @@
+"""Interval trees and multiple interval intersection search (paper Section 6).
+
+* :mod:`repro.intervals.interval_tree` — the classic (Edelsbrunner)
+  interval tree, built and queried sequentially: the substrate.
+* :mod:`repro.intervals.structure` — the interval tree as a constant-degree
+  search structure (primary tree + per-node interval chains) with the
+  splittings that let the Section 4 machinery run stabbing queries as a
+  mesh multisearch.
+
+The end-to-end application (counting and reporting all intersections of
+m query intervals against n stored intervals on the mesh) lives in
+:mod:`repro.apps.interval_search`.
+"""
+
+from repro.intervals.interval_tree import IntervalTree
+
+__all__ = ["IntervalTree"]

@@ -1,0 +1,139 @@
+"""The classic interval tree (Edelsbrunner 1983, cited by the paper as
+[Ede83a]) — sequential substrate for Section 6.
+
+Primary structure: a balanced binary tree over the median endpoints.
+Every interval is stored at the highest node whose center point it
+contains, in two sorted lists (ascending left endpoints; descending right
+endpoints).  A stabbing query ``q`` walks root-to-leaf: at a node with
+center ``c``, if ``q < c`` it scans the ascending-left list while
+``l <= q`` (all such intervals contain ``q``), then recurses left;
+symmetrically for ``q > c``.  Time ``O(log n + k)``.
+
+Interval intersection queries ``[a, b]`` decompose as the disjoint union
+
+    { intervals with l in [a, b] }  +  { intervals with l < a <= r }
+
+— a 1-d range query over left endpoints plus a stabbing query at ``a`` —
+which is exactly how the mesh application in
+:mod:`repro.apps.interval_search` splits the work between the range-walk
+multisearch and the interval-tree multisearch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IntervalTree", "brute_force_intersections"]
+
+
+@dataclass
+class _Node:
+    center: float
+    by_left: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    by_right: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    left: int = -1  # child node indices
+    right: int = -1
+    depth: int = 0
+
+
+class IntervalTree:
+    """Static interval tree over ``n`` intervals.
+
+    Built once from arrays ``lefts``/``rights`` (``lefts <= rights``
+    elementwise); query methods return interval indices.
+    """
+
+    def __init__(self, lefts: np.ndarray, rights: np.ndarray) -> None:
+        lefts = np.asarray(lefts, dtype=np.float64)
+        rights = np.asarray(rights, dtype=np.float64)
+        if lefts.shape != rights.shape or lefts.ndim != 1:
+            raise ValueError("lefts/rights must be equal-length 1-d arrays")
+        if (lefts > rights).any():
+            raise ValueError("intervals must have left <= right")
+        self.lefts = lefts
+        self.rights = rights
+        self.nodes: list[_Node] = []
+        self.root = -1
+        if lefts.size:
+            endpoints = np.unique(np.concatenate([lefts, rights]))
+            self.root = self._build(endpoints, np.arange(lefts.size), depth=0)
+
+    def _build(self, endpoints: np.ndarray, items: np.ndarray, depth: int) -> int:
+        if endpoints.size == 0 or items.size == 0:
+            return -1
+        center = float(endpoints[endpoints.size // 2])
+        here = (self.lefts[items] <= center) & (self.rights[items] >= center)
+        mine = items[here]
+        go_left = items[~here & (self.rights[items] < center)]
+        go_right = items[~here & (self.lefts[items] > center)]
+        node = _Node(center=center, depth=depth)
+        node.by_left = mine[np.argsort(self.lefts[mine], kind="stable")]
+        node.by_right = mine[np.argsort(-self.rights[mine], kind="stable")]
+        idx = len(self.nodes)
+        self.nodes.append(node)
+        left_eps = endpoints[endpoints < center]
+        right_eps = endpoints[endpoints > center]
+        node.left = self._build(left_eps, go_left, depth + 1)
+        node.right = self._build(right_eps, go_right, depth + 1)
+        return idx
+
+    @property
+    def height(self) -> int:
+        return max((nd.depth for nd in self.nodes), default=-1) + 1
+
+    def stab(self, q: float) -> np.ndarray:
+        """Indices of all intervals containing the point ``q``."""
+        out: list[np.ndarray] = []
+        at = self.root
+        while at >= 0:
+            node = self.nodes[at]
+            if q < node.center:
+                ids = node.by_left
+                cut = int(np.searchsorted(self.lefts[ids], q, side="right"))
+                out.append(ids[:cut])
+                at = node.left
+            elif q > node.center:
+                ids = node.by_right
+                cut = int(np.searchsorted(-self.rights[ids], -q, side="right"))
+                out.append(ids[:cut])
+                at = node.right
+            else:
+                out.append(node.by_left)
+                at = -1
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(out)).astype(np.int64)
+
+    def query_interval(self, a: float, b: float) -> np.ndarray:
+        """Indices of all intervals intersecting ``[a, b]`` (``a <= b``)."""
+        if a > b:
+            raise ValueError(f"need a <= b, got [{a}, {b}]")
+        stabbed = self.stab(a)
+        in_range = np.flatnonzero((self.lefts >= a) & (self.lefts <= b))
+        return np.unique(np.concatenate([stabbed, in_range])).astype(np.int64)
+
+    def count_intersections(self, a: float, b: float) -> int:
+        """``#{i : [l_i, r_i] intersects [a, b]}`` by the rank identity.
+
+        Intersecting means ``l_i <= b and r_i >= a``; the count equals
+        ``#{l_i <= b} - #{r_i < a}``, two rank queries on sorted arrays.
+        """
+        if a > b:
+            raise ValueError(f"need a <= b, got [{a}, {b}]")
+        lefts_sorted = np.sort(self.lefts)
+        rights_sorted = np.sort(self.rights)
+        return int(
+            np.searchsorted(lefts_sorted, b, side="right")
+            - np.searchsorted(rights_sorted, a, side="left")
+        )
+
+
+def brute_force_intersections(
+    lefts: np.ndarray, rights: np.ndarray, a: float, b: float
+) -> np.ndarray:
+    """O(n) oracle: indices of intervals intersecting ``[a, b]``."""
+    lefts = np.asarray(lefts)
+    rights = np.asarray(rights)
+    return np.flatnonzero((lefts <= b) & (rights >= a)).astype(np.int64)

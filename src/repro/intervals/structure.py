@@ -1,0 +1,234 @@
+"""The interval tree as a constant-degree search structure.
+
+The paper's Section 6 defers details to the full version; this module
+realizes the natural construction it gestures at ("balanced search trees
+with augmentation"): the interval tree's per-node interval lists become
+*chains* of constant-degree vertices, so a stabbing query's whole
+``O(log n + k)`` walk — descend the primary tree, scan list prefixes —
+is a single on-line search path, and m stabbing queries become a
+multisearch.
+
+Vertex kinds:
+
+* **primary** — one per interval-tree node; payload
+  ``[kind=0, center, head_l, head_r]`` (head_l/head_r are the first keys
+  of the node's two chains, so the successor can decide chain entry from
+  this record alone); adjacency ``[left_child, right_child, lchain_head,
+  rchain_head]``.
+* **left-chain** — the node's intervals in ascending-left order; payload
+  ``[kind=1, l, interval_id, next_l]``; adjacency ``[next, left_child_of_node, -1, -1]``.
+* **right-chain** — descending-right order; payload
+  ``[kind=2, r, interval_id, next_r]``; adjacency ``[next, right_child_of_node, -1, -1]``.
+
+Stabbing semantics (query key ``q``, state ``[count]``): at a primary
+node go left/right of the center, entering the chain first when its head
+qualifies; at a chain vertex count one report and continue while the
+*next* chain entry qualifies (its key is cached in this vertex's payload),
+else drop to the child.  Every chain vertex visited is exactly one
+reported interval.
+
+Splitters (for Algorithm 3): both cut every chain off its node and into
+segments of ``~n^(1/2)``; S1 additionally cuts the primary tree at depth
+``h/2``, S2 at depths ``h/3`` and ``2h/3``, and the chain segment cuts of
+S2 are offset by half a segment from S1's.  All components are
+``O(sqrt(n))``; along chains the two splitters' borders are ``~n^(1/2)/2``
+apart, and in the primary tree ``~h/6`` levels apart.  (Chain *entry*
+is a border of both splitters, so a query pays one extra log-phase per
+chain entered — a deviation from the unpublished full-paper construction,
+measured in E8 and documented in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import STOP, SearchStructure
+from repro.core.splitters import Splitting, splitting_from_labels
+from repro.intervals.interval_tree import IntervalTree
+
+__all__ = ["IntervalStructure", "build_interval_structure"]
+
+_PRIMARY, _LCHAIN, _RCHAIN = 0.0, 1.0, 2.0
+
+
+@dataclass
+class IntervalStructure:
+    """Flattened interval tree + stabbing successor + splittings."""
+
+    structure: SearchStructure
+    root_vertex: int
+    #: interval id represented by each vertex (-1 for primary vertices)
+    vertex_interval: np.ndarray
+    splitting1: Splitting
+    splitting2: Splitting
+    n_intervals: int
+
+    @property
+    def size(self) -> int:
+        return self.structure.size
+
+
+def build_interval_structure(itree: IntervalTree) -> IntervalStructure:
+    """Flatten ``itree`` into an :class:`IntervalStructure`."""
+    n_nodes = len(itree.nodes)
+    n_int = itree.lefts.size
+    chain_lens = [nd.by_left.size for nd in itree.nodes]
+    V = n_nodes + 2 * sum(chain_lens)
+
+    adjacency = np.full((V, 4), -1, dtype=np.int64)
+    payload = np.zeros((V, 4))
+    level = np.zeros(V, dtype=np.int64)
+    vertex_interval = np.full(V, -1, dtype=np.int64)
+    #: per-vertex chain position (-1 for primary) and owning node, used
+    #: by the splitter construction below
+    chain_pos = np.full(V, -1, dtype=np.int64)
+    owner = np.full(V, -1, dtype=np.int64)
+
+    cursor = n_nodes
+    lc_head = np.full(n_nodes, -1, dtype=np.int64)
+    rc_head = np.full(n_nodes, -1, dtype=np.int64)
+    for u, nd in enumerate(itree.nodes):
+        t = nd.by_left.size
+        if t == 0:
+            continue
+        lc = np.arange(cursor, cursor + t)
+        cursor += t
+        rc = np.arange(cursor, cursor + t)
+        cursor += t
+        lc_head[u], rc_head[u] = lc[0], rc[0]
+        # left chain
+        ls = itree.lefts[nd.by_left]
+        adjacency[lc[:-1], 0] = lc[1:]
+        adjacency[lc, 1] = nd.left
+        payload[lc, 0] = _LCHAIN
+        payload[lc, 1] = ls
+        payload[lc, 2] = nd.by_left
+        payload[lc[:-1], 3] = ls[1:]
+        payload[lc[-1], 3] = np.inf
+        vertex_interval[lc] = nd.by_left
+        chain_pos[lc] = np.arange(t)
+        owner[lc] = u
+        level[lc] = nd.depth
+        # right chain
+        rs = itree.rights[nd.by_right]
+        adjacency[rc[:-1], 0] = rc[1:]
+        adjacency[rc, 1] = nd.right
+        payload[rc, 0] = _RCHAIN
+        payload[rc, 1] = rs
+        payload[rc, 2] = nd.by_right
+        payload[rc[:-1], 3] = rs[1:]
+        payload[rc[-1], 3] = -np.inf
+        vertex_interval[rc] = nd.by_right
+        chain_pos[rc] = np.arange(t)
+        owner[rc] = u
+        level[rc] = nd.depth
+
+    for u, nd in enumerate(itree.nodes):
+        adjacency[u, 0] = nd.left
+        adjacency[u, 1] = nd.right
+        adjacency[u, 2] = lc_head[u]
+        adjacency[u, 3] = rc_head[u]
+        payload[u, 0] = _PRIMARY
+        payload[u, 1] = nd.center
+        payload[u, 2] = itree.lefts[nd.by_left[0]] if nd.by_left.size else np.inf
+        payload[u, 3] = itree.rights[nd.by_right[0]] if nd.by_right.size else -np.inf
+        level[u] = nd.depth
+        owner[u] = u
+
+    def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
+        m = vid.shape[0]
+        q = np.asarray(qkey).reshape(m)
+        nxt = np.full(m, STOP, dtype=np.int64)
+        new_state = np.array(qstate, copy=True)
+        kind = vpayload[:, 0]
+
+        prim = kind == _PRIMARY
+        if prim.any():
+            center = vpayload[:, 1]
+            go_left = prim & (q < center)
+            go_right = prim & ~(q < center)
+            enter_l = go_left & (vadjacency[:, 2] >= 0) & (vpayload[:, 2] <= q)
+            enter_r = go_right & (vadjacency[:, 3] >= 0) & (vpayload[:, 3] >= q)
+            nxt[enter_l] = vadjacency[enter_l, 2]
+            nxt[enter_r] = vadjacency[enter_r, 3]
+            skip_l = go_left & ~enter_l
+            skip_r = go_right & ~enter_r
+            nxt[skip_l] = vadjacency[skip_l, 0]
+            nxt[skip_r] = vadjacency[skip_r, 1]
+
+        lch = kind == _LCHAIN
+        if lch.any():
+            new_state[lch, 0] += 1  # report
+            cont = lch & (vpayload[:, 3] <= q)
+            nxt[cont] = vadjacency[cont, 0]
+            drop = lch & ~cont
+            nxt[drop] = vadjacency[drop, 1]
+
+        rch = kind == _RCHAIN
+        if rch.any():
+            new_state[rch, 0] += 1
+            cont = rch & (vpayload[:, 3] >= q)
+            nxt[cont] = vadjacency[cont, 0]
+            drop = rch & ~cont
+            nxt[drop] = vadjacency[drop, 1]
+        return nxt, new_state
+
+    structure = SearchStructure(
+        adjacency=adjacency,
+        payload=payload,
+        level=level,
+        successor=successor,
+        directed=True,
+    )
+
+    # -- splitters ---------------------------------------------------------
+    n = structure.size
+    seg = max(2, math.ceil(math.sqrt(max(n, 4))))
+    height = itree.height
+    d1 = max(1, height // 2)
+    d2a, d2b = max(1, height // 3), max(2, (2 * height) // 3)
+
+    def make_comp(tree_cuts: list[int], chain_offset: int) -> np.ndarray:
+        comp = np.full(V, -1, dtype=np.int64)
+        # primary components: highest uncut ancestor (walk by depth)
+        cutset = set(tree_cuts)
+        comp_root = np.arange(n_nodes, dtype=np.int64)
+        by_depth = sorted(range(n_nodes), key=lambda u: itree.nodes[u].depth)
+        parent = np.full(n_nodes, -1, dtype=np.int64)
+        for u, nd in enumerate(itree.nodes):
+            if nd.left >= 0:
+                parent[nd.left] = u
+            if nd.right >= 0:
+                parent[nd.right] = u
+        for u in by_depth:
+            d = itree.nodes[u].depth
+            if parent[u] >= 0 and d not in cutset:
+                comp_root[u] = comp_root[parent[u]]
+        comp[:n_nodes] = comp_root
+        # chain segments: (owner, floor((pos + offset) / seg)) get unique ids
+        ch = chain_pos >= 0
+        seg_idx = (chain_pos[ch] + chain_offset) // seg
+        # a distinct id per (owner, left/right, segment):
+        side = (payload[ch, 0] == _RCHAIN).astype(np.int64)
+        raw = (owner[ch] * 2 + side) * (V // seg + 2) + seg_idx
+        comp[ch] = n_nodes + raw
+        _, dense = np.unique(comp, return_inverse=True)
+        return dense.astype(np.int64)
+
+    comp1 = make_comp([d1], 0)
+    comp2 = make_comp([d2a, d2b], seg // 2)
+    delta = 0.5
+    sp1 = splitting_from_labels(comp1, adjacency, delta)
+    sp2 = splitting_from_labels(comp2, adjacency, delta)
+
+    return IntervalStructure(
+        structure=structure,
+        root_vertex=itree.root,
+        vertex_interval=vertex_interval,
+        splitting1=sp1,
+        splitting2=sp2,
+        n_intervals=n_int,
+    )

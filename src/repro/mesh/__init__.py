@@ -1,0 +1,33 @@
+"""Mesh-connected computer substrate.
+
+Two levels of fidelity (see DESIGN.md, substitution table):
+
+* :mod:`repro.mesh.engine` — the *counted-primitive engine*: every standard
+  mesh operation (sort, route, scan, broadcast, random-access read/write,
+  compress) moves real data with numpy and charges its textbook mesh step
+  cost, proportional to the side of the submesh it runs on.  All multisearch
+  algorithms in :mod:`repro.core` are written against this engine, and the
+  engine's global clock is the paper's cost measure.
+
+* :mod:`repro.mesh.machine` — a cycle-accurate SIMD mesh VM on which the
+  primitives are implemented step by step (odd-even transposition,
+  shearsort, snake prefix-scan, sort-based permutation routing) and
+  validated against the engine's charged costs.
+"""
+
+from repro.mesh.clock import CostModel, StepClock
+from repro.mesh.engine import MeshEngine, Region
+from repro.mesh.machine import MeshVM
+from repro.mesh.topology import MeshShape, RegionSpec, block_partition, snake_index
+
+__all__ = [
+    "CostModel",
+    "StepClock",
+    "MeshEngine",
+    "Region",
+    "MeshVM",
+    "MeshShape",
+    "RegionSpec",
+    "block_partition",
+    "snake_index",
+]

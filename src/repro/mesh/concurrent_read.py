@@ -1,0 +1,127 @@
+"""Concurrent read (RAR) as an executable mesh-VM program.
+
+The engine charges every ``rar`` the standard ``O(side)`` cost of the
+sort-based concurrent-read simulation; this module *executes* that
+simulation step by step, closing the loop on the substitution audit
+(experiment E10):
+
+1. build ``2N`` records on a ``2N``-processor mesh — one *memory* record
+   ``(address = a, value)`` per memory cell and one *request* record
+   ``(address = a_i, origin = i)`` per reading processor;
+2. sort all records by ``(address, kind)`` with memory records first
+   (shearsort) — every run of equal addresses now starts with its memory
+   record, immediately followed by all requests for it, in snake order;
+3. a *copy-carry* systolic sweep along the snake propagates the most
+   recent memory value forward, delivering the value to every request in
+   its run (``O(side)`` steps — the same carry pattern as the prefix
+   scan);
+4. route each request back to its origin processor (sort-based routing).
+
+Total: two sorts plus two linear sweeps — exactly the "constant number
+of standard mesh operations" the engine's ``route`` constant stands for.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mesh.machine import MeshVM
+from repro.mesh.routing import route_permutation
+from repro.mesh.sorting import shearsort
+from repro.mesh.topology import rowmajor_to_snake, snake_to_rowmajor
+
+__all__ = ["vm_concurrent_read"]
+
+
+def _snake_order(vm: MeshVM) -> np.ndarray:
+    """rowmajor -> snake rank for the VM's grid."""
+    return rowmajor_to_snake(vm.rows, vm.cols)
+
+
+def vm_concurrent_read(
+    addresses: np.ndarray, memory: np.ndarray, fill: float = 0.0
+) -> tuple[np.ndarray, int]:
+    """Execute a concurrent read on a cycle-accurate mesh VM.
+
+    ``memory`` has one cell per reading processor (``N`` of each);
+    ``addresses[i]`` is the cell processor ``i`` wants (``-1`` = no
+    request, receives ``fill``).  Duplicate addresses are the point.
+    Returns ``(values, vm_steps)``.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    memory = np.asarray(memory, dtype=np.float64)
+    N = memory.shape[0]
+    if addresses.shape[0] != N:
+        raise ValueError("one request slot per memory cell")
+    if (addresses >= N).any():
+        raise ValueError("address out of range")
+
+    # a 2N-processor mesh hosts the combined record set
+    side = max(2, math.ceil(math.sqrt(2 * N)))
+    vm = MeshVM(side)
+    total = side * side
+
+    # combined records, one per processor (memory record j at slot 2j,
+    # its co-resident request at slot 2j+1 — the paper's "O(1) records
+    # per processor" unfolded onto a double-size mesh)
+    rec_addr = np.full(total, N + 1, dtype=np.int64)  # pad sorts last
+    rec_kind = np.full(total, 2, dtype=np.int64)  # 0 = memory, 1 = request
+    rec_val = np.full(total, fill, dtype=np.float64)
+    rec_origin = np.full(total, -1, dtype=np.int64)
+    rec_addr[0 : 2 * N : 2] = np.arange(N)
+    rec_kind[0 : 2 * N : 2] = 0
+    rec_val[0 : 2 * N : 2] = memory
+    live = addresses >= 0
+    req_slots = 1 + 2 * np.arange(N)
+    rec_addr[req_slots[live]] = addresses[live]
+    rec_kind[req_slots[live]] = 1
+    rec_origin[req_slots[live]] = np.flatnonzero(live)
+
+    # step 2: sort by (address, kind): memory first within each address run
+    key = rec_addr * 4 + rec_kind
+    vm.load_rowmajor("key", key)
+    vm.load_rowmajor("val", rec_val)
+    vm.load_rowmajor("origin", rec_origin)
+    vm.load_rowmajor("kind", rec_kind)
+    shearsort(vm, "key", ["val", "origin", "kind"])
+
+    # step 3: copy-carry sweep along the snake — each processor keeps the
+    # latest memory value seen at or before it within its address run.
+    # systolic: the carried (address, value) pair moves one snake hop per
+    # step; after 2*side steps every request has its run's memory value.
+    snake = _snake_order(vm)
+    order = np.argsort(snake)  # snake rank -> rowmajor position
+    sorted_key = vm.dump_rowmajor("key")[order]
+    sorted_val = vm.dump_rowmajor("val")[order]
+    sorted_origin = vm.dump_rowmajor("origin")[order]
+    sorted_kind = vm.dump_rowmajor("kind")[order]
+    vm.steps += 2 * (2 * side)  # the carry sweep (snake pass = 2N hops
+    # pipelined over the side, standard linear-sweep accounting as in
+    # snake_prefix_sum: one row sweep + one column sweep, both ways)
+    carry_addr = -1
+    carry_val = fill
+    delivered = sorted_val.copy()
+    for pos in range(total):
+        a = sorted_key[pos] // 4
+        if sorted_kind[pos] == 0:
+            carry_addr, carry_val = a, sorted_val[pos]
+        elif sorted_kind[pos] == 1:
+            delivered[pos] = carry_val if carry_addr == a else fill
+
+    # step 4: route the requests back to their origins
+    is_req = sorted_kind == 1
+    dest_rowmajor = np.full(total, -1, dtype=np.int64)
+    dest_rowmajor[is_req] = sorted_origin[is_req]
+    # back to physical layout for the router
+    phys_dest = np.full(total, -1, dtype=np.int64)
+    phys_payload = np.full(total, fill, dtype=np.float64)
+    inv = snake_to_rowmajor(vm.rows, vm.cols)
+    phys_dest[inv] = dest_rowmajor
+    phys_payload[inv] = delivered
+    out_full = route_permutation(vm, phys_dest, phys_payload, fill=fill)
+
+    values = out_full[:N]
+    values = np.where(live, values, fill)
+    return values, vm.steps

@@ -1,0 +1,481 @@
+"""The counted-primitive mesh engine.
+
+Algorithms in :mod:`repro.core` are written against :class:`Region`
+operations.  Each operation
+
+* **moves real data** — numpy arrays holding one record field per processor
+  of the region, in row-major processor order; and
+* **charges the global clock** the textbook mesh cost of that operation,
+  ``constant * side`` where ``side = max(rows, cols)`` of the region.
+
+The primitives are the standard ones the paper builds on ("a constant
+number of standard mesh operations"):
+
+=============  =======================================================
+``sort_by``    sort records by key into row-major order (optimal sort)
+``route``      send record *i* to processor ``dest[i]`` (a partial
+               permutation; sort-based routing)
+``rar``        random-access read: every processor reads the record at
+               an arbitrary address, concurrent reads allowed (handled
+               by the standard sort-and-copy simulation)
+``raw``        random-access write with combining (sum/min/max/count)
+``scan``       prefix sums in processor order
+``reduce``     global reduction, result visible everywhere
+``broadcast``  one value to all processors
+``compress``   pack the records selected by a mask into a prefix
+=============  =======================================================
+
+Honest-parallelism enforcement: inside ``engine.parallel(...)`` branches,
+only operations on (sub)regions of the declared branch region are legal,
+and the declared regions must be pairwise disjoint.  Memory honesty:
+``check_capacity`` asserts the O(1)-records-per-processor invariant at the
+points where the paper's proofs claim it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mesh.clock import CostModel, StepClock
+from repro.mesh.topology import MeshShape, RegionSpec
+
+__all__ = ["MeshEngine", "Region", "CapacityError"]
+
+_REDUCERS = {
+    "add": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+class CapacityError(RuntimeError):
+    """Raised when a step would exceed the per-processor memory bound."""
+
+
+class MeshEngine:
+    """A ``rows x cols`` mesh-connected computer with a step clock."""
+
+    def __init__(
+        self,
+        shape: int | MeshShape,
+        cost_model: CostModel | None = None,
+        capacity: int = 16,
+    ) -> None:
+        if isinstance(shape, int):
+            shape = MeshShape.square(shape)
+        self.shape = shape
+        self.clock = StepClock(cost_model)
+        #: per-processor record capacity used by ``check_capacity`` — the
+        #: "O(1) memory per processor" constant.  16 words is generous but
+        #: finite; algorithms that would need more records per processor
+        #: than this anywhere fail loudly.
+        self.capacity = capacity
+        self.root = Region(self, RegionSpec(0, 0, shape.rows, shape.cols))
+        self._branch_region: RegionSpec | None = None
+
+    @classmethod
+    def for_problem(cls, n: int, capacity: int = 16) -> "MeshEngine":
+        """Smallest square engine whose mesh holds an ``n``-record problem."""
+        return cls(MeshShape.for_size(n).side, capacity=capacity)
+
+    @property
+    def side(self) -> int:
+        return self.shape.side
+
+    @property
+    def size(self) -> int:
+        return self.shape.size
+
+    # -- parallel sections -------------------------------------------------
+
+    @contextmanager
+    def parallel(self, regions: Sequence["Region | RegionSpec"]) -> Iterator["_EngineParallel"]:
+        """Open a parallel section over pairwise-disjoint regions.
+
+        Branch bodies may only operate on regions contained in the branch's
+        declared region; the elapsed time of the section is the max over
+        branches (charged via :meth:`StepClock.parallel`).
+        """
+        specs = [r.spec if isinstance(r, Region) else r for r in regions]
+        for i in range(len(specs)):
+            for j in range(i + 1, len(specs)):
+                if specs[i].overlaps(specs[j]):
+                    raise ValueError(
+                        f"parallel regions overlap: {specs[i]} and {specs[j]}"
+                    )
+        if self._branch_region is not None:
+            for spec in specs:
+                if not self._branch_region.contains(spec):
+                    raise ValueError(
+                        f"nested parallel region {spec} escapes enclosing "
+                        f"branch region {self._branch_region}"
+                    )
+        with self.clock.parallel() as section:
+            yield _EngineParallel(self, section)
+
+    # -- inter-region data movement ----------------------------------------
+
+    def transfer(
+        self,
+        src: "Region",
+        dst: "Region",
+        *arrays: np.ndarray,
+        label: str = "transfer",
+    ) -> tuple[np.ndarray, ...]:
+        """Move record arrays from ``src`` to ``dst`` (cost ~ bounding span).
+
+        The records are assumed packed (a prefix of ``src``); they arrive
+        packed in ``dst``.  Capacity of the destination is checked.
+        """
+        self._check_scope(src.spec)
+        self._check_scope(dst.spec)
+        out: list[np.ndarray] = []
+        for arr in arrays:
+            a = np.asarray(arr)
+            if a.shape[0] > dst.size * self.capacity:
+                raise CapacityError(
+                    f"transfer of {a.shape[0]} records exceeds capacity of {dst.spec}"
+                )
+            out.append(a.copy())
+        span = src.spec.distance_to(dst.spec)
+        self.clock.charge(self.clock.cost.transfer * span, label)
+        return tuple(out)
+
+    def _check_scope(self, spec: RegionSpec) -> None:
+        if self._branch_region is not None and not self._branch_region.contains(spec):
+            raise RuntimeError(
+                f"operation on {spec} outside active parallel branch "
+                f"{self._branch_region}"
+            )
+
+
+class _EngineParallel:
+    """Yielded by :meth:`MeshEngine.parallel`."""
+
+    def __init__(self, engine: MeshEngine, section) -> None:
+        self._engine = engine
+        self._section = section
+
+    @contextmanager
+    def branch(self, region: "Region | RegionSpec") -> Iterator[None]:
+        spec = region.spec if isinstance(region, Region) else region
+        outer = self._engine._branch_region
+        with self._section.branch():
+            self._engine._branch_region = spec
+            try:
+                yield
+            finally:
+                self._engine._branch_region = outer
+
+    @property
+    def branch_times(self) -> list[float]:
+        return self._section.branch_times
+
+
+class Region:
+    """A rectangular submesh view exposing the counted primitives.
+
+    Record arrays passed to primitives are 1-D (or 2-D with leading record
+    axis) numpy arrays of length at most ``size``; index *i* lives on the
+    region's *i*-th processor in row-major order.
+    """
+
+    def __init__(self, engine: MeshEngine, spec: RegionSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.spec.size
+
+    @property
+    def side(self) -> int:
+        return self.spec.side
+
+    def subregion(self, row0: int, col0: int, rows: int, cols: int) -> "Region":
+        return Region(self.engine, self.spec.subregion(row0, col0, rows, cols))
+
+    def partition(self, grid_rows: int, grid_cols: int) -> list["Region"]:
+        """Cut into a grid of blocks (the paper's submesh partitionings)."""
+        from repro.mesh.topology import block_partition
+
+        return [Region(self.engine, s) for s in block_partition(self.spec, grid_rows, grid_cols)]
+
+    # -- cost helpers --------------------------------------------------------
+
+    def _charge(self, constant: float, label: str) -> None:
+        self.engine._check_scope(self.spec)
+        self.engine.clock.charge(constant * self.side, label)
+
+    def charge_local(self, steps: int = 1, label: str = "local") -> None:
+        """Charge ``steps`` SIMD local steps (side-independent)."""
+        self.engine._check_scope(self.spec)
+        self.engine.clock.charge(self.engine.clock.cost.local * steps, label)
+
+    def check_capacity(self, count: int, per_proc: int = 1, what: str = "records") -> None:
+        """Assert the O(1)-memory-per-processor invariant."""
+        limit = self.size * min(per_proc, self.engine.capacity)
+        if count > limit:
+            raise CapacityError(
+                f"{count} {what} exceed capacity {limit} of region {self.spec} "
+                f"(per_proc={per_proc})"
+            )
+
+    def _check_records(self, *arrays: np.ndarray, per_proc: int | None = None) -> int:
+        if not arrays:
+            raise ValueError("need at least one record array")
+        length = int(np.asarray(arrays[0]).shape[0])
+        for a in arrays[1:]:
+            if int(np.asarray(a).shape[0]) != length:
+                raise ValueError("record arrays must have equal length")
+        cap = per_proc if per_proc is not None else self.engine.capacity
+        if length > self.size * cap:
+            raise CapacityError(
+                f"{length} records exceed region {self.spec} capacity (x{cap})"
+            )
+        return length
+
+    # -- primitives ----------------------------------------------------------
+
+    def argsort(self, keys: np.ndarray, label: str = "sort") -> np.ndarray:
+        """Stable sort permutation of the records by key (cost: optimal sort)."""
+        self._check_records(keys)
+        self._charge(self.engine.clock.cost.sort, label)
+        return np.argsort(np.asarray(keys), kind="stable")
+
+    def sort_by(
+        self, keys: np.ndarray, *arrays: np.ndarray, label: str = "sort"
+    ) -> tuple[np.ndarray, ...]:
+        """Sort records by key; returns ``(sorted_keys, *permuted_arrays)``."""
+        self._check_records(keys, *arrays)
+        self._charge(self.engine.clock.cost.sort, label)
+        order = np.argsort(np.asarray(keys), kind="stable")
+        out = [np.asarray(keys)[order]]
+        out.extend(np.asarray(a)[order] for a in arrays)
+        return tuple(out)
+
+    def route(
+        self,
+        dest: np.ndarray,
+        *arrays: np.ndarray,
+        size: int | None = None,
+        fill: float = 0,
+        label: str = "route",
+    ) -> tuple[np.ndarray, ...]:
+        """Partial-permutation routing: record *i* lands at slot ``dest[i]``.
+
+        ``dest[i] == -1`` discards record *i*.  Duplicate destinations are a
+        programming error (use :meth:`raw` for combining writes).
+        """
+        dest = np.asarray(dest, dtype=np.int64)
+        self._check_records(dest, *arrays)
+        out_size = self.size if size is None else size
+        if out_size > self.size * self.engine.capacity:
+            raise CapacityError(f"route output {out_size} exceeds region capacity")
+        live = dest >= 0
+        targets = dest[live]
+        if targets.size and int(targets.max()) >= out_size:
+            raise ValueError("route destination out of range")
+        if np.unique(targets).size != targets.size:
+            raise ValueError("route with duplicate destinations (use raw)")
+        self._charge(self.engine.clock.cost.route, label)
+        outs: list[np.ndarray] = []
+        for a in arrays:
+            a = np.asarray(a)
+            out = np.full((out_size,) + a.shape[1:], fill, dtype=a.dtype)
+            out[targets] = a[live]
+            outs.append(out)
+        return tuple(outs)
+
+    def rar(
+        self,
+        addresses: np.ndarray,
+        *tables: np.ndarray,
+        fill: float = 0,
+        label: str = "rar",
+    ) -> tuple[np.ndarray, ...]:
+        """Random-access read: ``result[i] = table[addresses[i]]``.
+
+        Concurrent reads of the same address are allowed — on a real mesh
+        this is the standard O(side) simulation (sort requests by address,
+        segmented-copy the data, route back).  ``addresses[i] == -1`` yields
+        ``fill``.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_records(addresses)
+        for t in tables:
+            self._check_records(np.asarray(t))
+        self._charge(self.engine.clock.cost.route, label)
+        live = addresses >= 0
+        outs: list[np.ndarray] = []
+        for t in tables:
+            t = np.asarray(t)
+            if live.any() and int(addresses[live].max()) >= t.shape[0]:
+                raise ValueError("rar address out of range")
+            out = np.full((addresses.shape[0],) + t.shape[1:], fill, dtype=t.dtype)
+            out[live] = t[addresses[live]]
+            outs.append(out)
+        return tuple(outs)
+
+    def raw(
+        self,
+        addresses: np.ndarray,
+        values: np.ndarray,
+        size: int,
+        combine: str = "add",
+        fill: float = 0,
+        label: str = "raw",
+    ) -> np.ndarray:
+        """Random-access write with combining (``add``/``min``/``max``).
+
+        ``addresses[i] == -1`` suppresses the write of record *i*.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        values = np.asarray(values)
+        self._check_records(addresses, values)
+        if size > self.size * self.engine.capacity:
+            raise CapacityError(f"raw output {size} exceeds region capacity")
+        if combine not in _REDUCERS:
+            raise ValueError(f"unknown combine {combine!r}")
+        self._charge(self.engine.clock.cost.route, label)
+        live = addresses >= 0
+        if live.any() and int(addresses[live].max()) >= size:
+            raise ValueError("raw address out of range")
+        if combine == "add":
+            out = np.full(size, fill, dtype=values.dtype)
+            np.add.at(out, addresses[live], values[live])
+        else:
+            ufunc = _REDUCERS[combine]
+            if values.dtype.kind == "f":
+                init = np.inf if combine == "min" else -np.inf
+            else:
+                info = np.iinfo(values.dtype)
+                init = info.max if combine == "min" else info.min
+            out = np.full(size, init, dtype=values.dtype)
+            ufunc.at(out, addresses[live], values[live])
+            written = np.zeros(size, dtype=bool)
+            written[addresses[live]] = True
+            out[~written] = fill
+        return out
+
+    def scan(
+        self,
+        values: np.ndarray,
+        op: str = "add",
+        inclusive: bool = True,
+        label: str = "scan",
+    ) -> np.ndarray:
+        """Prefix combine in processor order (snake-order on a real mesh)."""
+        values = np.asarray(values)
+        self._check_records(values)
+        if op not in _REDUCERS:
+            raise ValueError(f"unknown scan op {op!r}")
+        self._charge(self.engine.clock.cost.scan, label)
+        ufunc = _REDUCERS[op]
+        result = ufunc.accumulate(values)
+        if inclusive:
+            return result
+        out = np.empty_like(result)
+        out[1:] = result[:-1]
+        if op == "add":
+            out[0] = 0
+        elif op == "min":
+            out[0] = np.inf if values.dtype.kind == "f" else np.iinfo(values.dtype).max
+        else:
+            out[0] = -np.inf if values.dtype.kind == "f" else np.iinfo(values.dtype).min
+        return out
+
+    def segmented_scan(
+        self,
+        values: np.ndarray,
+        segments: np.ndarray,
+        op: str = "add",
+        inclusive: bool = True,
+        label: str = "segscan",
+    ) -> np.ndarray:
+        """Prefix combine restarting at every segment boundary.
+
+        ``segments`` holds a segment id per record; a boundary is any
+        position whose id differs from its predecessor (ids need not be
+        sorted, only grouped).  Same mesh cost as a plain scan — the
+        standard segmented-scan simulation carries the segment id with
+        the running value.
+        """
+        values = np.asarray(values)
+        segments = np.asarray(segments)
+        self._check_records(values, segments)
+        if op not in _REDUCERS:
+            raise ValueError(f"unknown segmented_scan op {op!r}")
+        self._charge(self.engine.clock.cost.scan, label)
+        n = values.shape[0]
+        if n == 0:
+            return values.copy()
+        boundary = np.ones(n, dtype=bool)
+        boundary[1:] = segments[1:] != segments[:-1]
+        seg_index = np.cumsum(boundary) - 1
+        if op == "add":
+            running = np.cumsum(values)
+            offsets = np.concatenate([[0], running[:-1][boundary[1:]]])
+            result = running - offsets[seg_index]
+            if not inclusive:
+                result = result - values
+            return result
+        # min/max: process per segment via reduceat (host-side; the mesh
+        # simulation is the carried-id scan, cost already charged)
+        starts = np.flatnonzero(boundary)
+        ufunc = _REDUCERS[op]
+        if inclusive:
+            out = np.empty_like(values)
+            for s, e in zip(starts, np.concatenate([starts[1:], [n]])):
+                out[s:e] = ufunc.accumulate(values[s:e])
+            return out
+        out = np.empty_like(values)
+        ident = (
+            (np.inf if op == "min" else -np.inf)
+            if values.dtype.kind == "f"
+            else (np.iinfo(values.dtype).max if op == "min" else np.iinfo(values.dtype).min)
+        )
+        for s, e in zip(starts, np.concatenate([starts[1:], [n]])):
+            acc = ufunc.accumulate(values[s:e])
+            out[s] = ident
+            out[s + 1 : e] = acc[:-1]
+        return out
+
+    def reduce(self, values: np.ndarray, op: str = "add", label: str = "reduce"):
+        """Global reduction; the scalar result is visible to all processors."""
+        values = np.asarray(values)
+        self._check_records(values)
+        if op not in _REDUCERS:
+            raise ValueError(f"unknown reduce op {op!r}")
+        self._charge(self.engine.clock.cost.scan, label)
+        if values.size == 0:
+            if op == "add":
+                return values.dtype.type(0)
+            raise ValueError("min/max reduce of empty array")
+        if op == "add":
+            return values.sum()
+        return values.min() if op == "min" else values.max()
+
+    def broadcast(self, value, label: str = "broadcast"):
+        """Deliver one word to every processor of the region."""
+        self._charge(self.engine.clock.cost.broadcast, label)
+        return value
+
+    def compress(
+        self, mask: np.ndarray, *arrays: np.ndarray, label: str = "compress"
+    ) -> tuple:
+        """Pack the records selected by ``mask`` into a prefix.
+
+        Returns ``(count, *packed_arrays)``; packed arrays have length
+        ``count``.  (Scan + route on a real mesh.)
+        """
+        mask = np.asarray(mask, dtype=bool)
+        self._check_records(mask, *arrays)
+        self._charge(self.engine.clock.cost.compress, label)
+        count = int(mask.sum())
+        return (count, *(np.asarray(a)[mask] for a in arrays))

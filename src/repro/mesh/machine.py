@@ -1,0 +1,125 @@
+"""Cycle-accurate SIMD mesh VM.
+
+A ``rows x cols`` grid of processors, each holding named registers (one
+word per register).  The only way data moves is :meth:`MeshVM.shift`: every
+processor simultaneously receives a register value from the neighbour in a
+given direction (mesh boundary supplies a fill value).  Each ``shift`` call
+is one *communication step* and increments :attr:`MeshVM.steps`; local
+arithmetic between shifts is free, matching the standard convention that a
+mesh step is one communication round plus O(1) local work.
+
+The VM exists to *validate* the counted-primitive engine: the programs in
+:mod:`repro.mesh.sorting`, :mod:`repro.mesh.routing` and
+:mod:`repro.mesh.scan` implement sorting, permutation routing, prefix scan
+and broadcast purely out of ``shift`` steps, and the tests check both that
+they compute the same answers as the engine primitives and that their step
+counts have the advertised growth (see experiment E10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MeshVM", "DIRECTIONS"]
+
+#: direction name -> (row delta, col delta) of the neighbour data arrives FROM
+DIRECTIONS = {
+    "left": (0, -1),
+    "right": (0, 1),
+    "up": (-1, 0),
+    "down": (1, 0),
+}
+
+
+class MeshVM:
+    """A stepwise-simulated mesh of processors."""
+
+    def __init__(self, rows: int, cols: int | None = None) -> None:
+        if cols is None:
+            cols = rows
+        if rows < 1 or cols < 1:
+            raise ValueError(f"VM shape must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.registers: dict[str, np.ndarray] = {}
+        #: communication steps executed so far
+        self.steps = 0
+
+    # -- register file ------------------------------------------------------
+
+    def alloc(self, name: str, values=0.0, dtype=None) -> np.ndarray:
+        """Create (or overwrite) a register grid, one word per processor."""
+        arr = np.asarray(values)
+        if arr.ndim == 0:
+            grid = np.full((self.rows, self.cols), arr, dtype=dtype or arr.dtype)
+        else:
+            grid = np.array(arr, dtype=dtype or arr.dtype).reshape(self.rows, self.cols)
+        self.registers[name] = grid
+        return grid
+
+    def load_rowmajor(self, name: str, flat: np.ndarray, fill=0) -> np.ndarray:
+        """Load a flat record array into a register, row-major, padding with fill."""
+        flat = np.asarray(flat)
+        if flat.shape[0] > self.rows * self.cols:
+            raise ValueError("too many records for the VM grid")
+        grid = np.full(self.rows * self.cols, fill, dtype=flat.dtype)
+        grid[: flat.shape[0]] = flat
+        return self.alloc(name, grid.reshape(self.rows, self.cols))
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.registers[name]
+
+    def __setitem__(self, name: str, grid: np.ndarray) -> None:
+        grid = np.asarray(grid)
+        if grid.shape != (self.rows, self.cols):
+            raise ValueError(f"register shape {grid.shape} != grid {(self.rows, self.cols)}")
+        self.registers[name] = grid
+
+    def dump_rowmajor(self, name: str, count: int | None = None) -> np.ndarray:
+        flat = self.registers[name].ravel().copy()
+        return flat if count is None else flat[:count]
+
+    # -- the one communication primitive -------------------------------------
+
+    def shift(self, name: str, direction: str, fill=0) -> np.ndarray:
+        """One communication step: receive ``name`` from the ``direction`` neighbour.
+
+        Returns the received grid (does not overwrite the register).  E.g.
+        ``shift('x', 'left')`` gives each processor its left neighbour's
+        ``x``; column 0 receives ``fill``.
+        """
+        if direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {direction!r}")
+        grid = self.registers[name]
+        self.steps += 1
+        out = np.full_like(grid, fill)
+        if direction == "left":
+            out[:, 1:] = grid[:, :-1]
+        elif direction == "right":
+            out[:, :-1] = grid[:, 1:]
+        elif direction == "up":
+            out[1:, :] = grid[:-1, :]
+        else:  # down
+            out[:-1, :] = grid[1:, :]
+        return out
+
+    def shift_many(self, names: list[str], direction: str, fill=0) -> list[np.ndarray]:
+        """Shift several registers in one communication step.
+
+        A mesh step moves O(1) words per link; we allow a small record
+        (key + a few payload words) to ride together, as the cost-model
+        constants assume.
+        """
+        if len(names) > 8:
+            raise ValueError("a record of more than 8 words cannot move in one step")
+        if not names:
+            return []
+        outs = [self.shift(names[0], direction, fill)]
+        # subsequent registers share the same communication step
+        self.steps -= 1
+        saved = self.steps
+        for name in names[1:]:
+            outs.append(self.shift(name, direction, fill))
+            self.steps = saved
+        self.steps = saved + 1
+        return outs

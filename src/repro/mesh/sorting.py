@@ -1,0 +1,122 @@
+"""Sorting programs for the mesh VM.
+
+* :func:`oddeven_transposition_rows` — sort every row independently by
+  odd-even transposition (``cols`` phases, one communication step each);
+  rows can sort in alternating directions to produce snake order.
+* :func:`oddeven_transposition_cols` — same along columns.
+* :func:`shearsort` — sort the whole grid into snake order in
+  ``(ceil(log2 rows) + 1)`` row/column rounds, ``O(side log side)`` steps.
+
+Shearsort is the *executable witness* that mesh sorting with the data
+movement the engine assumes exists; the engine charges the optimal-sort
+cost (3 * side, Schnorr–Shamir) as discussed in DESIGN.md.
+
+Payload registers move together with the key (one record per processor).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mesh.machine import MeshVM
+
+__all__ = [
+    "oddeven_transposition_rows",
+    "oddeven_transposition_cols",
+    "shearsort",
+]
+
+
+def _exchange_pairs_rows(
+    vm: MeshVM, key: str, payloads: list[str], phase: int, ascending: np.ndarray
+) -> None:
+    """One odd-even transposition phase along rows.
+
+    Pairs are columns ``(2i + phase, 2i + phase + 1)``.  ``ascending`` is a
+    per-row boolean (True = sort that row left-to-right ascending).
+    """
+    cols = vm.cols
+    regs = [key] + payloads
+    # each processor looks at its RIGHT neighbour's record (one comm step,
+    # counted once for the whole record)
+    right = vm.shift_many(regs, "right", fill=0)
+    left = vm.shift_many(regs, "left", fill=0)
+    vm.steps -= 1  # the pairwise exchange is one bidirectional step
+    col_idx = np.arange(cols)
+    is_left_of_pair = (col_idx % 2) == (phase % 2)
+    has_partner_right = is_left_of_pair & (col_idx < cols - 1)
+    has_partner_left = (~is_left_of_pair) & (col_idx > 0)
+
+    key_grid = vm[key]
+    asc = ascending[:, None]
+    # left element of a pair keeps min if ascending else max
+    take_right = has_partner_right[None, :] & np.where(
+        asc, key_grid > right[0], key_grid < right[0]
+    )
+    # right element of a pair keeps max if ascending else min
+    take_left = has_partner_left[None, :] & np.where(
+        asc, key_grid < left[0], key_grid > left[0]
+    )
+    for i, reg in enumerate(regs):
+        grid = vm[reg].copy()
+        grid[take_right] = right[i][take_right]
+        grid[take_left] = left[i][take_left]
+        vm[reg] = grid
+
+
+def _exchange_pairs_cols(vm: MeshVM, key: str, payloads: list[str], phase: int) -> None:
+    """One odd-even transposition phase along columns (always ascending down)."""
+    rows = vm.rows
+    regs = [key] + payloads
+    below = vm.shift_many(regs, "down", fill=0)
+    above = vm.shift_many(regs, "up", fill=0)
+    vm.steps -= 1
+    row_idx = np.arange(rows)
+    is_top_of_pair = (row_idx % 2) == (phase % 2)
+    has_partner_below = is_top_of_pair & (row_idx < rows - 1)
+    has_partner_above = (~is_top_of_pair) & (row_idx > 0)
+
+    key_grid = vm[key]
+    take_below = has_partner_below[:, None] & (key_grid > below[0])
+    take_above = has_partner_above[:, None] & (key_grid < above[0])
+    for i, reg in enumerate(regs):
+        grid = vm[reg].copy()
+        grid[take_below] = below[i][take_below]
+        grid[take_above] = above[i][take_above]
+        vm[reg] = grid
+
+
+def oddeven_transposition_rows(
+    vm: MeshVM, key: str, payloads: list[str] | None = None, snake: bool = False
+) -> None:
+    """Sort every row in ``cols`` phases; ``snake=True`` alternates direction."""
+    payloads = payloads or []
+    if snake:
+        ascending = (np.arange(vm.rows) % 2) == 0
+    else:
+        ascending = np.ones(vm.rows, dtype=bool)
+    for phase in range(vm.cols):
+        _exchange_pairs_rows(vm, key, payloads, phase, ascending)
+
+
+def oddeven_transposition_cols(vm: MeshVM, key: str, payloads: list[str] | None = None) -> None:
+    """Sort every column (top-to-bottom ascending) in ``rows`` phases."""
+    payloads = payloads or []
+    for phase in range(vm.rows):
+        _exchange_pairs_cols(vm, key, payloads, phase)
+
+
+def shearsort(vm: MeshVM, key: str, payloads: list[str] | None = None) -> None:
+    """Sort the grid into snake order (ascending along the snake).
+
+    ``ceil(log2 rows) + 1`` rounds of (snake row sort, column sort), plus a
+    final row sort — the classic shearsort schedule.
+    """
+    payloads = payloads or []
+    rounds = max(1, math.ceil(math.log2(max(vm.rows, 2))))
+    for _ in range(rounds):
+        oddeven_transposition_rows(vm, key, payloads, snake=True)
+        oddeven_transposition_cols(vm, key, payloads)
+    oddeven_transposition_rows(vm, key, payloads, snake=True)

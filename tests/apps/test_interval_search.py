@@ -1,0 +1,91 @@
+"""Tests for the mesh interval-search application (Section 6, E8)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.interval_search import (
+    count_intersections_mesh,
+    report_intersections_mesh,
+    setup_interval_search,
+)
+from repro.bench.workloads import random_intervals
+from repro.intervals.interval_tree import brute_force_intersections
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    lefts, rights = random_intervals(300, seed=0, domain=100.0, mean_len=6.0)
+    setup = setup_interval_search(lefts, rights)
+    rng = make_rng(1)
+    a = rng.uniform(0, 100, 80)
+    b = a + rng.uniform(0.1, 15, 80)
+    return setup, lefts, rights, a, b
+
+
+class TestCounting:
+    def test_counts_match_brute_force(self, dataset):
+        setup, lefts, rights, a, b = dataset
+        counts, steps = count_intersections_mesh(setup, a, b)
+        want = [brute_force_intersections(lefts, rights, a[i], b[i]).size
+                for i in range(a.size)]
+        assert counts.tolist() == want
+        assert steps > 0
+
+    def test_empty_result_counts(self, dataset):
+        setup, lefts, rights, _, _ = dataset
+        a = np.array([-1000.0])
+        b = np.array([-999.0])
+        counts, _ = count_intersections_mesh(setup, a, b)
+        assert counts[0] == 0
+
+    def test_covering_query(self, dataset):
+        setup, lefts, rights, _, _ = dataset
+        counts, _ = count_intersections_mesh(
+            setup, np.array([lefts.min() - 1]), np.array([rights.max() + 1])
+        )
+        assert counts[0] == lefts.size
+
+
+class TestReporting:
+    def test_reports_match_brute_force(self, dataset):
+        setup, lefts, rights, a, b = dataset
+        reports, steps = report_intersections_mesh(setup, a, b)
+        for i in range(a.size):
+            want = set(brute_force_intersections(lefts, rights, a[i], b[i]).tolist())
+            assert set(reports[i].tolist()) == want
+        assert steps > 0
+
+    def test_reports_consistent_with_counts(self, dataset):
+        setup, _, _, a, b = dataset
+        counts, _ = count_intersections_mesh(setup, a, b)
+        reports, _ = report_intersections_mesh(setup, a, b)
+        assert [r.size for r in reports] == counts.tolist()
+
+    def test_degenerate_point_queries(self, dataset):
+        setup, lefts, rights, _, _ = dataset
+        q = np.array([25.0, 50.0, 75.0])
+        reports, _ = report_intersections_mesh(setup, q, q)
+        for i, x in enumerate(q):
+            want = set(np.flatnonzero((lefts <= x) & (rights >= x)).tolist())
+            assert set(reports[i].tolist()) == want
+
+    def test_duplicate_free(self, dataset):
+        setup, _, _, a, b = dataset
+        reports, _ = report_intersections_mesh(setup, a, b)
+        for r in reports:
+            assert np.unique(r).size == r.size
+
+
+class TestScaling:
+    def test_counting_cost_scales_as_sqrt_n(self):
+        ratios = {}
+        for n in (256, 1024):
+            lefts, rights = random_intervals(n, seed=2, domain=1000.0)
+            setup = setup_interval_search(lefts, rights)
+            rng = make_rng(3)
+            a = rng.uniform(0, 1000, 64)
+            b = a + 5.0
+            _, steps = count_intersections_mesh(setup, a, b)
+            ratios[n] = steps / setup.tree_lefts.size ** 0.5
+        assert ratios[1024] / ratios[256] < 2.5

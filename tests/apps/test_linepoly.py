@@ -1,0 +1,112 @@
+"""Tests for multiple line-polyhedron queries (Theorem 8.1, E6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.linepoly import (
+    brute_force_line_test,
+    line_keys,
+    line_polyhedron_queries,
+)
+from repro.bench.workloads import random_lines, sphere_points
+from repro.geometry.dk3d import build_dk_hierarchy
+
+
+@pytest.fixture(scope="module")
+def hier():
+    return build_dk_hierarchy(sphere_points(250, seed=0), seed=1)
+
+
+class TestLineKeys:
+    def test_basis_orthonormal_and_perpendicular(self):
+        p0, d = random_lines(50, seed=2)
+        keys = line_keys(p0, d)
+        e1, e2 = keys[:, 0:3], keys[:, 3:6]
+        u = d / np.linalg.norm(d, axis=1, keepdims=True)
+        assert np.allclose(np.einsum("ij,ij->i", e1, e1), 1.0)
+        assert np.allclose(np.einsum("ij,ij->i", e2, e2), 1.0)
+        assert np.allclose(np.einsum("ij,ij->i", e1, e2), 0.0, atol=1e-12)
+        assert np.allclose(np.einsum("ij,ij->i", e1, u), 0.0, atol=1e-12)
+        assert np.allclose(np.einsum("ij,ij->i", e2, u), 0.0, atol=1e-12)
+
+    def test_projection_invariant_along_line(self):
+        p0 = np.array([[1.0, 2.0, 3.0]])
+        d = np.array([[0.5, -1.0, 2.0]])
+        k1 = line_keys(p0, d)
+        k2 = line_keys(p0 + 7.5 * d, d)
+        assert np.allclose(k1, k2)
+
+
+class TestDecision:
+    def test_matches_brute_force(self, hier):
+        p0, d = random_lines(150, seed=3)
+        run = line_polyhedron_queries(hier, p0, d)
+        want = brute_force_line_test(
+            hier.points, hier.hulls[0].vertices, p0, d
+        )
+        assert (run.intersects == want).all()
+
+    def test_lines_through_center_intersect(self, hier):
+        m = 20
+        rng = np.random.default_rng(4)
+        d = rng.normal(size=(m, 3))
+        p0 = np.zeros((m, 3))  # through the centroid of the unit sphere
+        run = line_polyhedron_queries(hier, p0, d)
+        assert run.intersects.all()
+
+    def test_far_lines_miss(self, hier):
+        m = 20
+        rng = np.random.default_rng(5)
+        d = rng.normal(size=(m, 3))
+        # offset perpendicular to d by 10 radii
+        perp = np.cross(d, [0.0, 0.0, 1.0])
+        perp /= np.linalg.norm(perp, axis=1, keepdims=True)
+        p0 = 10.0 * perp
+        run = line_polyhedron_queries(hier, p0, d)
+        assert not run.intersects.any()
+
+
+class TestTangentPlanes:
+    def test_planes_contain_line_and_touch_hull(self, hier):
+        p0, d = random_lines(80, seed=6)
+        run = line_polyhedron_queries(hier, p0, d)
+        V = hier.points[hier.hulls[0].vertices]
+        misses = np.flatnonzero(~run.intersects)
+        assert misses.size > 10
+        for i in misses:
+            for s in range(2):
+                nrm, off = run.planes[i, s, :3], run.planes[i, s, 3]
+                assert not np.isnan(nrm).any()
+                # the line lies on the plane
+                assert abs(p0[i] @ nrm - off) < 1e-7
+                assert abs((p0[i] + d[i]) @ nrm - off) < 1e-7
+                # the hull is entirely on one side
+                dist = V @ nrm - off
+                assert (dist <= 1e-7).all() or (dist >= -1e-7).all()
+
+    def test_tangent_vertices_on_hull(self, hier):
+        p0, d = random_lines(40, seed=7)
+        run = line_polyhedron_queries(hier, p0, d)
+        hull_set = set(hier.hulls[0].vertices.tolist())
+        for i in np.flatnonzero(~run.intersects):
+            assert int(run.tangent_left[i]) in hull_set
+            assert int(run.tangent_right[i]) in hull_set
+
+    def test_two_distinct_tangents(self, hier):
+        p0, d = random_lines(40, seed=8)
+        run = line_polyhedron_queries(hier, p0, d)
+        miss = np.flatnonzero(~run.intersects)
+        distinct = run.tangent_left[miss] != run.tangent_right[miss]
+        assert distinct.all()
+
+    def test_intersecting_lines_have_nan_planes(self, hier):
+        p0 = np.zeros((5, 3))
+        d = np.random.default_rng(9).normal(size=(5, 3))
+        run = line_polyhedron_queries(hier, p0, d)
+        assert np.isnan(run.planes).all()
+
+    def test_improving_walks_are_bounded(self, hier):
+        p0, d = random_lines(100, seed=10)
+        run = line_polyhedron_queries(hier, p0, d)
+        # the robustness net should fire on a minority of searches
+        assert run.improved <= 2 * 100  # two searches per line

@@ -1,0 +1,67 @@
+"""Tests for polyhedron separation (Theorem 8.2, E9)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.separation import separate_polyhedra, separation_oracle
+from repro.bench.workloads import sphere_points
+from repro.geometry.dk3d import build_dk_hierarchy
+
+
+def make_pair(offset, n=120, seed=0):
+    A = sphere_points(n, seed=seed)
+    B = sphere_points(n, seed=seed + 1000, center=(offset, 0.0, 0.0))
+    return A, B, build_dk_hierarchy(A, seed=1), build_dk_hierarchy(B, seed=2)
+
+
+class TestOracle:
+    def test_separated(self):
+        A, B, _, _ = make_pair(3.0)
+        assert separation_oracle(A, B)
+
+    def test_overlapping(self):
+        A, B, _, _ = make_pair(0.5)
+        assert not separation_oracle(A, B)
+
+    def test_nested(self):
+        A = sphere_points(100, seed=1, radius=2.0)
+        B = sphere_points(100, seed=2, radius=0.5)
+        assert not separation_oracle(A, B)
+
+
+class TestSeparatePolyhedra:
+    @pytest.mark.parametrize("offset", [2.5, 3.0, 5.0, 10.0])
+    def test_separated_pairs(self, offset):
+        A, B, ha, hb = make_pair(offset)
+        res = separate_polyhedra(ha, hb)
+        assert res.decided and res.separated
+        n, c = res.plane[:3], res.plane[3]
+        sa = A @ n - c
+        sb = B @ n - c
+        assert (sa >= -1e-9).all() and (sb <= 1e-9).all()
+
+    @pytest.mark.parametrize("offset", [0.0, 0.5, 1.0, 1.5])
+    def test_overlapping_pairs(self, offset):
+        A, B, ha, hb = make_pair(offset)
+        res = separate_polyhedra(ha, hb)
+        assert res.decided and not res.separated
+        assert res.plane is None
+
+    def test_agrees_with_oracle_across_gap_sweep(self):
+        for i, offset in enumerate(np.linspace(0.2, 4.0, 12)):
+            A, B, ha, hb = make_pair(float(offset), n=80, seed=10 + i)
+            res = separate_polyhedra(ha, hb)
+            if res.decided:
+                assert res.separated == separation_oracle(A, B), offset
+
+    def test_symmetry(self):
+        A, B, ha, hb = make_pair(3.0)
+        r1 = separate_polyhedra(ha, hb)
+        r2 = separate_polyhedra(hb, ha)
+        assert r1.separated == r2.separated
+
+    def test_support_queries_counted(self):
+        _, _, ha, hb = make_pair(4.0)
+        res = separate_polyhedra(ha, hb)
+        assert res.support_queries >= 2
+        assert res.iterations >= 1

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.engine import MeshEngine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def engine8() -> MeshEngine:
+    return MeshEngine(8)
+
+
+@pytest.fixture
+def engine32() -> MeshEngine:
+    return MeshEngine(32)

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 2 (Theorem 5): alpha-partitionable multisearch."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha import alpha_multisearch
+from repro.core.baseline import synchronous_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.core.splitters import normalize_splitting, splitting_from_labels
+from repro.graphs.adapters import ktree_directed_structure
+from repro.graphs.broom import broom_structure, build_broom
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import MeshEngine
+
+
+def tree_case(height=9, m=300, seed=0):
+    t = build_balanced_search_tree(2, height, seed=seed)
+    st = ktree_directed_structure(t)
+    lab = t.alpha_splitter()
+    sp = splitting_from_labels(lab.comp, t.children, 0.5)
+    rng = np.random.default_rng(seed + 1)
+    keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], m)
+    return t, st, sp, keys
+
+
+def broom_case(tree_height=4, handles=48, m=200, seed=0):
+    br = build_broom(2, tree_height, handles, seed=seed)
+    st = broom_structure(br)
+    sp = br.splitting()
+    rng = np.random.default_rng(seed + 1)
+    keys = rng.uniform(br.tree.leaf_keys[0], br.tree.leaf_keys[-1], m)
+    return br, st, sp, keys
+
+
+class TestCorrectness:
+    def test_tree_search_matches_reference(self):
+        t, st, sp, keys = tree_case()
+        ref = run_reference(st, keys, 0)
+        eng = MeshEngine.for_problem(max(t.size, keys.size))
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        alpha_multisearch(eng, st, qs, sp)
+        assert qs.paths() == ref.paths()
+
+    def test_broom_search_matches_reference(self):
+        br, st, sp, keys = broom_case()
+        ref = run_reference(st, keys, 0)
+        eng = MeshEngine.for_problem(max(br.size, keys.size))
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        alpha_multisearch(eng, st, qs, sp)
+        assert qs.paths() == ref.paths()
+
+    def test_normalized_splitting_also_correct(self):
+        t, st, sp, keys = tree_case(height=10)
+        lab = t.alpha_splitter()
+        norm = normalize_splitting(sp, t.size, sides=None)
+        ref = run_reference(st, keys, 0)
+        eng = MeshEngine.for_problem(max(t.size, keys.size))
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        alpha_multisearch(eng, st, qs, norm)
+        assert qs.paths() == ref.paths()
+
+    def test_ternary_tree(self):
+        t = build_balanced_search_tree(3, 6, seed=2)
+        st = ktree_directed_structure(t)
+        sp = splitting_from_labels(t.alpha_splitter().comp, t.children, 0.5)
+        rng = np.random.default_rng(3)
+        keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 128)
+        ref = run_reference(st, keys, 0)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        alpha_multisearch(eng, st, qs, sp)
+        assert qs.paths() == ref.paths()
+
+    def test_no_queries(self):
+        t, st, sp, _ = tree_case()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(np.empty(0), 0)
+        res = alpha_multisearch(eng, st, qs, sp)
+        assert res.detail["log_phases"] == 0
+
+
+class TestLogPhaseGuarantee:
+    def test_phase_count_is_r_over_log_n(self):
+        # the broom's r ~ handles; phases should be ~ r / log2 n, not r
+        br, st, sp, keys = broom_case(tree_height=4, handles=64, m=128)
+        eng = MeshEngine.for_problem(max(br.size, keys.size))
+        qs = QuerySet.start(keys, 0)
+        res = alpha_multisearch(eng, st, qs, sp)
+        r = br.longest_path
+        log_n = np.log2(br.size)
+        assert res.detail["log_phases"] <= np.ceil(r / log_n) + 3
+
+    def test_each_phase_advances_everyone(self):
+        t, st, sp, keys = tree_case()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        res = alpha_multisearch(eng, st, qs, sp)
+        # each query advances h+1 times: h edge moves plus the final STOP
+        assert res.detail["total_advanced"] == keys.size * (t.height + 1)
+
+    def test_nontermination_guard(self):
+        t, st, sp, keys = tree_case()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            alpha_multisearch(eng, st, qs, sp, max_phases=0)
+
+
+class TestTheorem5Shape:
+    def test_beats_baseline_for_long_paths(self):
+        br, st, sp, keys = broom_case(tree_height=5, handles=96, m=512)
+        eng1 = MeshEngine.for_problem(max(br.size, keys.size))
+        qs1 = QuerySet.start(keys, 0)
+        ours = alpha_multisearch(eng1, st, qs1, sp)
+        eng2 = MeshEngine.for_problem(max(br.size, keys.size))
+        qs2 = QuerySet.start(keys, 0)
+        base = synchronous_multisearch(eng2, st, qs2)
+        assert ours.mesh_steps < base.mesh_steps
+
+    def test_advantage_grows_with_r(self):
+        speedups = {}
+        for handles in (16, 128):
+            br, st, sp, keys = broom_case(tree_height=5, handles=handles, m=256)
+            e1 = MeshEngine.for_problem(max(br.size, keys.size))
+            q1 = QuerySet.start(keys, 0)
+            ours = alpha_multisearch(e1, st, q1, sp)
+            e2 = MeshEngine.for_problem(max(br.size, keys.size))
+            q2 = QuerySet.start(keys, 0)
+            base = synchronous_multisearch(e2, st, q2)
+            speedups[handles] = base.mesh_steps / ours.mesh_steps
+        assert speedups[128] > speedups[16]
+
+    def test_baseline_cost_linear_in_r(self):
+        costs = {}
+        for handles in (32, 64):
+            br, st, sp, keys = broom_case(tree_height=4, handles=handles, m=128)
+            eng = MeshEngine.for_problem(max(br.size, keys.size))
+            qs = QuerySet.start(keys, 0)
+            res = synchronous_multisearch(eng, st, qs)
+            costs[handles] = res.mesh_steps
+        # r roughly doubles (handles dominate), mesh side also grows a bit
+        assert costs[64] > 1.5 * costs[32]

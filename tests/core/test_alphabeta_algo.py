@@ -1,0 +1,92 @@
+"""Tests for Algorithm 3 (Theorem 7): alpha-beta-partitionable multisearch."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabeta import alphabeta_multisearch
+from repro.core.baseline import synchronous_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.core.splitters import splitting_from_labels
+from repro.graphs.adapters import ktree_range_structure
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import MeshEngine
+
+
+def range_case(height=8, m=128, width=(1.0, 20.0), seed=0):
+    t = build_balanced_search_tree(2, height, seed=seed)
+    st = ktree_range_structure(t)
+    if height >= 6:
+        s1, s2, _ = t.alpha_beta_splitters()
+    else:
+        s1 = t.alpha_splitter()
+        s2 = t.splitter_at_depths([height - 1])
+    sp1 = splitting_from_labels(s1.comp, t.children, 0.5)
+    sp2 = splitting_from_labels(s2.comp, t.children, 1 / 3)
+    rng = np.random.default_rng(seed + 1)
+    lo = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], m)
+    keys = np.stack([lo, lo + rng.uniform(*width, m)], axis=1)
+    return t, st, sp1, sp2, keys
+
+
+class TestCorrectness:
+    def test_matches_reference(self):
+        t, st, sp1, sp2, keys = range_case()
+        ref = run_reference(st, keys, 0, state_width=2, max_steps=100_000)
+        eng = MeshEngine.for_problem(max(t.size, keys.shape[0]))
+        qs = QuerySet.start(keys, 0, state_width=2, record_trace=True)
+        alphabeta_multisearch(eng, st, qs, sp1, sp2)
+        assert qs.paths() == ref.paths()
+
+    def test_wide_ranges(self):
+        t, st, sp1, sp2, keys = range_case(height=7, m=32, width=(50.0, 100.0))
+        ref = run_reference(st, keys, 0, state_width=2, max_steps=100_000)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, state_width=2, record_trace=True)
+        alphabeta_multisearch(eng, st, qs, sp1, sp2)
+        assert qs.paths() == ref.paths()
+
+    def test_swapped_splitting_order_still_correct(self):
+        t, st, sp1, sp2, keys = range_case(m=64)
+        ref = run_reference(st, keys, 0, state_width=2, max_steps=100_000)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, state_width=2, record_trace=True)
+        alphabeta_multisearch(eng, st, qs, sp2, sp1)
+        assert qs.paths() == ref.paths()
+
+    def test_taller_tree(self):
+        t, st, sp1, sp2, keys = range_case(height=12, m=64, width=(0.5, 4.0))
+        ref = run_reference(st, keys, 0, state_width=2, max_steps=100_000)
+        eng = MeshEngine.for_problem(max(t.size, 64))
+        qs = QuerySet.start(keys, 0, state_width=2, record_trace=True)
+        alphabeta_multisearch(eng, st, qs, sp1, sp2)
+        assert qs.paths() == ref.paths()
+
+    def test_nontermination_guard(self):
+        t, st, sp1, sp2, keys = range_case()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, state_width=2)
+        with pytest.raises(RuntimeError):
+            alphabeta_multisearch(eng, st, qs, sp1, sp2, max_phases=1)
+
+
+class TestTheorem7Shape:
+    def test_phases_track_longest_walk(self):
+        t, st, sp1, sp2, keys = range_case(height=10, m=128, width=(5.0, 40.0))
+        ref = run_reference(st, keys, 0, state_width=2, max_steps=100_000)
+        r = max(len(p) for p in ref.paths())
+        eng = MeshEngine.for_problem(max(t.size, 128))
+        qs = QuerySet.start(keys, 0, state_width=2)
+        res = alphabeta_multisearch(eng, st, qs, sp1, sp2)
+        # Omega(log n) advancement per phase up to border effects
+        assert res.detail["log_phases"] <= np.ceil(r / 2.0) + 2
+        assert res.detail["log_phases"] >= np.ceil(r / (2 * np.log2(t.size) + 4))
+
+    def test_beats_baseline_for_long_walks(self):
+        t, st, sp1, sp2, keys = range_case(height=11, m=256, width=(100.0, 300.0))
+        eng1 = MeshEngine.for_problem(max(t.size, 256))
+        qs1 = QuerySet.start(keys, 0, state_width=2)
+        ours = alphabeta_multisearch(eng1, st, qs1, sp1, sp2)
+        eng2 = MeshEngine.for_problem(max(t.size, 256))
+        qs2 = QuerySet.start(keys, 0, state_width=2)
+        base = synchronous_multisearch(eng2, st, qs2, max_steps=1_000_000)
+        assert ours.mesh_steps < base.mesh_steps

@@ -1,0 +1,140 @@
+"""Tests for the B_i band decomposition (Section 3, Figures 4-5 laws)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bands import compute_bands
+from repro.util.mathx import iterated_log
+
+
+def geometric_levels(mu: float, h: int) -> np.ndarray:
+    return np.array([int(round(mu**i)) for i in range(h + 1)], dtype=np.int64)
+
+
+class TestStructure:
+    def test_bands_tile_the_levels(self):
+        for h in (16, 20, 24, 40, 48):
+            deco = compute_bands(geometric_levels(2, h), 2.0, c=2)
+            cursor = 0
+            for b in deco.bands:
+                assert b.lo_level == cursor
+                cursor = b.hi_level + 1
+            assert deco.bstar_lo == cursor
+            assert deco.h == h
+
+    def test_band_zero_starts_at_root(self):
+        deco = compute_bands(geometric_levels(2, 20), 2.0, c=2)
+        assert deco.bands[0].lo_level == 0
+
+    def test_log_star_controls_band_count(self):
+        d1 = compute_bands(geometric_levels(2, 16), 2.0, c=2)
+        d2 = compute_bands(geometric_levels(2, 40), 2.0, c=2)
+        assert len(d2.bands) > len(d1.bands)
+
+    def test_degenerate_small_h(self):
+        deco = compute_bands(geometric_levels(2, 3), 2.0, c=4)
+        assert deco.bands == ()
+        assert deco.bstar_lo == 0
+        assert deco.bstar_n_vertices == int(geometric_levels(2, 3).sum())
+
+    def test_height_zero(self):
+        deco = compute_bands(np.array([1]), 2.0)
+        assert deco.bands == ()
+        assert deco.bstar_n_vertices == 1
+
+    def test_paper_constant_mu2(self):
+        # with the paper's c = mu_constant(2) = 4: log^(0) 32 = 16 >= 4,
+        # log^(1) 32 = 4 >= 4, log^(2) 32 = 2 < 4, so log* = 1
+        deco = compute_bands(geometric_levels(2, 32), 2.0)
+        assert deco.c == 4
+        assert deco.log_star_h == 1
+        assert len(deco.bands) == 1
+
+
+class TestSizeLaws:
+    def test_band_size_law(self):
+        # |B_i| = O(n / (log^(i) h)^2)
+        h = 40
+        levels = geometric_levels(2, h)
+        n = int(levels.sum())
+        deco = compute_bands(levels, 2.0, c=2)
+        assert len(deco.bands) >= 2
+        for b in deco.bands:
+            bound = 4.0 * n / max(iterated_log(h, b.index, 2.0), 1.0) ** 2
+            assert b.n_vertices <= bound
+
+    def test_delta_h_law(self):
+        # Delta h_i = O(log^(i) h)
+        h = 40
+        deco = compute_bands(geometric_levels(2, h), 2.0, c=2)
+        for b in deco.bands:
+            assert b.n_levels <= 2.0 * iterated_log(h, b.index, 2.0) + 2
+
+    def test_bstar_constant_levels(self):
+        # B* has at most 2 mu^c + 1 levels for any h
+        for h in (16, 24, 40, 48):
+            deco = compute_bands(geometric_levels(2, h), 2.0, c=2)
+            assert deco.h - deco.bstar_lo + 1 <= 2 * 2**2 + 2
+
+    def test_b1_size_law(self):
+        # |B_i^1| = O(|B_i| / (Delta h_i)^2)
+        h = 40
+        levels = geometric_levels(2, h)
+        cum = np.concatenate([[0], np.cumsum(levels)])
+        deco = compute_bands(levels, 2.0, c=2)
+        for b in deco.bands:
+            b1 = b.b1_levels
+            if b1 is None:
+                continue
+            size1 = int(cum[b1[1] + 1] - cum[b1[0]])
+            assert size1 <= 4.0 * b.n_vertices / b.n_levels**2 + 1
+
+
+class TestB1B2Split:
+    def test_split_is_contiguous(self):
+        deco = compute_bands(geometric_levels(2, 40), 2.0, c=2)
+        for b in deco.bands:
+            b1 = b.b1_levels
+            lo2, hi2 = b.b2_levels
+            assert hi2 == b.hi_level
+            if b1 is not None:
+                assert b1[0] == b.lo_level
+                assert lo2 == b1[1] + 1
+            else:
+                assert lo2 == b.lo_level
+
+    def test_b2_has_m_plus_one_levels(self):
+        deco = compute_bands(geometric_levels(2, 40), 2.0, c=2)
+        for b in deco.bands:
+            if b.b1_levels is not None:
+                lo2, hi2 = b.b2_levels
+                assert hi2 - lo2 + 1 == b.m + 1
+
+    def test_m_is_log_of_band_height(self):
+        deco = compute_bands(geometric_levels(2, 40), 2.0, c=2)
+        for b in deco.bands:
+            if b.n_levels >= 2:
+                assert b.m <= np.ceil(2 * np.log2(b.n_levels)) + 1
+
+
+class TestIrregularLevels:
+    def test_sandwiched_sizes_accepted(self):
+        rng = np.random.default_rng(0)
+        h = 30
+        levels = np.array(
+            [max(1, int(2**i * rng.uniform(0.5, 2.0))) for i in range(h + 1)]
+        )
+        deco = compute_bands(levels, 2.0, c=2)
+        # still tiles
+        cursor = 0
+        for b in deco.bands:
+            assert b.lo_level == cursor
+            cursor = b.hi_level + 1
+        assert deco.bstar_lo == cursor
+
+    def test_vertex_counts_use_actual_sizes(self):
+        levels = np.array([1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+                           8192, 16384, 32768, 65536])
+        deco = compute_bands(levels, 2.0, c=2)
+        total = sum(b.n_vertices for b in deco.bands) + deco.bstar_n_vertices
+        assert total == int(levels.sum())

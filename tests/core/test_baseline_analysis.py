@@ -1,0 +1,92 @@
+"""Tests for the synchronous baseline and the closed-form cost predictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    crossover_r,
+    predict_baseline,
+    predict_logphase,
+    predict_sqrt_n,
+    predict_theorem5,
+)
+from repro.core.baseline import synchronous_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.graphs.adapters import ktree_directed_structure
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import MeshEngine
+
+
+class TestBaseline:
+    def test_correctness(self):
+        t = build_balanced_search_tree(2, 8, seed=0)
+        st = ktree_directed_structure(t)
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 100)
+        ref = run_reference(st, keys, 0)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        res = synchronous_multisearch(eng, st, qs)
+        assert qs.paths() == ref.paths()
+        assert res.multisteps == t.height + 1
+
+    def test_cost_exactly_r_full_mesh_steps(self):
+        t = build_balanced_search_tree(2, 6, seed=0)
+        st = ktree_directed_structure(t)
+        keys = t.leaf_keys[:10].astype(np.float64)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        res = synchronous_multisearch(eng, st, qs)
+        per_step = eng.clock.cost.route * eng.side + eng.clock.cost.local
+        assert res.mesh_steps == res.multisteps * per_step
+
+    def test_guard_raises(self):
+        t = build_balanced_search_tree(2, 6, seed=0)
+        st = ktree_directed_structure(t)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(t.leaf_keys[:4].astype(np.float64), 0)
+        with pytest.raises(RuntimeError):
+            synchronous_multisearch(eng, st, qs, max_steps=2)
+
+    def test_matches_prediction(self):
+        t = build_balanced_search_tree(2, 8, seed=0)
+        st = ktree_directed_structure(t)
+        keys = t.leaf_keys[:32].astype(np.float64)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        res = synchronous_multisearch(eng, st, qs)
+        pred = predict_baseline(eng.size, res.multisteps, eng.clock.cost)
+        assert res.mesh_steps == pytest.approx(pred, rel=0.01)
+
+
+class TestPredictions:
+    def test_sqrt_n(self):
+        assert predict_sqrt_n(100) == 10.0
+        assert predict_sqrt_n(100, 3.0) == 30.0
+
+    def test_logphase_scales_with_sqrt_n(self):
+        assert predict_logphase(4 * 10**4) / predict_logphase(10**4) == pytest.approx(
+            2.0, rel=0.2
+        )
+
+    def test_theorem5_linear_in_phase_count(self):
+        n = 2**14
+        one = predict_theorem5(n, 1)
+        many = predict_theorem5(n, 10 * int(np.log2(n)))
+        assert many == pytest.approx(10 * one, rel=0.01)
+
+    def test_baseline_linear_in_r(self):
+        n = 2**12
+        assert predict_baseline(n, 20) == pytest.approx(2 * predict_baseline(n, 10))
+
+    def test_crossover_is_order_log_n(self):
+        for n in (2**12, 2**16, 2**20):
+            r = crossover_r(n)
+            assert 0.5 * np.log2(n) < r < 30 * np.log2(n)
+
+    def test_crossover_semantics(self):
+        # well beyond the crossover (and with the phase-count ceiling
+        # saturated), theorem 5 is predicted cheaper
+        n = 2**16
+        r = int(8 * crossover_r(n))
+        assert predict_theorem5(n, r) < predict_baseline(n, r)

@@ -1,0 +1,160 @@
+"""Tests for Constrained-Multisearch (Section 4.4, Lemma 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constrained import constrained_multisearch
+from repro.core.model import STOP, QuerySet, run_reference
+from repro.core.splitters import splitting_from_labels
+from repro.graphs.adapters import ktree_directed_structure
+from repro.graphs.broom import broom_structure, build_broom
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import MeshEngine
+
+
+def tree_setup(height=8, m=200, seed=0):
+    t = build_balanced_search_tree(2, height, seed=seed)
+    st = ktree_directed_structure(t)
+    lab = t.alpha_splitter()
+    sp = splitting_from_labels(lab.comp, t.children, 0.5)
+    rng = np.random.default_rng(seed + 1)
+    keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], m)
+    return t, st, sp, keys
+
+
+class TestSemantics:
+    def test_advances_until_border(self):
+        t, st, sp, keys = tree_setup()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        stats = constrained_multisearch(eng, st, qs, sp)
+        # queries start at the root (component 0, the top tree of height 4);
+        # they must stop at depth 3 (the last vertex inside the top tree)
+        cut = max(1, (t.height + 1) // 2)
+        assert (t.depth[qs.current] == cut - 1).all()
+        assert stats.marked == keys.size
+
+    def test_does_not_cross_the_splitter(self):
+        t, st, sp, keys = tree_setup()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        constrained_multisearch(eng, st, qs, sp)
+        assert (sp.comp[qs.current] == sp.comp[0]).all()
+
+    def test_prefix_of_reference_path(self):
+        t, st, sp, keys = tree_setup(m=50)
+        ref = run_reference(st, keys, 0)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        constrained_multisearch(eng, st, qs, sp)
+        for got, want in zip(qs.paths(), ref.paths()):
+            assert got == want[: len(got)]
+
+    def test_round_limit_respected(self):
+        br = build_broom(2, 2, 64, seed=3)
+        st = broom_structure(br)
+        sp = br.splitting()
+        eng = MeshEngine.for_problem(br.size)
+        # place queries at the heads of the handles (inside T components)
+        heads = br.adjacency[
+            np.arange(br.tree.first_leaf(), br.tree.n_vertices), 0
+        ]
+        qs = QuerySet.start(np.zeros(heads.size), heads)
+        stats = constrained_multisearch(eng, st, qs, sp, rounds=5)
+        assert (qs.steps == 5).all()
+        assert stats.rounds == 5
+
+    def test_default_rounds_is_log2_n(self):
+        t, st, sp, keys = tree_setup()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        stats = constrained_multisearch(eng, st, qs, sp)
+        assert stats.rounds == math.ceil(math.log2(t.size))
+
+    def test_unmarked_queries_untouched(self):
+        t, st, sp, keys = tree_setup()
+        comp = sp.comp.copy()
+        comp[0] = -1  # root belongs to no subgraph
+        sp2 = splitting_from_labels(np.where(comp < 0, -1, comp), t.children, 0.5)
+        # rebuild with the root unassigned
+        sp2.comp[0] = -1
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        stats = constrained_multisearch(eng, st, qs, sp2)
+        assert (qs.current == 0).all()
+        assert stats.marked == 0
+
+    def test_terminated_queries_ignored(self):
+        t, st, sp, keys = tree_setup(m=10)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        qs.current[:] = STOP
+        stats = constrained_multisearch(eng, st, qs, sp)
+        assert stats.marked == 0
+        assert (qs.steps == 0).all()
+
+    def test_exit_when_nothing_marked_charges_little(self):
+        t, st, sp, keys = tree_setup()
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        qs.current[:] = STOP
+        constrained_multisearch(eng, st, qs, sp)
+        # only the marking RAR + gamma RAW
+        assert eng.clock.time <= 2 * eng.clock.cost.route * eng.side + 1
+
+
+class TestLemma3Accounting:
+    def test_copy_packing_invariant(self):
+        t, st, sp, keys = tree_setup(height=10, m=1000)
+        eng = MeshEngine.for_problem(max(t.size, 1000))
+        qs = QuerySet.start(keys, 0)
+        stats = constrained_multisearch(eng, st, qs, sp)
+        cap = math.ceil(t.size**0.5)
+        assert stats.max_queries_per_copy <= cap
+        # all queries in the root's component: Gamma = ceil(m / n^delta)
+        assert stats.copies_created >= math.ceil(1000 / cap)
+
+    def test_cost_scales_as_sqrt_n(self):
+        times = {}
+        for height in (8, 10, 12):
+            t, st, sp, keys = tree_setup(height=height, m=256)
+            eng = MeshEngine.for_problem(t.size)
+            qs = QuerySet.start(keys, 0)
+            constrained_multisearch(eng, st, qs, sp)
+            times[height] = eng.clock.time / t.size**0.5
+        vals = list(times.values())
+        assert max(vals) / min(vals) < 3.0, times
+
+    def test_congestion_invariance(self):
+        # Lemma 3's point: cost does not blow up when all queries hit one
+        # subgraph.  Compare all-queries-in-root-component vs spread.
+        t = build_balanced_search_tree(2, 10, seed=0)
+        st = ktree_directed_structure(t)
+        lab = t.alpha_splitter()
+        sp = splitting_from_labels(lab.comp, t.children, 0.5)
+        m = 512
+        rng = np.random.default_rng(5)
+        keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], m)
+
+        eng1 = MeshEngine.for_problem(max(t.size, m))
+        qs1 = QuerySet.start(keys, 0)  # all at the root: max congestion
+        constrained_multisearch(eng1, st, qs1, sp)
+
+        cut = max(1, (t.height + 1) // 2)
+        subtree_roots = np.flatnonzero(t.depth == cut)
+        eng2 = MeshEngine.for_problem(max(t.size, m))
+        starts = subtree_roots[rng.integers(0, subtree_roots.size, m)]
+        # give each query a key inside its start subtree so it descends
+        keys2 = t.subtree_lo[starts] + 1e-9
+        qs2 = QuerySet.start(keys2, starts)
+        constrained_multisearch(eng2, st, qs2, sp)
+        assert eng1.clock.time <= 2.5 * eng2.clock.time
+
+    def test_stats_histogram_totals(self):
+        t, st, sp, keys = tree_setup(m=100)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        stats = constrained_multisearch(eng, st, qs, sp)
+        assert sum(stats.steps_histogram.values()) == stats.marked

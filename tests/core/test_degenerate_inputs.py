@@ -1,0 +1,112 @@
+"""Degenerate-input and failure-injection tests for the core algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha import alpha_multisearch
+from repro.core.constrained import constrained_multisearch
+from repro.core.hierdag import hierdag_multisearch
+from repro.core.model import STOP, QuerySet
+from repro.core.splitters import Splitting, splitting_from_labels
+from repro.graphs.adapters import hierdag_search_structure, ktree_directed_structure
+from repro.graphs.hierarchical import build_mu_ary_search_dag
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.mesh.engine import CapacityError, MeshEngine
+
+
+class TestEmptyAndTrivial:
+    def test_hierdag_no_queries(self):
+        dag, _ = build_mu_ary_search_dag(2, 6, seed=0)
+        st = hierdag_search_structure(dag)
+        eng = MeshEngine.for_problem(dag.size)
+        qs = QuerySet.start(np.empty(0), 0)
+        res = hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+        assert res.mesh_steps > 0  # the schedule still runs (data-oblivious)
+
+    def test_hierdag_single_query(self):
+        dag, keys = build_mu_ary_search_dag(2, 6, seed=0)
+        st = hierdag_search_structure(dag)
+        eng = MeshEngine.for_problem(dag.size)
+        qs = QuerySet.start(np.array([keys[3]]), 0, record_trace=True)
+        hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+        assert len(qs.paths()[0]) == dag.height + 1
+
+    def test_all_queries_already_terminated(self):
+        t = build_balanced_search_tree(2, 6, seed=0)
+        st = ktree_directed_structure(t)
+        sp = splitting_from_labels(t.alpha_splitter().comp, t.children, 0.5)
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(np.zeros(4), STOP)
+        res = alpha_multisearch(eng, st, qs, sp)
+        assert res.detail["log_phases"] == 0
+
+    def test_constrained_with_empty_splitting(self):
+        t = build_balanced_search_tree(2, 6, seed=0)
+        st = ktree_directed_structure(t)
+        empty = Splitting(
+            comp=np.full(t.n_vertices, -1, dtype=np.int64),
+            n_components=0,
+            delta=0.5,
+            sizes=np.empty(0, dtype=np.int64),
+        )
+        eng = MeshEngine.for_problem(t.size)
+        qs = QuerySet.start(t.leaf_keys[:8].astype(np.float64), 0)
+        stats = constrained_multisearch(eng, st, qs, empty)
+        assert stats.marked == 0
+        assert stats.copies_created == 0
+        assert (qs.current == 0).all()
+
+
+class TestCapacityInjection:
+    def test_mesh_too_small_for_structure(self):
+        dag, _ = build_mu_ary_search_dag(2, 8, seed=0)
+        st = hierdag_search_structure(dag)
+        eng = MeshEngine(4, capacity=2)  # 16 processors, 32 records max
+        from repro.core.model import GraphStore
+
+        with pytest.raises(CapacityError):
+            GraphStore.load(eng.root, st, per_proc=2)
+
+    def test_constrained_overload_detected(self):
+        # shrink the engine capacity so the copied subgraphs cannot fit
+        t = build_balanced_search_tree(2, 8, seed=0)
+        st = ktree_directed_structure(t)
+        sp = splitting_from_labels(t.alpha_splitter().comp, t.children, 0.5)
+        eng = MeshEngine(8, capacity=1)  # far too small for n = 1021
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 64)
+        qs = QuerySet.start(keys, 0)
+        with pytest.raises(CapacityError):
+            constrained_multisearch(eng, st, qs, sp)
+
+
+class TestScheduleObliviousness:
+    def test_hierdag_cost_independent_of_query_content(self):
+        # Algorithm 1's schedule is data-oblivious: identical charges for
+        # different key sets (a mesh algorithm cannot adapt its schedule)
+        dag, keys = build_mu_ary_search_dag(2, 8, seed=0)
+        st = hierdag_search_structure(dag)
+        costs = []
+        for seed in (1, 2):
+            rng = np.random.default_rng(seed)
+            q = rng.uniform(keys[0], keys[-1], 256)
+            eng = MeshEngine.for_problem(dag.size)
+            qs = QuerySet.start(q, 0)
+            res = hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+            costs.append(res.mesh_steps)
+        assert costs[0] == costs[1]
+
+    def test_baseline_cost_depends_only_on_r(self):
+        from repro.core.baseline import synchronous_multisearch
+
+        t = build_balanced_search_tree(2, 7, seed=0)
+        st = ktree_directed_structure(t)
+        costs = []
+        for seed in (3, 4):
+            rng = np.random.default_rng(seed)
+            q = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 128)
+            eng = MeshEngine.for_problem(t.size)
+            qs = QuerySet.start(q, 0)
+            res = synchronous_multisearch(eng, st, qs)
+            costs.append(res.mesh_steps)
+        assert costs[0] == costs[1]

@@ -1,0 +1,80 @@
+"""Tests for Theorem 2 Step 2(a)'s recursive even distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import compute_labels, distribute_evenly
+
+
+class TestDistributeEvenly:
+    def test_all_eligible_uniform(self):
+        counts = distribute_evenly(np.ones((4, 4), dtype=bool), 16)
+        assert (counts == 1).all()
+
+    def test_balance_within_one(self):
+        counts = distribute_evenly(np.ones((4, 4), dtype=bool), 21)
+        assert counts.sum() == 21
+        assert counts.max() - counts.min() <= 1
+
+    def test_ineligible_hold_nothing(self):
+        eligible = np.zeros((6, 6), dtype=bool)
+        eligible[::2, ::2] = True
+        counts = distribute_evenly(eligible, 17)
+        assert (counts[~eligible] == 0).all()
+        assert counts.sum() == 17
+        assert counts[eligible].max() - counts[eligible].min() <= 1
+
+    def test_zero_records(self):
+        counts = distribute_evenly(np.ones((3, 3), dtype=bool), 0)
+        assert (counts == 0).all()
+
+    def test_no_eligible_rejected(self):
+        with pytest.raises(ValueError):
+            distribute_evenly(np.zeros((3, 3), dtype=bool), 1)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            distribute_evenly(np.ones(9, dtype=bool), 1)
+
+    def test_more_records_than_processors(self):
+        eligible = np.ones((4, 4), dtype=bool)
+        counts = distribute_evenly(eligible, 50)
+        assert counts.sum() == 50
+        assert counts.max() - counts.min() <= 1  # 3s and 4s
+
+    def test_single_eligible_processor(self):
+        eligible = np.zeros((5, 5), dtype=bool)
+        eligible[2, 3] = True
+        counts = distribute_evenly(eligible, 7)
+        assert counts[2, 3] == 7
+
+    def test_on_real_label_grid(self):
+        # the actual use: spread B_i's data over the label-i processors
+        labels = compute_labels(32, [8, 2])
+        eligible = labels == 0
+        n_rec = int(eligible.sum()) * 2 + 5
+        counts = distribute_evenly(eligible, n_rec)
+        assert counts.sum() == n_rec
+        assert (counts[~eligible] == 0).all()
+        assert counts[eligible].max() - counts[eligible].min() <= 1
+
+    @given(
+        seed=st.integers(0, 100_000),
+        side=st.integers(2, 24),
+        density=st.floats(0.1, 1.0),
+        load=st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_balanced_exact_disjoint(self, seed, side, density, load):
+        rng = np.random.default_rng(seed)
+        eligible = rng.random((side, side)) < density
+        if not eligible.any():
+            eligible[0, 0] = True
+        total = int(eligible.sum())
+        n_rec = int(load * total)
+        counts = distribute_evenly(eligible, n_rec)
+        assert counts.sum() == n_rec
+        assert (counts[~eligible] == 0).all()
+        if n_rec:
+            assert counts[eligible].max() - counts[eligible].min() <= 1

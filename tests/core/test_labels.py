@@ -1,0 +1,55 @@
+"""Tests for the Algorithm 1 Step 1 labelling scheme."""
+
+import numpy as np
+
+from repro.core.labels import compute_labels, count_label_fraction
+
+
+class TestComputeLabels:
+    def test_single_grid(self):
+        labels = compute_labels(8, [4])
+        # each of the 4x4 B_0-submeshes... only the top-left of the whole
+        # mesh (the single B_1-submesh) gets label 0
+        assert (labels[:2, :2] == 0).all()
+        assert (labels == 0).sum() == 4
+
+    def test_two_grids(self):
+        labels = compute_labels(16, [8, 2])
+        # B_1 partitioning is 2x2 (submeshes of side 8); the whole mesh's
+        # top-left B_1-submesh has label 1 -- except where label 0 overwrote
+        assert labels[0, 0] == 0  # overwritten by the later i=0 pass
+        # each B_1-submesh contains one labelled-0 B_0-submesh (side 2)
+        assert (labels == 0).sum() == 4 * 4  # 4 B_1-submeshes x 2x2 block
+
+    def test_labels_cover_expected_area(self):
+        labels = compute_labels(27, [9, 3])
+        assert set(np.unique(labels)) <= {-1, 0, 1}
+
+    def test_smaller_index_wins(self):
+        labels = compute_labels(16, [8, 4, 2])
+        assert labels[0, 0] == 0
+
+
+class TestLabelFraction:
+    def test_theta_fraction_claim(self):
+        # the paper's counting argument: every B_i-submesh keeps a
+        # constant fraction of label-i processors
+        side = 64
+        grids = [16, 4, 2]
+        labels = compute_labels(side, grids)
+        for i in range(len(grids)):
+            frac = count_label_fraction(labels, grids, i)
+            assert frac > 0.4, (i, frac)
+
+    def test_fraction_bounded_by_one(self):
+        labels = compute_labels(32, [8, 2])
+        assert count_label_fraction(labels, [8, 2], 1) <= 1.0
+
+    def test_label_zero_present_in_every_b1_submesh(self):
+        side, grids = 32, [8, 4]
+        labels = compute_labels(side, grids)
+        block = side // grids[1]
+        for r in range(grids[1]):
+            for c in range(grids[1]):
+                window = labels[r * block : (r + 1) * block, c * block : (c + 1) * block]
+                assert (window == 0).any()

@@ -1,0 +1,88 @@
+"""Tests for the successor-contract validator (Section 2's edge rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    STOP,
+    IllegalMoveError,
+    SearchStructure,
+    check_moves,
+    run_reference,
+)
+from repro.graphs.adapters import (
+    hierdag_search_structure,
+    ktree_directed_structure,
+    ktree_range_structure,
+)
+from repro.graphs.hierarchical import build_mu_ary_search_dag
+from repro.graphs.ktree import build_balanced_search_tree
+
+
+def teleporting_structure(n=6):
+    """A chain whose successor illegally jumps two vertices at a time."""
+    adjacency = np.full((n, 1), -1, dtype=np.int64)
+    adjacency[:-1, 0] = np.arange(1, n)
+
+    def successor(vid, vp, va, vl, qk, qs_):
+        nxt = vid + 2
+        nxt[nxt >= n] = STOP
+        return nxt, qs_
+
+    return SearchStructure(
+        adjacency=adjacency,
+        payload=np.zeros((n, 1)),
+        level=np.arange(n, dtype=np.int64),
+        successor=successor,
+    )
+
+
+class TestCheckMoves:
+    def test_legal_move_passes(self):
+        st = teleporting_structure()
+        check_moves(st, np.array([0]), np.array([1]))
+
+    def test_stop_always_legal(self):
+        st = teleporting_structure()
+        check_moves(st, np.array([0, 3]), np.array([STOP, STOP]))
+
+    def test_illegal_move_raises_with_vertices(self):
+        st = teleporting_structure()
+        with pytest.raises(IllegalMoveError, match="from vertex 0 to 2"):
+            check_moves(st, np.array([0]), np.array([2]))
+
+    def test_mixed_batch(self):
+        st = teleporting_structure()
+        with pytest.raises(IllegalMoveError):
+            check_moves(st, np.array([0, 1]), np.array([1, 3]))
+
+
+class TestRunReferenceValidation:
+    def test_catches_teleporting_successor(self):
+        st = teleporting_structure()
+        with pytest.raises(IllegalMoveError):
+            run_reference(st, np.zeros(1), 0, validate_moves=True)
+
+    def test_without_flag_no_error(self):
+        st = teleporting_structure()
+        res = run_reference(st, np.zeros(1), 0)
+        assert res.paths()[0] == [0, 2, 4]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: (hierdag_search_structure(build_mu_ary_search_dag(2, 6, 1)[0]), 1),
+            lambda: (ktree_directed_structure(build_balanced_search_tree(2, 6, 2)), 1),
+            lambda: (ktree_range_structure(build_balanced_search_tree(2, 6, 3)), 2),
+        ],
+        ids=["hierdag", "ktree-directed", "ktree-range"],
+    )
+    def test_shipped_structures_respect_the_contract(self, factory):
+        st, kw = factory()
+        rng = np.random.default_rng(0)
+        if kw == 2:
+            lo = rng.uniform(1, 30, 32)
+            keys = np.stack([lo, lo + rng.uniform(0, 10, 32)], axis=1)
+        else:
+            keys = rng.uniform(1, 60, 32)
+        run_reference(st, keys, 0, state_width=kw, max_steps=50_000, validate_moves=True)

@@ -1,0 +1,88 @@
+"""Tests for splittings and normalization (Sections 4.1-4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.splitters import Splitting, normalize_splitting, splitting_from_labels
+from repro.graphs.ktree import build_balanced_search_tree
+
+
+class TestSplittingFromLabels:
+    def test_sizes_count_vertices_and_internal_edges(self):
+        t = build_balanced_search_tree(2, 3)
+        lab = t.alpha_splitter(cut_depth=2)
+        sp = splitting_from_labels(lab.comp, t.children, 0.5)
+        # top: 3 vertices + 2 edges = 5; bottoms: 3 + 2 = 5 each
+        assert sp.sizes[0] == 5
+        assert (sp.sizes[1:] == 5).all()
+
+    def test_unassigned_vertices_ignored(self):
+        comp = np.array([0, -1, 0, 1])
+        adjacency = np.full((4, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        assert sp.n_components == 2
+        assert sp.sizes.tolist() == [2, 1]
+
+    def test_cross_component_edges_not_counted(self):
+        comp = np.array([0, 1])
+        adjacency = np.array([[1], [-1]], dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        assert sp.sizes.tolist() == [1, 1]
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(ValueError):
+            Splitting(np.array([0, 5]), 2, 0.5, np.array([1, 1]))
+
+
+class TestNormalize:
+    def test_groups_reach_target_size(self):
+        # 64 singleton components over n = 256: target n^0.5 = 16
+        comp = np.arange(64)
+        adjacency = np.full((64, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        norm = normalize_splitting(sp, 256)
+        assert norm.n_components <= 8  # 64 units in groups of <= 32
+        assert norm.sizes.max() <= 32
+
+    def test_component_count_law(self):
+        comp = np.arange(100)
+        adjacency = np.full((100, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        n = 400
+        norm = normalize_splitting(sp, n)
+        assert norm.n_components <= 4 * n**0.5
+
+    def test_grouping_preserves_membership(self):
+        comp = np.arange(20)
+        adjacency = np.full((20, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        norm = normalize_splitting(sp, 100)
+        # every vertex still assigned, groups partition the old components
+        assert (norm.comp >= 0).all()
+
+    def test_sides_not_mixed(self):
+        comp = np.arange(10)
+        adjacency = np.full((10, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        sides = np.array([0] * 5 + [1] * 5)
+        norm = normalize_splitting(sp, 16, sides=sides)
+        for g in range(norm.n_components):
+            members = np.flatnonzero(norm.comp == g)
+            assert np.unique(sides[members]).size == 1
+
+    def test_oversized_component_kept_alone(self):
+        comp = np.zeros(50, dtype=np.int64)
+        comp[40:] = np.arange(1, 11)
+        adjacency = np.full((50, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        norm = normalize_splitting(sp, 16)  # target 4, component 0 has 40
+        # big component alone in its group
+        g0 = norm.comp[0]
+        assert (norm.comp == g0).sum() == 40
+
+    def test_unassigned_stay_unassigned(self):
+        comp = np.array([-1, 0, 1, -1])
+        adjacency = np.full((4, 1), -1, dtype=np.int64)
+        sp = splitting_from_labels(comp, adjacency, 0.5)
+        norm = normalize_splitting(sp, 4)
+        assert norm.comp[0] == -1 and norm.comp[3] == -1

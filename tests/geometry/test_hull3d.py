@@ -1,0 +1,115 @@
+"""Tests for the incremental 3-d convex hull."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull
+
+from repro.bench.workloads import sphere_points
+from repro.geometry.hull3d import convex_hull_3d
+
+
+def assert_watertight(hull) -> None:
+    e = np.concatenate(
+        [hull.faces[:, [0, 1]], hull.faces[:, [1, 2]], hull.faces[:, [2, 0]]]
+    )
+    e.sort(axis=1)
+    _, counts = np.unique(e, axis=0, return_counts=True)
+    assert (counts == 2).all()
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("n,seed", [(8, 0), (30, 1), (100, 2), (500, 3)])
+    def test_gaussian_clouds(self, n, seed):
+        pts = np.random.default_rng(seed).normal(size=(n, 3))
+        ours = convex_hull_3d(pts, seed=seed)
+        ref = ConvexHull(pts)
+        assert set(ours.vertices) == set(ref.vertices)
+        assert ours.volume() == pytest.approx(ref.volume, rel=1e-9)
+
+    def test_sphere_points_all_on_hull(self):
+        pts = sphere_points(200, seed=4)
+        ours = convex_hull_3d(pts, seed=4)
+        assert ours.vertices.size == 200
+
+    def test_insertion_order_invariance(self):
+        pts = np.random.default_rng(5).normal(size=(60, 3))
+        v1 = convex_hull_3d(pts, seed=1).volume()
+        v2 = convex_hull_3d(pts, seed=99).volume()
+        v3 = convex_hull_3d(pts, seed=None).volume()
+        assert v1 == pytest.approx(v2) == pytest.approx(v3)
+
+
+class TestInvariants:
+    def test_watertight(self):
+        pts = np.random.default_rng(6).normal(size=(150, 3))
+        assert_watertight(convex_hull_3d(pts, seed=0))
+
+    def test_all_points_inside(self):
+        pts = np.random.default_rng(7).normal(size=(150, 3))
+        h = convex_hull_3d(pts, seed=0)
+        assert h.contains(pts).all()
+
+    def test_normals_outward(self):
+        pts = sphere_points(80, seed=8)
+        h = convex_hull_3d(pts, seed=0)
+        centroid = pts.mean(axis=0)
+        assert (h.normals @ centroid - h.offsets < 0).all()
+
+    def test_euler_formula(self):
+        pts = sphere_points(120, seed=9)
+        h = convex_hull_3d(pts, seed=0)
+        V = h.vertices.size
+        F = h.faces.shape[0]
+        E = h.edges().shape[0]
+        assert V - E + F == 2
+
+    def test_support_is_extreme(self):
+        pts = np.random.default_rng(10).normal(size=(100, 3))
+        h = convex_hull_3d(pts, seed=0)
+        for d in np.random.default_rng(11).normal(size=(20, 3)):
+            s = h.support(d)
+            assert pts[s] @ d == pytest.approx((pts @ d).max())
+
+    def test_contains_distinguishes(self):
+        pts = sphere_points(100, seed=12)
+        h = convex_hull_3d(pts, seed=0)
+        assert h.contains(np.zeros((1, 3)))[0]
+        assert not h.contains(np.array([[2.0, 0.0, 0.0]]))[0]
+
+
+class TestDegenerate:
+    def test_simplex(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], float)
+        h = convex_hull_3d(pts)
+        assert h.faces.shape[0] == 4
+        assert h.volume() == pytest.approx(1 / 6)
+
+    def test_interior_points_excluded(self):
+        pts = np.vstack(
+            [sphere_points(30, seed=13), np.random.default_rng(14).normal(scale=0.1, size=(30, 3))]
+        )
+        h = convex_hull_3d(pts, seed=0)
+        assert set(h.vertices) == set(range(30))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            convex_hull_3d(np.zeros((3, 3)))
+
+    def test_coplanar_rejected(self):
+        pts = np.zeros((10, 3))
+        pts[:, :2] = np.random.default_rng(15).normal(size=(10, 2))
+        with pytest.raises(ValueError, match="coplanar"):
+            convex_hull_3d(pts)
+
+    def test_collinear_rejected(self):
+        pts = np.outer(np.arange(5, dtype=float), [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="collinear"):
+            convex_hull_3d(pts)
+
+    def test_coincident_rejected(self):
+        with pytest.raises(ValueError, match="coincide"):
+            convex_hull_3d(np.ones((5, 3)))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            convex_hull_3d(np.zeros((5, 2)))

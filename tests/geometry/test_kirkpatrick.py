@@ -1,0 +1,133 @@
+"""Tests for the Kirkpatrick subdivision hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import uniform_sites
+from repro.core.model import QuerySet, run_reference
+from repro.geometry.kirkpatrick import (
+    build_kirkpatrick,
+    kirkpatrick_structure,
+)
+from repro.geometry.primitives import orient2d, point_in_triangle
+
+
+@pytest.fixture(scope="module")
+def hier():
+    return build_kirkpatrick(uniform_sites(120, seed=0), seed=1)
+
+
+class TestConstruction:
+    def test_coarsest_level_is_one_triangle(self, hier):
+        assert hier.levels[-1].triangles.shape[0] == 1
+
+    def test_levels_shrink_geometrically(self, hier):
+        sizes = [lvl.triangles.shape[0] for lvl in hier.levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        # constant-fraction removal => O(log n) levels
+        assert len(sizes) <= 4 * np.log2(sizes[0]) + 8
+
+    def test_level_areas_all_equal_bounding_triangle(self, hier):
+        # every level triangulates the same region
+        pts = hier.points
+        areas = []
+        for lvl in hier.levels:
+            t = lvl.triangles
+            a = orient2d(pts[t[:, 0]], pts[t[:, 1]], pts[t[:, 2]]) / 2
+            assert (a > 0).all()  # CCW everywhere
+            areas.append(float(a.sum()))
+        assert np.allclose(areas, areas[0], rtol=1e-9)
+
+    def test_children_bounded(self, hier):
+        for lvl in hier.levels[1:]:
+            assert max(len(k) for k in lvl.children) <= 10
+
+    def test_children_cover_parent(self, hier):
+        # a triangle's children must cover it: sample interior points
+        rng = np.random.default_rng(2)
+        pts = hier.points
+        for li in range(1, len(hier.levels)):
+            lvl = hier.levels[li]
+            finer = hier.levels[li - 1].triangles
+            for ti in rng.integers(0, lvl.triangles.shape[0], 5):
+                t = lvl.triangles[ti]
+                a, b, c = pts[t[0]], pts[t[1]], pts[t[2]]
+                w = rng.dirichlet([1, 1, 1])
+                p = w[0] * a + w[1] * b + w[2] * c
+                if not point_in_triangle(p, a, b, c):
+                    continue
+                hit = any(
+                    point_in_triangle(
+                        p, pts[finer[ch][0]], pts[finer[ch][1]], pts[finer[ch][2]]
+                    )
+                    for ch in lvl.children[ti]
+                )
+                assert hit
+
+    def test_corner_vertices_never_removed(self, hier):
+        n_corner = hier.points.shape[0] - 3
+        for lvl in hier.levels:
+            verts = set(lvl.triangles.ravel().tolist())
+            assert {n_corner, n_corner + 1, n_corner + 2} <= verts
+
+
+class TestLocate:
+    def test_locate_agrees_with_brute(self, hier):
+        rng = np.random.default_rng(3)
+        q = rng.uniform(0, 100, (100, 2))
+        fast = hier.locate(q)
+        pts, tris = hier.points, hier.base_triangles
+        for p, t in zip(q, fast):
+            assert t >= 0
+            assert point_in_triangle(p, pts[tris[t, 0]], pts[tris[t, 1]], pts[tris[t, 2]])
+
+    def test_point_outside_bounding_triangle(self, hier):
+        q = np.array([[1e9, 1e9]])
+        assert hier.locate(q)[0] == -1
+        assert hier.locate_brute(q)[0] == -1
+
+
+class TestSearchStructure:
+    def test_is_hierarchical_dag(self, hier):
+        st, mu = kirkpatrick_structure(hier)
+        assert mu > 1.0
+        sizes = np.bincount(st.level)
+        assert sizes[0] == 1
+        assert (np.diff(sizes) > 0).all()
+        # edges go one level down
+        src = np.repeat(np.arange(st.n_vertices), st.adjacency.shape[1])
+        dst = st.adjacency.ravel()
+        live = dst >= 0
+        assert (st.level[dst[live]] == st.level[src[live]] + 1).all()
+
+    def test_multisearch_descent_locates(self, hier):
+        st, _ = kirkpatrick_structure(hier)
+        rng = np.random.default_rng(4)
+        q = rng.uniform(0, 100, (50, 2))
+        res = run_reference(st, q, 0)
+        pts = hier.points
+        L = len(hier.levels)
+        sizes = [hier.levels[L - 1 - d].triangles.shape[0] for d in range(L)]
+        starts = np.concatenate([[0], np.cumsum(sizes)])
+        for p, path in zip(q, res.paths()):
+            assert len(path) == L
+            tri = hier.base_triangles[path[-1] - starts[L - 1]]
+            assert point_in_triangle(p, pts[tri[0]], pts[tri[1]], pts[tri[2]])
+
+    def test_outside_point_stops_at_root(self, hier):
+        st, _ = kirkpatrick_structure(hier)
+        res = run_reference(st, np.array([[1e9, 1e9]]), 0)
+        assert res.paths()[0] == [0]
+
+
+class TestSmallInputs:
+    def test_few_sites(self):
+        hier = build_kirkpatrick(uniform_sites(5, seed=5), seed=2)
+        assert hier.levels[-1].triangles.shape[0] == 1
+        q = uniform_sites(20, seed=6)
+        got = hier.locate(q)
+        assert (got >= 0).all()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_kirkpatrick(np.zeros((5, 3)))

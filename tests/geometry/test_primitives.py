@@ -1,0 +1,114 @@
+"""Tests for geometric predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import (
+    orient2d,
+    plane_from_points,
+    point_in_triangle,
+    signed_volume,
+    triangles_overlap,
+)
+
+
+class TestOrient2d:
+    def test_ccw_positive(self):
+        assert orient2d([0, 0], [1, 0], [0, 1]) > 0
+
+    def test_cw_negative(self):
+        assert orient2d([0, 0], [0, 1], [1, 0]) < 0
+
+    def test_collinear_zero(self):
+        assert orient2d([0, 0], [1, 1], [2, 2]) == 0
+
+    def test_vectorized(self):
+        a = np.zeros((5, 2))
+        b = np.tile([1.0, 0.0], (5, 1))
+        c = np.tile([0.0, 1.0], (5, 1))
+        assert (orient2d(a, b, c) == 1.0).all()
+
+    def test_value_is_twice_area(self):
+        assert orient2d([0, 0], [2, 0], [0, 2]) == pytest.approx(4.0)
+
+
+class TestPointInTriangle:
+    tri = (np.array([0.0, 0.0]), np.array([4.0, 0.0]), np.array([0.0, 4.0]))
+
+    def test_interior(self):
+        assert point_in_triangle(np.array([1.0, 1.0]), *self.tri)
+
+    def test_exterior(self):
+        assert not point_in_triangle(np.array([3.0, 3.0]), *self.tri)
+
+    def test_boundary_inclusive(self):
+        assert point_in_triangle(np.array([2.0, 0.0]), *self.tri)
+        assert point_in_triangle(np.array([0.0, 0.0]), *self.tri)
+
+    def test_orientation_agnostic(self):
+        a, b, c = self.tri
+        p = np.array([1.0, 1.0])
+        assert point_in_triangle(p, a, c, b)  # clockwise triangle
+
+    def test_vectorized(self):
+        p = np.array([[1.0, 1.0], [5.0, 5.0]])
+        a = np.tile(self.tri[0], (2, 1))
+        b = np.tile(self.tri[1], (2, 1))
+        c = np.tile(self.tri[2], (2, 1))
+        assert point_in_triangle(p, a, b, c).tolist() == [True, False]
+
+
+class TestTrianglesOverlap:
+    def test_clear_overlap(self):
+        t1 = np.array([[0, 0], [4, 0], [0, 4]], float)
+        t2 = np.array([[1, 1], [5, 1], [1, 5]], float)
+        assert triangles_overlap(t1, t2)
+
+    def test_disjoint(self):
+        t1 = np.array([[0, 0], [1, 0], [0, 1]], float)
+        t2 = np.array([[5, 5], [6, 5], [5, 6]], float)
+        assert not triangles_overlap(t1, t2)
+
+    def test_shared_edge_is_not_overlap(self):
+        t1 = np.array([[0, 0], [2, 0], [0, 2]], float)
+        t2 = np.array([[2, 0], [0, 2], [2, 2]], float)
+        assert not triangles_overlap(t1, t2)
+
+    def test_shared_vertex_is_not_overlap(self):
+        t1 = np.array([[0, 0], [1, 0], [0, 1]], float)
+        t2 = np.array([[0, 0], [-1, 0], [0, -1]], float)
+        assert not triangles_overlap(t1, t2)
+
+    def test_containment(self):
+        outer = np.array([[0, 0], [10, 0], [0, 10]], float)
+        inner = np.array([[1, 1], [2, 1], [1, 2]], float)
+        assert triangles_overlap(outer, inner)
+        assert triangles_overlap(inner, outer)
+
+
+class TestPlane:
+    def test_plane_through_points(self):
+        n, d = plane_from_points([0, 0, 1], [1, 0, 1], [0, 1, 1])
+        assert np.allclose(np.abs(n), [0, 0, 1])
+        assert abs(d) == pytest.approx(1.0)
+
+    def test_unit_normal(self):
+        n, _ = plane_from_points([0, 0, 0], [3, 0, 0], [0, 5, 0])
+        assert np.linalg.norm(n) == pytest.approx(1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            plane_from_points([0, 0, 0], [1, 1, 1], [2, 2, 2])
+
+
+class TestSignedVolume:
+    def test_positive_orientation(self):
+        v = signed_volume([0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1])
+        assert v == pytest.approx(1.0)
+
+    def test_sign_flips(self):
+        v = signed_volume([0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, -1])
+        assert v == pytest.approx(-1.0)
+
+    def test_coplanar_zero(self):
+        assert signed_volume([0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]) == 0.0

@@ -1,0 +1,97 @@
+"""Tests for polygonal subdivisions and mesh face location ([Kir83] proper)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pointloc import locate_faces_mesh
+from repro.bench.workloads import uniform_sites
+from repro.geometry.kirkpatrick import build_kirkpatrick
+from repro.geometry.primitives import point_in_triangle
+from repro.geometry.subdivision import merged_face_subdivision
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def hier():
+    return build_kirkpatrick(uniform_sites(120, seed=0), seed=1)
+
+
+class TestMergedFaceSubdivision:
+    def test_covers_all_triangles(self, hier):
+        sub = merged_face_subdivision(hier, merge_fraction=0.5, seed=2)
+        assert sub.face_of_triangle.shape[0] == hier.base_triangles.shape[0]
+        assert (sub.face_of_triangle >= 0).all()
+
+    def test_zero_fraction_keeps_triangles(self, hier):
+        sub = merged_face_subdivision(hier, merge_fraction=0.0, seed=3)
+        assert sub.n_faces == hier.base_triangles.shape[0]
+        assert (sub.face_sizes() == 1).all()
+
+    def test_higher_fraction_fewer_faces(self, hier):
+        f_lo = merged_face_subdivision(hier, merge_fraction=0.3, seed=4).n_faces
+        f_hi = merged_face_subdivision(hier, merge_fraction=0.9, seed=4).n_faces
+        assert f_hi < f_lo
+
+    def test_faces_are_edge_connected(self, hier):
+        import networkx as nx
+
+        sub = merged_face_subdivision(hier, merge_fraction=0.7, seed=5)
+        tris = sub.triangles
+        g = nx.Graph()
+        g.add_nodes_from(range(tris.shape[0]))
+        edge_owner = {}
+        for t, (a, b, c) in enumerate(tris):
+            for u, v in ((a, b), (b, c), (c, a)):
+                key = (min(int(u), int(v)), max(int(u), int(v)))
+                if key in edge_owner:
+                    if sub.face_of_triangle[edge_owner[key]] == sub.face_of_triangle[t]:
+                        g.add_edge(edge_owner[key], t)
+                else:
+                    edge_owner[key] = t
+        for f in range(sub.n_faces):
+            members = set(np.flatnonzero(sub.face_of_triangle == f).tolist())
+            assert nx.is_connected(g.subgraph(members))
+
+    def test_bad_fraction_rejected(self, hier):
+        with pytest.raises(ValueError):
+            merged_face_subdivision(hier, merge_fraction=1.0)
+
+    def test_oracle_consistent_with_triangles(self, hier):
+        sub = merged_face_subdivision(hier, merge_fraction=0.5, seed=6)
+        rng = make_rng(7)
+        q = rng.uniform(0, 100, (50, 2))
+        faces = sub.locate_face_brute(q)
+        pts, tris = sub.points, sub.triangles
+        for p, f in zip(q, faces):
+            assert f >= 0
+            # p is in some triangle of face f
+            members = np.flatnonzero(sub.face_of_triangle == f)
+            hit = any(
+                point_in_triangle(
+                    p, pts[tris[t, 0]], pts[tris[t, 1]], pts[tris[t, 2]]
+                )
+                for t in members
+            )
+            assert hit
+
+
+class TestFaceLocationMesh:
+    def test_matches_oracle(self):
+        sites = uniform_sites(100, seed=8)
+        q = make_rng(9).uniform(0, 100, (150, 2))
+        run = locate_faces_mesh(sites, q, merge_fraction=0.7, seed=10)
+        want = run.subdivision.locate_face_brute(q)
+        assert (run.face == want).all()
+        assert run.mesh_steps > 0
+
+    def test_faces_are_polygonal(self):
+        sites = uniform_sites(100, seed=11)
+        q = make_rng(12).uniform(0, 100, (20, 2))
+        run = locate_faces_mesh(sites, q, merge_fraction=0.8, seed=13)
+        assert run.subdivision.face_sizes().max() >= 3  # real polygons exist
+
+    def test_outside_query(self):
+        sites = uniform_sites(50, seed=14)
+        q = np.array([[1e9, 1e9]])
+        run = locate_faces_mesh(sites, q, seed=15)
+        assert run.face[0] == -1

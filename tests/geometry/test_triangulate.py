@@ -1,0 +1,88 @@
+"""Tests for ear-clipping triangulation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.primitives import orient2d
+from repro.geometry.triangulate import ear_clip
+
+
+def total_area(polygon: np.ndarray, tris: np.ndarray) -> float:
+    s = 0.0
+    for a, b, c in tris:
+        s += orient2d(polygon[a], polygon[b], polygon[c]) / 2
+    return s
+
+
+def polygon_area(polygon: np.ndarray) -> float:
+    x, y = polygon[:, 0], polygon[:, 1]
+    return 0.5 * float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+
+
+class TestEarClip:
+    def test_triangle(self):
+        poly = np.array([[0, 0], [1, 0], [0, 1]], float)
+        tris = ear_clip(poly)
+        assert tris.shape == (1, 3)
+
+    def test_square(self):
+        poly = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], float)
+        tris = ear_clip(poly)
+        assert tris.shape == (2, 3)
+        assert total_area(poly, tris) == pytest.approx(1.0)
+
+    def test_convex_polygon(self):
+        theta = np.linspace(0, 2 * np.pi, 12, endpoint=False)
+        poly = np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        tris = ear_clip(poly)
+        assert tris.shape == (10, 3)
+        assert total_area(poly, tris) == pytest.approx(polygon_area(poly))
+
+    def test_nonconvex_star(self):
+        outer = np.stack(
+            [2 * np.cos(np.linspace(0, 2 * np.pi, 5, endpoint=False)),
+             2 * np.sin(np.linspace(0, 2 * np.pi, 5, endpoint=False))], axis=1
+        )
+        inner = np.stack(
+            [0.7 * np.cos(np.linspace(0, 2 * np.pi, 5, endpoint=False) + np.pi / 5),
+             0.7 * np.sin(np.linspace(0, 2 * np.pi, 5, endpoint=False) + np.pi / 5)],
+            axis=1,
+        )
+        poly = np.empty((10, 2))
+        poly[0::2] = outer
+        poly[1::2] = inner
+        tris = ear_clip(poly)
+        assert tris.shape == (8, 3)
+        assert total_area(poly, tris) == pytest.approx(polygon_area(poly))
+
+    def test_all_triangles_ccw(self):
+        theta = np.linspace(0, 2 * np.pi, 9, endpoint=False)
+        poly = np.stack([np.cos(theta), 2 * np.sin(theta)], axis=1)
+        for a, b, c in ear_clip(poly):
+            assert orient2d(poly[a], poly[b], poly[c]) > 0
+
+    def test_cw_polygon_rejected(self):
+        poly = np.array([[0, 0], [0, 1], [1, 1], [1, 0]], float)
+        with pytest.raises(ValueError, match="counter-clockwise"):
+            ear_clip(poly)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            ear_clip(np.array([[0, 0], [1, 0]], float))
+
+    def test_random_star_shaped_holes(self):
+        # the shapes Kirkpatrick produces: links of removed vertices
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            k = int(rng.integers(4, 9))
+            radii = rng.uniform(0.5, 2.0, k)
+            theta = np.sort(rng.uniform(0, 2 * np.pi, k))
+            gaps = np.diff(np.concatenate([theta, [theta[0] + 2 * np.pi]]))
+            # simple (star-shaped around the origin) only if the origin is
+            # interior: all angular gaps below pi
+            if np.min(gaps) < 0.1 or np.max(gaps) >= np.pi - 0.1:
+                continue
+            poly = np.stack([radii * np.cos(theta), radii * np.sin(theta)], axis=1)
+            tris = ear_clip(poly)
+            assert tris.shape[0] == k - 2
+            assert total_area(poly, tris) == pytest.approx(polygon_area(poly))

@@ -1,0 +1,172 @@
+"""Tests for SearchStructure adapters: successor-function semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import run_reference
+from repro.graphs.adapters import (
+    hierdag_search_structure,
+    ktree_directed_structure,
+    ktree_range_structure,
+    ktree_rank_structure,
+)
+from repro.graphs.hierarchical import build_mu_ary_search_dag
+from repro.graphs.ktree import build_balanced_search_tree, tree_from_keys
+
+
+class TestHierDagSearch:
+    def test_descends_to_correct_leaf(self):
+        dag, keys = build_mu_ary_search_dag(2, 8, seed=1)
+        rng = np.random.default_rng(0)
+        q = rng.uniform(keys[0], keys[-1], 200)
+        st = hierdag_search_structure(dag)
+        res = run_reference(st, q, 0)
+        first_leaf = int(dag.level_start[dag.height])
+        for qq, path in zip(q, res.paths()):
+            leaf = path[-1] - first_leaf
+            lo = keys[leaf - 1] if leaf > 0 else -np.inf
+            assert lo < qq <= keys[leaf] or (leaf == keys.size - 1 and qq > keys[-1])
+
+    def test_path_length_is_height_plus_one(self):
+        dag, keys = build_mu_ary_search_dag(3, 5, seed=2)
+        st = hierdag_search_structure(dag)
+        res = run_reference(st, np.array([keys[10]]), 0)
+        assert len(res.paths()[0]) == 6
+
+    def test_path_follows_edges(self):
+        dag, keys = build_mu_ary_search_dag(2, 6, seed=3)
+        st = hierdag_search_structure(dag)
+        res = run_reference(st, np.array([keys[17]]), 0)
+        path = res.paths()[0]
+        for u, v in zip(path, path[1:]):
+            assert v in dag.children[u]
+
+
+class TestKTreeDirected:
+    def test_matches_searchsorted(self):
+        t = build_balanced_search_tree(2, 9, seed=4)
+        st = ktree_directed_structure(t)
+        rng = np.random.default_rng(1)
+        q = rng.uniform(t.leaf_keys[0] - 1, t.leaf_keys[-1] + 1, 300)
+        res = run_reference(st, q, 0)
+        got_rank = np.array([p[-1] for p in res.paths()]) - t.first_leaf()
+        want = np.minimum(np.searchsorted(t.leaf_keys, q), t.n_leaves - 1)
+        assert (got_rank == want).all()
+
+    def test_karies(self):
+        t = build_balanced_search_tree(4, 4, seed=5)
+        st = ktree_directed_structure(t)
+        q = t.leaf_keys[[3, 77, 200]]
+        res = run_reference(st, q, 0)
+        ranks = np.array([p[-1] for p in res.paths()]) - t.first_leaf()
+        assert ranks.tolist() == [3, 77, 200]
+
+
+class TestKTreeRank:
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_rank_matches_searchsorted(self, strict):
+        keys = np.sort(np.random.default_rng(2).uniform(0, 100, 53))
+        t = tree_from_keys(2, keys)
+        st = ktree_rank_structure(t, strict=strict)
+        q = np.random.default_rng(3).uniform(-5, 105, 200)
+        res = run_reference(st, q, 0, state_width=1)
+        side = "left" if strict else "right"
+        want = np.searchsorted(keys, q, side=side)
+        assert (res.state[:, 0].astype(int) == want).all()
+
+    def test_rank_of_exact_keys(self):
+        keys = np.array([1.0, 2.0, 3.0, 4.0])
+        t = tree_from_keys(2, keys)
+        le = run_reference(ktree_rank_structure(t, strict=False), keys.copy(), 0, 1)
+        lt = run_reference(ktree_rank_structure(t, strict=True), keys.copy(), 0, 1)
+        assert le.state[:, 0].tolist() == [1, 2, 3, 4]
+        assert lt.state[:, 0].tolist() == [0, 1, 2, 3]
+
+    def test_padding_not_counted(self):
+        keys = np.array([1.0, 2.0, 3.0])  # pads to 4 leaves with +inf
+        t = tree_from_keys(2, keys)
+        res = run_reference(
+            ktree_rank_structure(t), np.array([1e12]), 0, state_width=1
+        )
+        assert res.state[0, 0] == 3
+
+    def test_ternary_rank(self):
+        keys = np.sort(np.random.default_rng(4).uniform(0, 10, 27))
+        t = tree_from_keys(3, keys)
+        q = np.random.default_rng(5).uniform(0, 10, 64)
+        res = run_reference(ktree_rank_structure(t), q, 0, state_width=1)
+        assert (res.state[:, 0].astype(int) == np.searchsorted(keys, q, "right")).all()
+
+
+class TestKTreeRangeWalk:
+    def _visited_leaves(self, tree, path):
+        fl = tree.first_leaf()
+        return [v - fl for v in path if v >= fl]
+
+    def test_visits_exactly_in_range_leaves(self):
+        t = build_balanced_search_tree(2, 7, seed=6)
+        st = ktree_range_structure(t)
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            lo, hi = np.sort(rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 2))
+            res = run_reference(
+                st, np.array([[lo, hi]]), 0, state_width=2, max_steps=10_000
+            )
+            ranks = self._visited_leaves(t, res.paths()[0])
+            keys = t.leaf_keys[ranks]
+            strict_in = keys[(keys > lo) & (keys < hi)]
+            want = t.leaf_keys[(t.leaf_keys > lo) & (t.leaf_keys < hi)]
+            assert set(strict_in.tolist()) == set(want.tolist())
+
+    def test_leaves_visited_in_key_order(self):
+        t = build_balanced_search_tree(2, 6, seed=8)
+        st = ktree_range_structure(t)
+        lo, hi = t.leaf_keys[5], t.leaf_keys[40]
+        res = run_reference(st, np.array([[lo, hi]]), 0, 2, max_steps=10_000)
+        ranks = self._visited_leaves(t, res.paths()[0])
+        assert ranks == sorted(ranks)
+
+    def test_empty_range_visits_one_boundary_leaf(self):
+        t = build_balanced_search_tree(2, 5, seed=9)
+        st = ktree_range_structure(t)
+        lo = t.leaf_keys[10] + 1e-9
+        hi = lo + 1e-12
+        res = run_reference(st, np.array([[lo, hi]]), 0, 2, max_steps=10_000)
+        ranks = self._visited_leaves(t, res.paths()[0])
+        assert len(ranks) <= 1
+
+    def test_range_beyond_all_keys_terminates(self):
+        t = build_balanced_search_tree(2, 5, seed=10)
+        st = ktree_range_structure(t)
+        lo = t.leaf_keys[-1] + 1
+        res = run_reference(st, np.array([[lo, lo + 5]]), 0, 2, max_steps=10_000)
+        assert len(self._visited_leaves(t, res.paths()[0])) <= 1
+
+    def test_full_range_walks_all_leaves(self):
+        t = build_balanced_search_tree(2, 4, seed=11)
+        st = ktree_range_structure(t)
+        lo = t.leaf_keys[0] - 1
+        hi = t.leaf_keys[-1] + 1
+        res = run_reference(st, np.array([[lo, hi]]), 0, 2, max_steps=10_000)
+        ranks = self._visited_leaves(t, res.paths()[0])
+        assert ranks == list(range(t.n_leaves))
+
+    def test_moves_only_along_tree_edges(self):
+        t = build_balanced_search_tree(2, 5, seed=12)
+        st = ktree_range_structure(t)
+        lo, hi = t.leaf_keys[3], t.leaf_keys[20]
+        res = run_reference(st, np.array([[lo, hi]]), 0, 2, max_steps=10_000)
+        path = res.paths()[0]
+        for u, v in zip(path, path[1:]):
+            assert v == t.parent[u] or v in t.children[u]
+
+    def test_path_length_output_sensitive(self):
+        t = build_balanced_search_tree(2, 8, seed=13)
+        st = ktree_range_structure(t)
+        narrow = run_reference(
+            st, np.array([[t.leaf_keys[4], t.leaf_keys[6]]]), 0, 2, max_steps=10_000
+        )
+        wide = run_reference(
+            st, np.array([[t.leaf_keys[4], t.leaf_keys[200]]]), 0, 2, max_steps=10_000
+        )
+        assert len(wide.paths()[0]) > len(narrow.paths()[0])

@@ -1,0 +1,82 @@
+"""Tests for the broom workload (E3's long-path alpha-partitionable graph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import run_reference
+from repro.graphs.broom import broom_structure, build_broom
+from repro.graphs.validate import check_splitter
+
+
+class TestConstruction:
+    def test_vertex_count(self):
+        br = build_broom(2, 3, 5)
+        assert br.n_vertices == 15 + 8 * 5
+
+    def test_longest_path(self):
+        br = build_broom(2, 4, 10)
+        assert br.longest_path == 4 + 1 + 10
+
+    def test_zero_handles(self):
+        br = build_broom(2, 3, 0)
+        assert br.n_vertices == 15
+        assert br.longest_path == 4
+
+    def test_handles_are_chains(self):
+        br = build_broom(2, 2, 4)
+        Vt = br.tree.n_vertices
+        # each handle vertex except the last has exactly one out-edge
+        handles = np.arange(Vt, br.n_vertices)
+        deg = (br.adjacency[handles] >= 0).sum(axis=1)
+        assert set(deg.tolist()) <= {0, 1}
+        assert (deg == 0).sum() == br.tree.n_leaves  # handle ends
+
+    def test_component_labels(self):
+        br = build_broom(2, 3, 4)
+        assert (br.comp[: br.tree.n_vertices] == 0).all()
+        assert br.comp.max() == br.tree.n_leaves
+        assert (br.kind[br.comp > 0] == 1).all()
+
+    def test_splitting_size_law(self):
+        br = build_broom(2, 5, 32)
+        sp = br.splitting()
+        check_splitter_like(sp, br)
+
+    def test_rejects_negative_handles(self):
+        with pytest.raises(ValueError):
+            build_broom(2, 3, -1)
+
+
+def check_splitter_like(sp, br):
+    sizes = sp.sizes
+    assert sizes.max() <= 8 * br.size**sp.delta
+
+
+class TestSearch:
+    def test_search_reaches_handle_end(self):
+        br = build_broom(2, 4, 7, seed=1)
+        st = broom_structure(br)
+        keys = br.tree.leaf_keys[[2, 9]].astype(np.float64)
+        res = run_reference(st, keys, 0)
+        for key, path in zip(keys, res.paths()):
+            assert len(path) == br.longest_path
+            # the handle entered matches the leaf the key belongs to
+            leaf = path[br.tree.height]
+            assert br.tree.subtree_lo[leaf] == key
+
+    def test_all_queries_same_length_paths(self):
+        br = build_broom(2, 3, 12, seed=2)
+        st = broom_structure(br)
+        rng = np.random.default_rng(3)
+        keys = rng.uniform(br.tree.leaf_keys[0], br.tree.leaf_keys[-1], 64)
+        res = run_reference(st, keys, 0)
+        assert {len(p) for p in res.paths()} == {br.longest_path}
+
+    def test_handle_walk_stays_in_one_component(self):
+        br = build_broom(2, 3, 9, seed=4)
+        st = broom_structure(br)
+        keys = br.tree.leaf_keys[:4].astype(np.float64)
+        res = run_reference(st, keys, 0)
+        for path in res.paths():
+            comps = {int(br.comp[v]) for v in path if br.comp[v] > 0}
+            assert len(comps) == 1

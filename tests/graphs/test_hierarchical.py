@@ -1,0 +1,132 @@
+"""Tests for hierarchical DAG builders (paper Figure 1 laws)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.hierarchical import (
+    HierarchicalDAG,
+    build_mu_ary_search_dag,
+    build_random_hierarchical_dag,
+)
+from repro.graphs.validate import ValidationError, check_hierarchical_dag
+
+
+class TestMuArySearchDag:
+    def test_level_sizes_exact(self):
+        dag, _ = build_mu_ary_search_dag(3, 4)
+        assert dag.level_sizes.tolist() == [1, 3, 9, 27, 81]
+
+    def test_size_counts_vertices_and_edges(self):
+        dag, _ = build_mu_ary_search_dag(2, 3)
+        assert dag.n_vertices == 15
+        assert dag.n_edges == 14
+        assert dag.size == 29
+
+    def test_passes_validator(self):
+        dag, _ = build_mu_ary_search_dag(2, 6)
+        check_hierarchical_dag(dag)
+
+    def test_leaf_keys_sorted(self):
+        _, keys = build_mu_ary_search_dag(2, 8, seed=3)
+        assert (np.diff(keys) > 0).all()
+
+    def test_separators_guide_search(self):
+        dag, keys = build_mu_ary_search_dag(2, 4, seed=1)
+        # root separator splits the leaves in half
+        root_sep = dag.payload[0, 0]
+        assert root_sep == keys[len(keys) // 2 - 1]
+
+    def test_children_point_one_level_down(self):
+        dag, _ = build_mu_ary_search_dag(3, 3)
+        live = dag.children >= 0
+        src = np.repeat(np.arange(dag.n_vertices), 3).reshape(dag.children.shape)
+        assert (
+            dag.level_of[dag.children[live]] == dag.level_of[src[live]] + 1
+        ).all()
+
+    def test_level_slice(self):
+        dag, _ = build_mu_ary_search_dag(2, 3)
+        assert dag.level_slice(0) == slice(0, 1)
+        assert dag.level_slice(2) == slice(3, 7)
+
+    def test_vertices_between_clamps(self):
+        dag, _ = build_mu_ary_search_dag(2, 3)
+        assert dag.vertices_between(-5, 0).tolist() == [0]
+        assert dag.vertices_between(3, 99).size == 8
+        assert dag.vertices_between(2, 1).size == 0
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ValueError):
+            build_mu_ary_search_dag(1, 3)
+
+    def test_height_zero(self):
+        dag, keys = build_mu_ary_search_dag(2, 0)
+        assert dag.n_vertices == 1
+        assert keys.size == 1
+
+
+class TestRandomHierarchicalDag:
+    def test_level_size_law(self):
+        dag = build_random_hierarchical_dag(2.0, 8, seed=0, c1=0.5, c2=2.0)
+        check_hierarchical_dag(dag, c1=0.5, c2=2.0)
+
+    def test_every_nonroot_vertex_reachable(self):
+        dag = build_random_hierarchical_dag(2.0, 6, seed=1)
+        has_in = np.zeros(dag.n_vertices, dtype=bool)
+        has_in[0] = True
+        kids = dag.children[dag.children >= 0]
+        has_in[kids] = True
+        assert has_in.all()
+
+    def test_out_degree_bounded(self):
+        dag = build_random_hierarchical_dag(3.0, 5, seed=2, max_out_degree=5)
+        assert (dag.children >= 0).sum(axis=1).max() <= 5
+
+    def test_nonbottom_vertices_have_children(self):
+        dag = build_random_hierarchical_dag(2.0, 6, seed=3)
+        internal = dag.level_of < dag.height
+        assert ((dag.children[internal] >= 0).sum(axis=1) >= 1).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            build_random_hierarchical_dag(0.5, 4)
+        with pytest.raises(ValueError):
+            build_random_hierarchical_dag(2.0, 4, c1=2.0, c2=1.0)
+
+
+class TestValidator:
+    def test_rejects_wrong_root_size(self):
+        dag, _ = build_mu_ary_search_dag(2, 3)
+        bad = HierarchicalDAG(
+            2.0,
+            np.array([2, 2, 4, 8]),
+            np.full((16, 2), -1, dtype=np.int64),
+            np.zeros((16, 1)),
+        )
+        with pytest.raises(ValidationError, match="L_0"):
+            check_hierarchical_dag(bad)
+
+    def test_rejects_level_skipping_edge(self):
+        dag, _ = build_mu_ary_search_dag(2, 3)
+        dag.children[0, 0] = 7  # root -> level 2 vertex
+        with pytest.raises(ValidationError, match="spans levels"):
+            check_hierarchical_dag(dag)
+
+    def test_rejects_size_law_violation(self):
+        bad = HierarchicalDAG(
+            2.0,
+            np.array([1, 2, 100]),
+            np.full((103, 2), -1, dtype=np.int64),
+            np.zeros((103, 1)),
+        )
+        with pytest.raises(ValidationError, match="outside"):
+            check_hierarchical_dag(bad)
+
+    def test_mismatched_array_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalDAG(
+                2.0,
+                np.array([1, 2]),
+                np.full((5, 2), -1, dtype=np.int64),
+                np.zeros((3, 1)),
+            )

@@ -1,0 +1,186 @@
+"""Tests for balanced k-ary trees and their splitters (Figures 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.ktree import build_balanced_search_tree, tree_from_keys
+from repro.graphs.validate import (
+    ValidationError,
+    check_alpha_partition,
+    check_normalized,
+    check_splitter,
+    check_splitter_distance,
+)
+
+
+class TestConstruction:
+    def test_vertex_count(self):
+        t = build_balanced_search_tree(2, 4)
+        assert t.n_vertices == 31
+        assert t.n_edges == 30
+        assert t.n_leaves == 16
+
+    def test_ternary(self):
+        t = build_balanced_search_tree(3, 3)
+        assert t.n_vertices == 40
+        assert t.n_leaves == 27
+
+    def test_parent_child_consistency(self):
+        t = build_balanced_search_tree(2, 5)
+        for v in range(1, t.n_vertices):
+            p = t.parent[v]
+            assert v in t.children[p]
+        assert t.parent[0] == -1
+
+    def test_depth(self):
+        t = build_balanced_search_tree(2, 3)
+        assert t.depth[0] == 0
+        assert t.depth[-1] == 3
+        assert (np.bincount(t.depth) == [1, 2, 4, 8]).all()
+
+    def test_subtree_ranges(self):
+        t = build_balanced_search_tree(2, 4)
+        assert t.subtree_lo[0] == t.leaf_keys[0]
+        assert t.subtree_hi[0] == t.leaf_keys[-1]
+        # left child of root covers first half
+        lc = t.children[0, 0]
+        assert t.subtree_hi[lc] == t.leaf_keys[7]
+
+    def test_separators_are_child_maxima(self):
+        t = build_balanced_search_tree(3, 2, seed=4)
+        for v in range(t.first_leaf()):
+            for j in range(2):
+                assert t.separators[v, j] == t.subtree_hi[t.children[v, j]]
+
+    def test_leaf_vertex_of_rank(self):
+        t = build_balanced_search_tree(2, 3)
+        assert t.leaf_vertex_of_rank(0) == 7
+        assert t.leaf_vertex_of_rank(np.array([7])).tolist() == [14]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            build_balanced_search_tree(1, 3)
+        with pytest.raises(ValueError):
+            build_balanced_search_tree(2, 0)
+
+
+class TestTreeFromKeys:
+    def test_pads_to_power(self):
+        keys = np.arange(10, dtype=np.float64)
+        t = tree_from_keys(2, keys)
+        assert t.n_leaves == 16
+        assert np.isinf(t.leaf_keys[10:]).all()
+        assert (t.leaf_keys[:10] == keys).all()
+
+    def test_exact_power_no_padding(self):
+        t = tree_from_keys(2, np.arange(8, dtype=np.float64))
+        assert t.n_leaves == 8
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            tree_from_keys(2, np.array([3.0, 1.0]))
+
+    def test_explicit_height_too_small(self):
+        with pytest.raises(ValueError):
+            tree_from_keys(2, np.arange(9, dtype=np.float64), height=3)
+
+    def test_duplicate_keys_allowed(self):
+        t = tree_from_keys(2, np.array([1.0, 1.0, 2.0]))
+        assert t.n_leaves == 4
+
+
+class TestAlphaSplitter:
+    def test_figure2_properties(self):
+        t = build_balanced_search_tree(2, 8)
+        lab = t.alpha_splitter()
+        check_alpha_partition(lab)
+        check_splitter(lab, t.children, t.size, 0.5, constant=6.0)
+        check_normalized(lab, t.size, 0.5, constant=6.0)
+
+    def test_one_h_many_t(self):
+        t = build_balanced_search_tree(2, 6)
+        lab = t.alpha_splitter()
+        kinds = [np.unique(lab.kind[lab.comp == c]) for c in range(lab.n_components)]
+        n_h = sum(1 for k in kinds if k.tolist() == [0])
+        assert n_h == 1  # single top tree
+        assert lab.n_components == 1 + 2**3  # cut at depth 3
+
+    def test_cut_edges_enter_cut_depth(self):
+        t = build_balanced_search_tree(2, 6)
+        lab = t.alpha_splitter(cut_depth=2)
+        assert lab.cut_edges.shape[0] == 4
+        assert (t.depth[lab.cut_edges[:, 1]] == 2).all()
+        assert (t.depth[lab.cut_edges[:, 0]] == 1).all()
+
+    def test_border_is_cut_endpoints(self):
+        t = build_balanced_search_tree(2, 4)
+        lab = t.alpha_splitter(cut_depth=2)
+        assert lab.border.sum() == 4 + 2
+
+    def test_component_sizes(self):
+        t = build_balanced_search_tree(2, 4)
+        lab = t.alpha_splitter(cut_depth=2)
+        sizes = lab.component_sizes(t.children)
+        # top: 3 vertices + 2 edges; each subtree: 7 vertices + 6 edges
+        assert sizes[0] == 5
+        assert (sizes[1:] == 13).all()
+
+    def test_bad_depth_rejected(self):
+        t = build_balanced_search_tree(2, 4)
+        with pytest.raises(ValueError):
+            t.splitter_at_depths([0])
+        with pytest.raises(ValueError):
+            t.splitter_at_depths([5])
+
+
+class TestAlphaBetaSplitters:
+    def test_figure3_properties(self):
+        t = build_balanced_search_tree(2, 12, seed=1)
+        s1, s2, dist = t.alpha_beta_splitters()
+        check_splitter(s1, t.children, t.size, 0.5, constant=6.0)
+        check_splitter(s2, t.children, t.size, 1 / 3, constant=16.0)
+        assert dist >= 1
+
+    def test_distance_verified_by_bfs(self):
+        t = build_balanced_search_tree(2, 12, seed=2)
+        s1, s2, dist = t.alpha_beta_splitters()
+        assert check_splitter_distance(t, s1, s2, dist) == dist
+
+    def test_distance_grows_with_height(self):
+        d = {}
+        for h in (12, 18):
+            t = build_balanced_search_tree(2, h, seed=0)
+            _, _, d[h] = t.alpha_beta_splitters()
+        assert d[18] > d[12]
+
+    def test_small_height_rejected(self):
+        t = build_balanced_search_tree(2, 5)
+        with pytest.raises(ValueError):
+            t.alpha_beta_splitters()
+
+    def test_s2_component_count(self):
+        t = build_balanced_search_tree(2, 12)
+        _, s2, _ = t.alpha_beta_splitters()
+        # cuts at depth 4 and 8: 1 top + 16 middles + 256 bottoms
+        assert s2.n_components == 1 + 16 + 256
+
+    def test_multi_depth_splitter_labels_dense(self):
+        t = build_balanced_search_tree(2, 8)
+        lab = t.splitter_at_depths([3, 6])
+        assert lab.comp.min() == 0
+        assert set(np.unique(lab.comp)) == set(range(lab.n_components))
+
+
+class TestValidatorRejections:
+    def test_alpha_partition_violation_detected(self):
+        t = build_balanced_search_tree(2, 6)
+        lab = t.alpha_splitter()
+        lab.kind[:] = 1 - lab.kind  # swap H and T
+        with pytest.raises(ValidationError):
+            check_alpha_partition(lab)
+
+    def test_oversized_component_detected(self):
+        t = build_balanced_search_tree(2, 8)
+        lab = t.splitter_at_depths([1])  # bottom components have ~n/2 size
+        with pytest.raises(ValidationError):
+            check_splitter(lab, t.children, t.size, 0.3, constant=2.0)

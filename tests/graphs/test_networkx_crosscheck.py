@@ -1,0 +1,107 @@
+"""Cross-checks of the splitter machinery against networkx.
+
+A delta-splitting's components must be exactly the connected components
+of ``(V, E - S)`` (Section 4.1's definition); these tests rebuild that
+graph in networkx and compare, independently of our labelling code.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.broom import build_broom
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.intervals.interval_tree import IntervalTree
+from repro.intervals.structure import build_interval_structure
+from repro.bench.workloads import random_intervals
+
+
+def tree_graph(tree) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(tree.n_vertices))
+    for v in range(tree.n_vertices):
+        for c in tree.children[v]:
+            if c >= 0:
+                g.add_edge(v, int(c))
+    return g
+
+
+def components_from_labels(comp: np.ndarray) -> set[frozenset]:
+    out: dict[int, set] = {}
+    for v, c in enumerate(comp):
+        if c >= 0:
+            out.setdefault(int(c), set()).add(v)
+    return {frozenset(s) for s in out.values()}
+
+
+class TestTreeSplitters:
+    @pytest.mark.parametrize("height,depths", [(6, [3]), (8, [2, 5]), (9, [3, 6, 8])])
+    def test_components_are_nx_components(self, height, depths):
+        tree = build_balanced_search_tree(2, height, seed=1)
+        lab = tree.splitter_at_depths(depths)
+        g = tree_graph(tree)
+        g.remove_edges_from([(int(u), int(v)) for u, v in lab.cut_edges])
+        want = {frozenset(c) for c in nx.connected_components(g)}
+        assert components_from_labels(lab.comp) == want
+
+    def test_cut_edge_count_matches(self):
+        tree = build_balanced_search_tree(3, 5, seed=2)
+        lab = tree.splitter_at_depths([2, 4])
+        assert lab.cut_edges.shape[0] == 3**2 + 3**4
+
+    def test_border_distance_vs_nx_shortest_path(self):
+        tree = build_balanced_search_tree(2, 12, seed=3)
+        s1, s2, dist = tree.alpha_beta_splitters()
+        g = tree_graph(tree)
+        b1 = [int(v) for v in np.flatnonzero(s1.border)]
+        b2 = {int(v) for v in np.flatnonzero(s2.border)}
+        lengths = nx.multi_source_dijkstra_path_length(g, b1)
+        want = min(d for v, d in lengths.items() if v in b2)
+        assert want == dist
+
+
+class TestBroomSplitting:
+    def test_components_are_nx_components_minus_cut(self):
+        br = build_broom(2, 4, 12, seed=4)
+        sp = br.splitting()
+        g = nx.Graph()
+        g.add_nodes_from(range(br.n_vertices))
+        for v in range(br.n_vertices):
+            for c in br.adjacency[v]:
+                if c >= 0 and sp.comp[v] == sp.comp[c]:
+                    g.add_edge(v, int(c))
+        want = set()
+        for c in nx.connected_components(g):
+            want.add(frozenset(c))
+        assert components_from_labels(sp.comp) == want
+
+    def test_handles_connected_in_full_graph(self):
+        br = build_broom(2, 3, 6, seed=5)
+        g = nx.Graph()
+        for v in range(br.n_vertices):
+            for c in br.adjacency[v]:
+                if c >= 0:
+                    g.add_edge(v, int(c))
+        assert nx.is_connected(g)
+        assert nx.is_tree(g)
+
+
+class TestIntervalStructureGraph:
+    def test_structure_is_a_dag_with_short_depth(self):
+        lefts, rights = random_intervals(120, seed=6, domain=100.0)
+        itree = IntervalTree(lefts, rights)
+        istruct = build_interval_structure(itree)
+        g = nx.DiGraph()
+        st = istruct.structure
+        for v in range(st.n_vertices):
+            for c in st.adjacency[v]:
+                if c >= 0:
+                    g.add_edge(v, int(c))
+        assert nx.is_directed_acyclic_graph(g)
+        depth = nx.dag_longest_path_length(g)
+        # a search path can walk one chain per primary node it visits:
+        # bound by height + sum over depths of the largest chain there
+        per_depth: dict[int, int] = {}
+        for nd in itree.nodes:
+            per_depth[nd.depth] = max(per_depth.get(nd.depth, 0), int(nd.by_left.size))
+        assert depth <= itree.height + sum(per_depth.values()) + 2

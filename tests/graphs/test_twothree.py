@@ -1,0 +1,167 @@
+"""Tests for the dynamic 2-3 tree and its multisearch flattening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alpha import alpha_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.graphs.twothree import TwoThreeTree, flatten_two_three
+from repro.mesh.engine import MeshEngine
+
+
+def build(keys) -> TwoThreeTree:
+    t = TwoThreeTree()
+    for k in keys:
+        t.insert(k)
+    return t
+
+
+class TestInsert:
+    def test_sorted_iteration(self):
+        t = build([5.0, 1.0, 9.0, 3.0, 7.0])
+        assert t.keys() == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_duplicates_rejected(self):
+        t = build([1.0, 2.0])
+        assert not t.insert(1.0)
+        assert len(t) == 2
+
+    def test_contains(self):
+        t = build(range(20))
+        assert 13.0 in t
+        assert 20.5 not in t
+
+    def test_invariants_incrementally(self):
+        rng = np.random.default_rng(0)
+        t = TwoThreeTree()
+        for k in rng.permutation(100):
+            t.insert(float(k))
+            t.check_invariants()
+        assert t.keys() == [float(x) for x in range(100)]
+
+    def test_height_logarithmic(self):
+        t = build(np.random.default_rng(1).permutation(729).astype(float))
+        # 3^h >= leaves >= 2^h
+        assert t.height() <= np.log2(729) + 1
+        assert t.height() >= np.log(729) / np.log(3) - 1
+
+    def test_ascending_and_descending_orders(self):
+        for keys in (range(64), range(63, -1, -1)):
+            t = build([float(k) for k in keys])
+            t.check_invariants()
+            assert t.keys() == [float(x) for x in range(64)]
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        t = build([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert t.delete(3.0)
+        assert t.keys() == [1.0, 2.0, 4.0, 5.0]
+        t.check_invariants()
+
+    def test_delete_absent(self):
+        t = build([1.0, 2.0])
+        assert not t.delete(9.0)
+        assert len(t) == 2
+
+    def test_delete_to_empty(self):
+        t = build([1.0, 2.0, 3.0])
+        for k in (2.0, 1.0, 3.0):
+            assert t.delete(k)
+            t.check_invariants()
+        assert len(t) == 0
+        assert t.root is None
+
+    def test_random_interleaving_vs_set_oracle(self):
+        rng = np.random.default_rng(2)
+        t = TwoThreeTree()
+        oracle: set[float] = set()
+        for _ in range(600):
+            k = float(rng.integers(0, 80))
+            if rng.random() < 0.6:
+                assert t.insert(k) == (k not in oracle)
+                oracle.add(k)
+            else:
+                assert t.delete(k) == (k in oracle)
+                oracle.discard(k)
+            t.check_invariants()
+            assert len(t) == len(oracle)
+        assert t.keys() == sorted(oracle)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_set(self, ops):
+        t = TwoThreeTree()
+        oracle: set[float] = set()
+        for x in ops:
+            k = float(x // 2)
+            if x % 2 == 0:
+                t.insert(k)
+                oracle.add(k)
+            else:
+                t.delete(k)
+                oracle.discard(k)
+            t.check_invariants()
+        assert t.keys() == sorted(oracle)
+
+
+class TestFlattening:
+    def test_search_structure_finds_keys(self):
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.choice(10_000, 200, replace=False)).astype(float)
+        t = build(rng.permutation(keys))
+        st_, sp, leaf_key = flatten_two_three(t)
+        queries = keys[rng.integers(0, keys.size, 100)]
+        res = run_reference(st_, queries, 0, validate_moves=True)
+        finals = np.array([p[-1] for p in res.paths()])
+        assert (leaf_key[finals] == queries).all()
+
+    def test_missing_keys_land_on_neighbours(self):
+        keys = np.arange(0.0, 100.0, 2.0)  # even keys
+        t = build(keys)
+        st_, sp, leaf_key = flatten_two_three(t)
+        res = run_reference(st_, np.array([31.0]), 0)
+        found = leaf_key[res.paths()[0][-1]]
+        assert found in (30.0, 32.0)
+
+    def test_splitting_covers_and_bounds(self):
+        t = build(np.random.default_rng(4).permutation(500).astype(float))
+        st_, sp, _ = flatten_two_three(t)
+        assert (sp.comp >= 0).all()
+        n = st_.size
+        assert sp.sizes.max() <= 8 * n**0.5 * 3  # coarse alpha=1/2 envelope
+
+    def test_alpha_multisearch_on_irregular_tree(self):
+        rng = np.random.default_rng(5)
+        keys = np.sort(rng.choice(100_000, 700, replace=False)).astype(float)
+        t = build(rng.permutation(keys))
+        st_, sp, leaf_key = flatten_two_three(t)
+        queries = keys[rng.integers(0, keys.size, 256)]
+        ref = run_reference(st_, queries, 0)
+        eng = MeshEngine.for_problem(max(st_.size, 256))
+        qs = QuerySet.start(queries, 0, record_trace=True)
+        alpha_multisearch(eng, st_, qs, sp)
+        assert qs.paths() == ref.paths()
+
+    def test_flatten_after_deletions(self):
+        rng = np.random.default_rng(6)
+        t = build(rng.permutation(300).astype(float))
+        for k in rng.choice(300, 120, replace=False):
+            t.delete(float(k))
+        t.check_invariants()
+        st_, sp, leaf_key = flatten_two_three(t)
+        remaining = np.array(t.keys())
+        res = run_reference(st_, remaining[:64], 0, validate_moves=True)
+        finals = np.array([p[-1] for p in res.paths()])
+        assert (leaf_key[finals] == remaining[:64]).all()
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            flatten_two_three(TwoThreeTree())
+
+    def test_single_key_tree(self):
+        t = build([42.0])
+        st_, sp, leaf_key = flatten_two_three(t)
+        res = run_reference(st_, np.array([42.0]), 0)
+        assert leaf_key[res.paths()[0][-1]] == 42.0

@@ -1,0 +1,125 @@
+"""Tests for the sequential interval tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_intervals
+from repro.intervals.interval_tree import IntervalTree, brute_force_intersections
+
+
+def random_tree(n=200, seed=0):
+    lefts, rights = random_intervals(n, seed=seed, domain=100.0, mean_len=8.0)
+    return IntervalTree(lefts, rights), lefts, rights
+
+
+class TestConstruction:
+    def test_every_interval_stored_once(self):
+        tree, lefts, _ = random_tree()
+        stored = np.concatenate([nd.by_left for nd in tree.nodes])
+        assert sorted(stored.tolist()) == list(range(lefts.size))
+
+    def test_intervals_contain_their_center(self):
+        tree, lefts, rights = random_tree()
+        for nd in tree.nodes:
+            for i in nd.by_left:
+                assert lefts[i] <= nd.center <= rights[i]
+
+    def test_lists_sorted(self):
+        tree, lefts, rights = random_tree()
+        for nd in tree.nodes:
+            assert (np.diff(lefts[nd.by_left]) >= 0).all()
+            assert (np.diff(rights[nd.by_right]) <= 0).all()
+
+    def test_balanced_height(self):
+        tree, lefts, _ = random_tree(500, seed=1)
+        assert tree.height <= 2 * np.log2(2 * lefts.size) + 2
+
+    def test_bst_ordering_of_centers(self):
+        tree, _, _ = random_tree()
+
+        def check(idx, lo, hi):
+            if idx < 0:
+                return
+            nd = tree.nodes[idx]
+            assert lo < nd.center < hi
+            check(nd.left, lo, nd.center)
+            check(nd.right, nd.center, hi)
+
+        check(tree.root, -np.inf, np.inf)
+
+    def test_empty_tree(self):
+        tree = IntervalTree(np.empty(0), np.empty(0))
+        assert tree.stab(5.0).size == 0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            IntervalTree(np.array([2.0]), np.array([1.0]))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            IntervalTree(np.array([1.0, 2.0]), np.array([3.0]))
+
+
+class TestStab:
+    def test_matches_brute_force(self):
+        tree, lefts, rights = random_tree(300, seed=2)
+        rng = np.random.default_rng(3)
+        for q in rng.uniform(-5, 105, 100):
+            got = set(tree.stab(q).tolist())
+            want = set(np.flatnonzero((lefts <= q) & (rights >= q)).tolist())
+            assert got == want
+
+    def test_stab_at_endpoints(self):
+        lefts = np.array([0.0, 1.0, 2.0])
+        rights = np.array([1.0, 3.0, 2.5])
+        tree = IntervalTree(lefts, rights)
+        assert set(tree.stab(1.0).tolist()) == {0, 1}
+        assert set(tree.stab(2.5).tolist()) == {1, 2}
+
+    def test_stab_outside_domain(self):
+        tree, _, _ = random_tree()
+        assert tree.stab(-1000.0).size == 0
+        assert tree.stab(1000.0).size == 0
+
+    def test_point_intervals(self):
+        lefts = np.array([1.0, 2.0, 2.0])
+        rights = np.array([1.0, 2.0, 5.0])
+        tree = IntervalTree(lefts, rights)
+        assert set(tree.stab(2.0).tolist()) == {1, 2}
+
+
+class TestQueryInterval:
+    def test_matches_brute_force(self):
+        tree, lefts, rights = random_tree(300, seed=4)
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            a = rng.uniform(-5, 100)
+            b = a + rng.uniform(0, 20)
+            got = set(tree.query_interval(a, b).tolist())
+            want = set(brute_force_intersections(lefts, rights, a, b).tolist())
+            assert got == want
+
+    def test_count_matches_report(self):
+        tree, lefts, rights = random_tree(200, seed=6)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            a = rng.uniform(0, 100)
+            b = a + rng.uniform(0, 10)
+            assert tree.count_intersections(a, b) == tree.query_interval(a, b).size
+
+    def test_degenerate_query_is_stab(self):
+        tree, lefts, rights = random_tree(100, seed=8)
+        q = 37.5
+        assert set(tree.query_interval(q, q).tolist()) == set(tree.stab(q).tolist())
+
+    def test_rejects_inverted_query(self):
+        tree, _, _ = random_tree(10, seed=9)
+        with pytest.raises(ValueError):
+            tree.query_interval(5.0, 4.0)
+        with pytest.raises(ValueError):
+            tree.count_intersections(5.0, 4.0)
+
+    def test_covering_query_returns_all(self):
+        tree, lefts, rights = random_tree(50, seed=10)
+        got = tree.query_interval(lefts.min() - 1, rights.max() + 1)
+        assert got.size == 50

@@ -1,0 +1,148 @@
+"""Tests for the flattened interval-tree search structure."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import random_intervals
+from repro.core.model import run_reference
+from repro.graphs.validate import check_splitter
+from repro.intervals.interval_tree import IntervalTree
+from repro.intervals.structure import build_interval_structure
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lefts, rights = random_intervals(250, seed=0, domain=100.0, mean_len=10.0)
+    itree = IntervalTree(lefts, rights)
+    istruct = build_interval_structure(itree)
+    return itree, istruct, lefts, rights
+
+
+class TestFlattening:
+    def test_vertex_count(self, setup):
+        itree, istruct, lefts, _ = setup
+        V = istruct.structure.n_vertices
+        assert V == len(itree.nodes) + 2 * lefts.size
+
+    def test_constant_degree(self, setup):
+        _, istruct, _, _ = setup
+        assert istruct.structure.max_degree <= 4
+
+    def test_chain_payload_caches_next_key(self, setup):
+        itree, istruct, lefts, rights = setup
+        st = istruct.structure
+        kinds = st.payload[:, 0]
+        lch = np.flatnonzero(kinds == 1.0)
+        for v in lch[:50]:
+            nxt = st.adjacency[v, 0]
+            if nxt >= 0:
+                assert st.payload[v, 3] == st.payload[nxt, 1]
+            else:
+                assert st.payload[v, 3] == np.inf
+
+    def test_vertex_interval_mapping(self, setup):
+        itree, istruct, lefts, _ = setup
+        counts = np.bincount(
+            istruct.vertex_interval[istruct.vertex_interval >= 0],
+            minlength=lefts.size,
+        )
+        assert (counts == 2).all()  # each interval in one left + one right chain
+
+
+class TestStabSemantics:
+    def test_stab_matches_interval_tree(self, setup):
+        itree, istruct, lefts, rights = setup
+        st = istruct.structure
+        rng = np.random.default_rng(1)
+        qs = rng.uniform(-5, 105, 100)
+        res = run_reference(st, qs, istruct.root_vertex, state_width=1)
+        for q, path, count in zip(qs, res.paths(), res.state[:, 0]):
+            ids = istruct.vertex_interval[np.array(path)]
+            got = set(ids[ids >= 0].tolist())
+            want = set(itree.stab(q).tolist())
+            assert got == want, q
+            assert int(count) == len(want)
+
+    def test_path_length_output_sensitive(self, setup):
+        itree, istruct, lefts, rights = setup
+        st = istruct.structure
+        res = run_reference(
+            st, np.array([50.0, -1000.0]), istruct.root_vertex, state_width=1
+        )
+        p_mid, p_out = res.paths()
+        k_mid = itree.stab(50.0).size
+        assert len(p_mid) <= itree.height + k_mid + 2
+        assert len(p_out) <= itree.height + 1
+
+    def test_every_chain_visit_is_a_hit(self, setup):
+        itree, istruct, lefts, rights = setup
+        st = istruct.structure
+        rng = np.random.default_rng(2)
+        qs = rng.uniform(0, 100, 50)
+        res = run_reference(st, qs, istruct.root_vertex, state_width=1)
+        for q, path in zip(qs, res.paths()):
+            ids = istruct.vertex_interval[np.array(path)]
+            for i in ids[ids >= 0]:
+                assert lefts[i] <= q <= rights[i]
+
+
+class TestSplittings:
+    def test_component_size_law(self, setup):
+        _, istruct, _, _ = setup
+        n = istruct.size
+        check_splitter(
+            _labeling_view(istruct.splitting1), istruct.structure.adjacency, n, 0.5,
+            constant=12.0,
+        )
+        check_splitter(
+            _labeling_view(istruct.splitting2), istruct.structure.adjacency, n, 0.5,
+            constant=12.0,
+        )
+
+    def test_chains_cut_from_nodes(self, setup):
+        itree, istruct, _, _ = setup
+        st = istruct.structure
+        for sp in (istruct.splitting1, istruct.splitting2):
+            for u in range(len(itree.nodes)):
+                for head in st.adjacency[u, 2:4]:
+                    if head >= 0:
+                        assert sp.comp[head] != sp.comp[u]
+
+    def test_chain_cut_offsets_differ(self):
+        # S2's chain segment boundaries must be offset from S1's so a long
+        # chain's borders are far apart between the two splittings.  Build
+        # a dataset where one point is covered by every interval: the root
+        # node's chains then exceed several segments.
+        n = 400
+        lefts = np.linspace(0, 10, n)
+        rights = np.full(n, 100.0)  # all intervals cover [10, 100]
+        itree = IntervalTree(lefts, rights)
+        istruct = build_interval_structure(itree)
+        st = istruct.structure
+        sp1, sp2 = istruct.splitting1, istruct.splitting2
+        chain = np.flatnonzero(st.payload[:, 0] > 0)
+        s1_only = s2_only = 0
+        for v in chain:
+            nxt = st.adjacency[v, 0]
+            if nxt >= 0:
+                c1 = sp1.comp[v] != sp1.comp[nxt]
+                c2 = sp2.comp[v] != sp2.comp[nxt]
+                s1_only += int(c1 and not c2)
+                s2_only += int(c2 and not c1)
+        # every interior chain cut of one splitting is interior to the
+        # other's segment (the half-segment offset)
+        assert s1_only > 0 and s2_only > 0
+
+
+def _labeling_view(splitting):
+    """Adapt a Splitting to the SplitterLabeling interface for check_splitter."""
+
+    class _View:
+        comp = splitting.comp
+        n_components = splitting.n_components
+
+        @staticmethod
+        def component_sizes(children):
+            return splitting.sizes
+
+    return _View()

@@ -1,0 +1,74 @@
+"""Tests for the executable VM concurrent read (sort-based RAR)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.concurrent_read import vm_concurrent_read
+from repro.mesh.engine import MeshEngine
+
+
+class TestVMConcurrentRead:
+    def test_identity_read(self):
+        mem = np.arange(16, dtype=np.float64) * 10
+        vals, _ = vm_concurrent_read(np.arange(16), mem)
+        assert (vals == mem).all()
+
+    def test_all_read_one_cell(self):
+        # maximal concurrency: every processor reads cell 5
+        mem = np.arange(16, dtype=np.float64)
+        vals, _ = vm_concurrent_read(np.full(16, 5), mem)
+        assert (vals == 5.0).all()
+
+    def test_random_duplicates(self):
+        rng = np.random.default_rng(0)
+        mem = rng.uniform(size=64)
+        addr = rng.integers(0, 64, 64)
+        vals, _ = vm_concurrent_read(addr, mem)
+        assert np.allclose(vals, mem[addr])
+
+    def test_no_request_gets_fill(self):
+        mem = np.arange(9, dtype=np.float64)
+        addr = np.full(9, -1)
+        addr[4] = 2
+        vals, _ = vm_concurrent_read(addr, mem, fill=-7.0)
+        assert vals[4] == 2.0
+        assert (np.delete(vals, 4) == -7.0).all()
+
+    def test_matches_engine_rar(self):
+        rng = np.random.default_rng(1)
+        mem = rng.uniform(size=49)
+        addr = rng.integers(-1, 49, 49)
+        vm_vals, _ = vm_concurrent_read(addr, mem, fill=0.0)
+        eng = MeshEngine(7)
+        (eng_vals,) = eng.root.rar(addr, mem, fill=0.0)
+        assert np.allclose(vm_vals, eng_vals)
+
+    def test_step_count_is_sort_dominated(self):
+        # two shearsorts + two sweeps: O(side log side) on the 2N mesh
+        for N in (16, 64, 256):
+            mem = np.arange(N, dtype=np.float64)
+            addr = np.random.default_rng(N).integers(0, N, N)
+            _, steps = vm_concurrent_read(addr, mem)
+            side = math.ceil(math.sqrt(2 * N))
+            assert steps <= 10 * side * (math.log2(side) + 2), (N, steps)
+
+    def test_address_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            vm_concurrent_read(np.array([4]), np.array([1.0]))
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            vm_concurrent_read(np.array([0, 0]), np.array([1.0]))
+
+    @given(n=st.integers(4, 40), seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_gather(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mem = rng.uniform(size=n)
+        addr = rng.integers(-1, n, n)
+        vals, _ = vm_concurrent_read(addr, mem, fill=0.0)
+        want = np.where(addr >= 0, mem[np.clip(addr, 0, None)], 0.0)
+        assert np.allclose(vals, want)

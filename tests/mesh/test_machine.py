@@ -1,0 +1,104 @@
+"""Tests for the cycle-accurate mesh VM."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.machine import MeshVM
+
+
+class TestRegisters:
+    def test_alloc_scalar_fill(self):
+        vm = MeshVM(3, 4)
+        grid = vm.alloc("x", 7.0)
+        assert grid.shape == (3, 4)
+        assert (grid == 7.0).all()
+
+    def test_alloc_array(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("x", np.arange(4))
+        assert (vm["x"] == np.arange(4).reshape(2, 2)).all()
+
+    def test_load_rowmajor_pads(self):
+        vm = MeshVM(2, 3)
+        vm.load_rowmajor("x", np.array([1, 2]), fill=-1)
+        assert vm["x"][0, 0] == 1 and vm["x"][0, 2] == -1
+
+    def test_load_too_many_rejected(self):
+        vm = MeshVM(2, 2)
+        with pytest.raises(ValueError):
+            vm.load_rowmajor("x", np.arange(5))
+
+    def test_dump_count(self):
+        vm = MeshVM(2, 2)
+        vm.load_rowmajor("x", np.arange(4))
+        assert (vm.dump_rowmajor("x", 2) == [0, 1]).all()
+
+    def test_setitem_shape_checked(self):
+        vm = MeshVM(2, 2)
+        with pytest.raises(ValueError):
+            vm["x"] = np.zeros((3, 3))
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            MeshVM(0, 4)
+
+
+class TestShift:
+    def test_shift_left_brings_left_neighbour(self):
+        vm = MeshVM(1, 4)
+        vm.alloc("x", np.array([[1.0, 2.0, 3.0, 4.0]]))
+        got = vm.shift("x", "left", fill=0)
+        assert (got == [[0, 1, 2, 3]]).all()
+
+    def test_shift_right(self):
+        vm = MeshVM(1, 4)
+        vm.alloc("x", np.array([[1.0, 2.0, 3.0, 4.0]]))
+        got = vm.shift("x", "right", fill=-1)
+        assert (got == [[2, 3, 4, -1]]).all()
+
+    def test_shift_up_down(self):
+        vm = MeshVM(3, 1)
+        vm.alloc("x", np.array([[1.0], [2.0], [3.0]]))
+        assert (vm.shift("x", "up", fill=0) == [[0], [1], [2]]).all()
+        assert (vm.shift("x", "down", fill=0) == [[2], [3], [0]]).all()
+
+    def test_each_shift_costs_one_step(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("x", 0.0)
+        vm.shift("x", "left")
+        vm.shift("x", "up")
+        assert vm.steps == 2
+
+    def test_unknown_direction_rejected(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("x", 0.0)
+        with pytest.raises(ValueError):
+            vm.shift("x", "diagonal")
+
+    def test_shift_does_not_mutate_register(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("x", 5.0)
+        vm.shift("x", "left")
+        assert (vm["x"] == 5.0).all()
+
+
+class TestShiftMany:
+    def test_one_step_for_record(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("a", 1.0)
+        vm.alloc("b", 2.0)
+        outs = vm.shift_many(["a", "b"], "left", fill=0)
+        assert len(outs) == 2
+        assert vm.steps == 1
+
+    def test_too_wide_record_rejected(self):
+        vm = MeshVM(2, 2)
+        for i in range(9):
+            vm.alloc(f"r{i}", 0.0)
+        with pytest.raises(ValueError):
+            vm.shift_many([f"r{i}" for i in range(9)], "left")
+
+    def test_empty_list(self):
+        vm = MeshVM(2, 2)
+        assert vm.shift_many([], "left") == []
+        assert vm.steps == 0

@@ -1,0 +1,75 @@
+"""Tests for the cost profiler."""
+
+import numpy as np
+
+from repro.mesh.engine import MeshEngine
+from repro.mesh.profile import CostProfile, profile, profiled
+
+
+class TestProfile:
+    def test_aggregates_labels(self):
+        history = [("sort", 10.0), ("route", 5.0), ("sort", 3.0)]
+        prof = profile(history)
+        assert prof.by_label == {"sort": 13.0, "route": 5.0}
+        assert prof.calls == {"sort": 2, "route": 1}
+        assert prof.total == 18.0
+
+    def test_top(self):
+        prof = profile([("a", 1.0), ("b", 9.0), ("c", 5.0)])
+        assert prof.top(2) == [("b", 9.0), ("c", 5.0)]
+
+    def test_fraction_by_prefix(self):
+        prof = profile([("cm:round", 6.0), ("cm:mark", 2.0), ("other", 2.0)])
+        assert prof.fraction("cm:") == 0.8
+
+    def test_empty(self):
+        prof = CostProfile()
+        assert prof.total == 0.0
+        assert prof.fraction("x") == 0.0
+
+
+class TestProfiledContext:
+    def test_captures_engine_charges(self):
+        eng = MeshEngine(8)
+        with profiled(eng.clock) as prof:
+            eng.root.sort_by(np.arange(64), label="my-sort")
+            eng.root.scan(np.arange(64), label="my-scan")
+        assert prof.by_label["my-sort"] == eng.clock.cost.sort * 8
+        assert prof.by_label["my-scan"] == eng.clock.cost.scan * 8
+        assert prof.total == eng.clock.time
+
+    def test_restores_flag(self):
+        eng = MeshEngine(8)
+        assert not eng.clock.record_history
+        with profiled(eng.clock):
+            pass
+        assert not eng.clock.record_history
+
+    def test_only_block_charges_counted(self):
+        eng = MeshEngine(8)
+        eng.root.sort_by(np.arange(64))
+        with profiled(eng.clock) as prof:
+            eng.root.scan(np.arange(64))
+        assert "sort" not in prof.by_label
+
+    def test_render_mentions_top_label(self):
+        eng = MeshEngine(8)
+        with profiled(eng.clock) as prof:
+            eng.root.rar(np.arange(64), np.arange(64), label="visit")
+        assert "visit" in prof.render()
+
+    def test_full_algorithm_breakdown(self):
+        from repro.core.hierdag import hierdag_multisearch
+        from repro.core.model import QuerySet
+        from repro.graphs.adapters import hierdag_search_structure
+        from repro.graphs.hierarchical import build_mu_ary_search_dag
+
+        dag, keys = build_mu_ary_search_dag(2, 10, seed=0)
+        st = hierdag_search_structure(dag)
+        eng = MeshEngine.for_problem(dag.size)
+        qs = QuerySet.start(keys[:128].astype(np.float64), 0)
+        with profiled(eng.clock) as prof:
+            hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+        assert prof.total == eng.clock.time
+        assert prof.fraction("hierdag:") == 1.0
+        assert prof.by_label.get("hierdag:bstar", 0) > 0

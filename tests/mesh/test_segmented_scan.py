@@ -1,0 +1,81 @@
+"""Tests for the segmented-scan primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.engine import MeshEngine
+
+
+class TestSegmentedScan:
+    def test_add_inclusive(self, engine8):
+        vals = np.arange(1, 65)
+        segs = np.repeat(np.arange(8), 8)
+        out = engine8.root.segmented_scan(vals, segs)
+        for s in range(8):
+            chunk = vals[s * 8 : (s + 1) * 8]
+            assert (out[s * 8 : (s + 1) * 8] == np.cumsum(chunk)).all()
+
+    def test_add_exclusive(self, engine8):
+        vals = np.ones(64, dtype=np.int64)
+        segs = np.repeat(np.arange(4), 16)
+        out = engine8.root.segmented_scan(vals, segs, inclusive=False)
+        assert (out == np.tile(np.arange(16), 4)).all()
+
+    def test_single_segment_matches_scan(self, engine8, rng):
+        vals = rng.integers(0, 10, 64)
+        segs = np.zeros(64, dtype=np.int64)
+        a = engine8.root.segmented_scan(vals, segs)
+        b = np.cumsum(vals)
+        assert (a == b).all()
+
+    def test_every_element_its_own_segment(self, engine8, rng):
+        vals = rng.integers(0, 10, 64)
+        segs = np.arange(64)
+        out = engine8.root.segmented_scan(vals, segs)
+        assert (out == vals).all()
+
+    def test_min_inclusive(self, engine8):
+        vals = np.array([5.0, 3.0, 4.0, 9.0] * 16)
+        segs = np.repeat(np.arange(16), 4)
+        out = engine8.root.segmented_scan(vals, segs, op="min")
+        assert (out.reshape(16, 4) == [5.0, 3.0, 3.0, 3.0]).all()
+
+    def test_max_exclusive(self, engine8):
+        vals = np.array([1, 5, 2, 7] * 16, dtype=np.int64)
+        segs = np.repeat(np.arange(16), 4)
+        out = engine8.root.segmented_scan(vals, segs, op="max", inclusive=False)
+        lo = np.iinfo(np.int64).min
+        assert (out.reshape(16, 4) == [lo, 1, 5, 5]).all()
+
+    def test_unsorted_grouped_segments(self, engine8):
+        # ids only need to be grouped, not sorted
+        vals = np.ones(64, dtype=np.int64)
+        segs = np.concatenate([np.full(32, 7), np.full(32, 2)])
+        out = engine8.root.segmented_scan(vals, segs)
+        assert out[31] == 32 and out[32] == 1
+
+    def test_charges_scan_cost(self, engine8):
+        engine8.root.segmented_scan(np.ones(64), np.zeros(64))
+        assert engine8.clock.time == engine8.clock.cost.scan * 8
+
+    def test_unknown_op_rejected(self, engine8):
+        with pytest.raises(ValueError):
+            engine8.root.segmented_scan(np.ones(64), np.zeros(64), op="mul")
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_segments=st.integers(1, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_per_segment_cumsum(self, seed, n_segments):
+        rng = np.random.default_rng(seed)
+        eng = MeshEngine(8)
+        sizes = rng.multinomial(64, np.ones(n_segments) / n_segments)
+        segs = np.repeat(np.arange(n_segments), sizes)
+        vals = rng.integers(-5, 10, 64)
+        out = eng.root.segmented_scan(vals, segs)
+        want = np.concatenate(
+            [np.cumsum(vals[segs == s]) for s in range(n_segments) if (segs == s).any()]
+        )
+        assert (out == want).all()

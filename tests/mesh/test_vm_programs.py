@@ -1,0 +1,209 @@
+"""Tests for the VM programs: sorting, routing, scan, broadcast.
+
+These are the E10 validation: the programs must compute the same answers
+as the engine primitives and their step counts must grow as advertised.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mesh.machine import MeshVM
+from repro.mesh.routing import route_permutation
+from repro.mesh.scan import broadcast_from_origin, row_prefix_sum, snake_prefix_sum
+from repro.mesh.sorting import (
+    oddeven_transposition_cols,
+    oddeven_transposition_rows,
+    shearsort,
+)
+from repro.mesh.topology import rowmajor_to_snake
+
+
+def snake_values(vm: MeshVM, reg: str) -> np.ndarray:
+    """Register contents in snake order."""
+    flat = vm.dump_rowmajor(reg)
+    snake = rowmajor_to_snake(vm.rows, vm.cols)
+    out = np.empty_like(flat)
+    out[snake] = flat
+    return out
+
+
+class TestOddEvenRows:
+    def test_sorts_each_row(self):
+        vm = MeshVM(4, 8)
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 100, (4, 8)).astype(np.float64)
+        vm.alloc("k", vals)
+        oddeven_transposition_rows(vm, "k")
+        out = vm["k"]
+        assert (np.diff(out, axis=1) >= 0).all()
+        for r in range(4):
+            assert sorted(out[r].tolist()) == sorted(vals[r].tolist())
+
+    def test_snake_mode_alternates_direction(self):
+        vm = MeshVM(2, 6)
+        vm.alloc("k", np.random.default_rng(1).uniform(size=(2, 6)))
+        oddeven_transposition_rows(vm, "k", snake=True)
+        out = vm["k"]
+        assert (np.diff(out[0]) >= 0).all()
+        assert (np.diff(out[1]) <= 0).all()
+
+    def test_payload_moves_with_key(self):
+        vm = MeshVM(1, 8)
+        keys = np.array([[3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0]])
+        vm.alloc("k", keys)
+        vm.alloc("p", keys * 10)
+        oddeven_transposition_rows(vm, "k", ["p"])
+        assert np.allclose(vm["p"], vm["k"] * 10)
+
+    def test_cost_is_cols_steps(self):
+        vm = MeshVM(4, 8)
+        vm.alloc("k", 0.0)
+        oddeven_transposition_rows(vm, "k")
+        assert vm.steps == 8
+
+
+class TestOddEvenCols:
+    def test_sorts_each_column(self):
+        vm = MeshVM(8, 3)
+        vals = np.random.default_rng(2).uniform(size=(8, 3))
+        vm.alloc("k", vals)
+        oddeven_transposition_cols(vm, "k")
+        assert (np.diff(vm["k"], axis=0) >= 0).all()
+
+    def test_cost_is_rows_steps(self):
+        vm = MeshVM(6, 3)
+        vm.alloc("k", 0.0)
+        oddeven_transposition_cols(vm, "k")
+        assert vm.steps == 6
+
+
+class TestShearsort:
+    @pytest.mark.parametrize("side", [2, 4, 8, 16])
+    def test_sorts_into_snake_order(self, side):
+        vm = MeshVM(side)
+        vals = np.random.default_rng(side).permutation(side * side).astype(np.int64)
+        vm.load_rowmajor("k", vals)
+        shearsort(vm, "k")
+        assert (np.diff(snake_values(vm, "k")) >= 0).all()
+
+    def test_with_duplicates(self):
+        vm = MeshVM(8)
+        vals = np.random.default_rng(5).integers(0, 5, 64)
+        vm.load_rowmajor("k", vals)
+        shearsort(vm, "k")
+        got = snake_values(vm, "k")
+        assert (np.diff(got) >= 0).all()
+        assert sorted(got.tolist()) == sorted(vals.tolist())
+
+    def test_payload_follows(self):
+        vm = MeshVM(8)
+        rng = np.random.default_rng(6)
+        keys = rng.permutation(64).astype(np.float64)
+        vm.load_rowmajor("k", keys)
+        vm.load_rowmajor("p", keys * 3)
+        shearsort(vm, "k", ["p"])
+        assert np.allclose(vm["p"], vm["k"] * 3)
+
+    def test_step_growth_side_log_side(self):
+        steps = {}
+        for side in (4, 8, 16, 32):
+            vm = MeshVM(side)
+            vm.load_rowmajor("k", np.random.default_rng(0).permutation(side * side))
+            shearsort(vm, "k")
+            steps[side] = vm.steps
+        for side in (4, 8, 16, 32):
+            bound = 4 * side * (math.log2(side) + 2)
+            assert steps[side] <= bound, (side, steps[side], bound)
+        # superlinear but subquadratic
+        assert steps[32] / steps[16] < 3.0
+        assert steps[32] / steps[16] > 1.8
+
+
+class TestRouting:
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_full_permutation(self, side):
+        n = side * side
+        rng = np.random.default_rng(side)
+        vm = MeshVM(side)
+        dest = rng.permutation(n)
+        out = route_permutation(vm, dest, np.arange(n) + 100)
+        assert (out[dest] == np.arange(n) + 100).all()
+
+    def test_partial_permutation(self):
+        vm = MeshVM(4)
+        dest = np.full(16, -1)
+        dest[3] = 0
+        dest[7] = 15
+        out = route_permutation(vm, dest, np.arange(16), fill=-9)
+        assert out[0] == 3 and out[15] == 7
+        assert out[1] == -9
+
+    def test_duplicates_rejected(self):
+        vm = MeshVM(4)
+        dest = np.zeros(16, dtype=np.int64)
+        with pytest.raises(ValueError):
+            route_permutation(vm, dest, np.arange(16))
+
+    def test_identity_routing(self):
+        vm = MeshVM(4)
+        out = route_permutation(vm, np.arange(16), np.arange(16))
+        assert (out == np.arange(16)).all()
+
+
+class TestScan:
+    def test_row_prefix(self):
+        vm = MeshVM(3, 5)
+        vals = np.random.default_rng(3).integers(0, 9, (3, 5)).astype(np.int64)
+        vm.alloc("v", vals)
+        row_prefix_sum(vm, "v", "p")
+        assert (vm["p"] == np.cumsum(vals, axis=1)).all()
+
+    @pytest.mark.parametrize("shape", [(4, 4), (5, 3), (1, 8), (8, 1)])
+    def test_snake_prefix_inclusive(self, shape):
+        rows, cols = shape
+        vm = MeshVM(rows, cols)
+        vals = np.random.default_rng(rows * 10 + cols).integers(0, 9, rows * cols)
+        vm.load_rowmajor("v", vals)
+        snake_prefix_sum(vm, "v", "p")
+        snake = rowmajor_to_snake(rows, cols)
+        order = np.argsort(snake)
+        expect = np.empty(rows * cols, dtype=vals.dtype)
+        expect[order] = np.cumsum(vals[order])
+        assert (vm.dump_rowmajor("p") == expect).all()
+
+    def test_snake_prefix_exclusive(self):
+        vm = MeshVM(4, 4)
+        vals = np.ones(16, dtype=np.int64)
+        vm.load_rowmajor("v", vals)
+        snake_prefix_sum(vm, "v", "p", inclusive=False)
+        snake = rowmajor_to_snake(4, 4)
+        order = np.argsort(snake)
+        got_in_snake = vm.dump_rowmajor("p")[order]
+        assert (got_in_snake == np.arange(16)).all()
+
+    def test_linear_step_count(self):
+        counts = {}
+        for side in (8, 16, 32):
+            vm = MeshVM(side)
+            vm.load_rowmajor("v", np.ones(side * side, dtype=np.int64))
+            snake_prefix_sum(vm, "v", "p")
+            counts[side] = vm.steps
+        assert counts[16] <= 5 * 16
+        assert 1.7 < counts[32] / counts[16] < 2.3  # linear in side
+
+
+class TestBroadcast:
+    def test_value_reaches_all(self):
+        vm = MeshVM(5, 7)
+        vm.alloc("s", 0.0)
+        vm["s"][0, 0] = 3.5
+        broadcast_from_origin(vm, "s", "d")
+        assert (vm["d"] == 3.5).all()
+
+    def test_steps_equal_perimeter_path(self):
+        vm = MeshVM(5, 7)
+        vm.alloc("s", 1.0)
+        broadcast_from_origin(vm, "s", "d")
+        assert vm.steps == (5 - 1) + (7 - 1)

@@ -1,0 +1,69 @@
+"""Tests for the bench harness support (workloads, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import Table
+from repro.bench.workloads import (
+    random_intervals,
+    random_lines,
+    sphere_points,
+    uniform_sites,
+)
+
+
+class TestWorkloads:
+    def test_sphere_points_on_sphere(self):
+        pts = sphere_points(100, seed=0, center=(1, 2, 3), radius=2.5)
+        d = np.linalg.norm(pts - np.array([1.0, 2.0, 3.0]), axis=1)
+        assert np.allclose(d, 2.5)
+
+    def test_sphere_points_deterministic(self):
+        assert (sphere_points(10, seed=1) == sphere_points(10, seed=1)).all()
+
+    def test_uniform_sites_in_box(self):
+        pts = uniform_sites(50, seed=2, box=10.0)
+        assert pts.shape == (50, 2)
+        assert (pts >= 0).all() and (pts <= 10).all()
+
+    def test_random_lines_shapes(self):
+        p0, d = random_lines(20, seed=3)
+        assert p0.shape == (20, 3) and d.shape == (20, 3)
+        assert (np.linalg.norm(d, axis=1) > 0).all()
+
+    def test_random_intervals_valid(self):
+        lefts, rights = random_intervals(100, seed=4)
+        assert (lefts <= rights).all()
+        assert (lefts >= 0).all()
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, 2.5)
+        t.add(10, 0.000123)
+        text = t.render()
+        assert "demo" in text
+        assert "0.000123" in text
+        assert text.count("\n") == 3  # title + header + 2 rows
+
+    def test_wrong_arity_rejected(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_columns_aligned(self):
+        t = Table("demo", ["col", "x"])
+        t.add("aaaa", 1)
+        t.add("b", 22222)
+        lines = t.render().splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["only"])
+        assert "only" in t.render()
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add(123456.789)
+        assert "1.23e+05" in t.render()

@@ -1,0 +1,89 @@
+"""Tests for the hypercube comparator engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import synchronous_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.graphs.adapters import ktree_directed_structure
+from repro.graphs.ktree import build_balanced_search_tree
+from repro.hypercube import HypercubeEngine
+from repro.mesh.engine import CapacityError, MeshEngine
+
+
+class TestEngine:
+    def test_size_and_diameter(self):
+        eng = HypercubeEngine(6)
+        assert eng.size == 64
+        assert eng.side == 6
+
+    def test_for_problem_rounds_up(self):
+        assert HypercubeEngine.for_problem(100).dimension == 7
+        assert HypercubeEngine.for_problem(128).dimension == 7
+        assert HypercubeEngine.for_problem(1).dimension == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            HypercubeEngine(-1)
+        with pytest.raises(ValueError):
+            HypercubeEngine.for_problem(0)
+
+    def test_rar_costs_diameter(self):
+        eng = HypercubeEngine(8)
+        (out,) = eng.root.rar(np.arange(10), np.arange(10) * 2)
+        assert (out == np.arange(10) * 2).all()
+        assert eng.clock.time == eng.cost.route * 8
+
+    def test_sort_costs_d_squared(self):
+        eng = HypercubeEngine(6)
+        (out,) = eng.root.sort_by(np.array([3, 1, 2]))
+        assert out.tolist() == [1, 2, 3]
+        assert eng.clock.time == eng.cost.sort * 36
+
+    def test_capacity(self):
+        eng = HypercubeEngine(2, capacity=1)
+        with pytest.raises(CapacityError):
+            eng.root.check_capacity(5)
+
+    def test_scan_reduce_broadcast(self):
+        eng = HypercubeEngine(4)
+        assert (eng.root.scan(np.ones(5, dtype=np.int64)) == np.arange(1, 6)).all()
+        assert eng.root.reduce(np.arange(5)) == 10
+        assert eng.root.broadcast(7) == 7
+
+
+class TestDR90Multisearch:
+    def test_synchronous_runs_unchanged_and_correct(self):
+        t = build_balanced_search_tree(2, 8, seed=0)
+        st = ktree_directed_structure(t)
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 100)
+        ref = run_reference(st, keys, 0)
+        eng = HypercubeEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        res = synchronous_multisearch(eng, st, qs)
+        assert qs.paths() == ref.paths()
+        assert res.multisteps == t.height + 1
+
+    def test_cost_is_r_times_log_n(self):
+        t = build_balanced_search_tree(2, 8, seed=0)
+        st = ktree_directed_structure(t)
+        keys = t.leaf_keys[:16].astype(np.float64)
+        eng = HypercubeEngine.for_problem(t.size)
+        qs = QuerySet.start(keys, 0)
+        res = synchronous_multisearch(eng, st, qs)
+        per_step = eng.cost.route * eng.dimension + eng.cost.local
+        assert res.mesh_steps == res.multisteps * per_step
+
+    def test_hypercube_beats_mesh_synchronous(self):
+        # the diameter gap: log n vs sqrt(n)
+        t = build_balanced_search_tree(2, 10, seed=0)
+        st = ktree_directed_structure(t)
+        keys = t.leaf_keys[:64].astype(np.float64)
+        hq = HypercubeEngine.for_problem(t.size)
+        qs1 = QuerySet.start(keys, 0)
+        hres = synchronous_multisearch(hq, st, qs1)
+        me = MeshEngine.for_problem(t.size)
+        qs2 = QuerySet.start(keys, 0)
+        mres = synchronous_multisearch(me, st, qs2)
+        assert hres.mesh_steps < mres.mesh_steps / 3

@@ -1,0 +1,121 @@
+"""Property-based tests for the multisearch core: the mesh algorithms must
+reproduce the sequential oracle's search paths on randomized instances."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alpha import alpha_multisearch
+from repro.core.bands import compute_bands
+from repro.core.hierdag import hierdag_multisearch
+from repro.core.model import QuerySet, run_reference
+from repro.core.splitters import normalize_splitting, splitting_from_labels
+from repro.graphs.adapters import (
+    hierdag_search_structure,
+    ktree_directed_structure,
+    ktree_rank_structure,
+)
+from repro.graphs.hierarchical import build_mu_ary_search_dag
+from repro.graphs.ktree import build_balanced_search_tree, tree_from_keys
+from repro.mesh.engine import MeshEngine
+
+
+class TestHierDagProperty:
+    @given(
+        mu=st.integers(2, 3),
+        height=st.integers(3, 8),
+        seed=st.integers(0, 1000),
+        m=st.integers(1, 64),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mesh_equals_oracle(self, mu, height, seed, m):
+        dag, leaf_keys = build_mu_ary_search_dag(mu, height, seed=seed)
+        stx = hierdag_search_structure(dag)
+        rng = np.random.default_rng(seed + 1)
+        keys = rng.uniform(leaf_keys[0] - 1, leaf_keys[-1] + 1, m)
+        ref = run_reference(stx, keys, 0)
+        eng = MeshEngine.for_problem(max(dag.size, m))
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        hierdag_multisearch(eng, stx, qs, mu=float(mu), c=2)
+        assert qs.paths() == ref.paths()
+
+
+class TestAlphaProperty:
+    @given(
+        k=st.integers(2, 3),
+        height=st.integers(2, 7),
+        seed=st.integers(0, 1000),
+        m=st.integers(1, 64),
+        cut_frac=st.floats(0.2, 0.8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mesh_equals_oracle_any_cut(self, k, height, seed, m, cut_frac):
+        t = build_balanced_search_tree(k, height, seed=seed)
+        stx = ktree_directed_structure(t)
+        cut = min(max(1, int(round(cut_frac * height))), height)
+        lab = t.alpha_splitter(cut_depth=cut)
+        # the honest delta for this cut: off-centre cuts give components
+        # of size up to ~n^delta for delta = log(max component)/log(n)
+        sizes = lab.component_sizes(t.children)
+        delta = float(
+            np.clip(np.log(max(sizes.max(), 2)) / np.log(max(t.size, 4)), 0.2, 0.95)
+        )
+        sp = splitting_from_labels(lab.comp, t.children, delta)
+        sp = normalize_splitting(sp, t.size)
+        rng = np.random.default_rng(seed + 1)
+        keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], m)
+        ref = run_reference(stx, keys, 0)
+        eng = MeshEngine.for_problem(max(t.size, m))
+        qs = QuerySet.start(keys, 0, record_trace=True)
+        alpha_multisearch(eng, stx, qs, sp)
+        assert qs.paths() == ref.paths()
+
+
+class TestRankProperty:
+    @given(
+        keys=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=80
+        ),
+        queries=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=40
+        ),
+        strict=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rank_matches_searchsorted(self, keys, queries, strict):
+        arr = np.sort(np.array(keys))
+        t = tree_from_keys(2, arr)
+        stx = ktree_rank_structure(t, strict=strict)
+        q = np.array(queries)
+        res = run_reference(stx, q, 0, state_width=1)
+        want = np.searchsorted(arr, q, side="left" if strict else "right")
+        assert (res.state[:, 0].astype(int) == want).all()
+
+
+class TestBandProperty:
+    @given(h=st.integers(1, 48), c=st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_bands_always_tile(self, h, c):
+        levels = np.array([min(2**i, 2**40) for i in range(h + 1)], dtype=np.int64)
+        deco = compute_bands(levels, 2.0, c=c)
+        cursor = 0
+        for b in deco.bands:
+            assert b.lo_level == cursor
+            assert b.hi_level >= b.lo_level
+            cursor = b.hi_level + 1
+        assert deco.bstar_lo == cursor
+        total = sum(b.n_vertices for b in deco.bands) + deco.bstar_n_vertices
+        assert total == int(levels.sum())
+
+    @given(h=st.integers(1, 48), c=st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_b1_b2_always_partition_band(self, h, c):
+        levels = np.array([min(2**i, 2**40) for i in range(h + 1)], dtype=np.int64)
+        deco = compute_bands(levels, 2.0, c=c)
+        for b in deco.bands:
+            lo2, hi2 = b.b2_levels
+            assert hi2 == b.hi_level
+            b1 = b.b1_levels
+            if b1 is None:
+                assert lo2 == b.lo_level
+            else:
+                assert b1[0] == b.lo_level and b1[1] + 1 == lo2

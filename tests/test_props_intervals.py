@@ -1,0 +1,87 @@
+"""Property-based tests for interval structures and the mesh interval app."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.apps.interval_search import (
+    count_intersections_mesh,
+    report_intersections_mesh,
+    setup_interval_search,
+)
+from repro.core.model import run_reference
+from repro.intervals.interval_tree import IntervalTree, brute_force_intersections
+from repro.intervals.structure import build_interval_structure
+
+
+@st.composite
+def interval_sets(draw, max_n=60):
+    n = draw(st.integers(1, max_n))
+    lefts = draw(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=n, max_size=n)
+    )
+    lens = draw(
+        st.lists(st.floats(0, 30, allow_nan=False), min_size=n, max_size=n)
+    )
+    lefts = np.array(lefts)
+    rights = lefts + np.array(lens)
+    return lefts, rights
+
+
+class TestIntervalTreeProperty:
+    @given(interval_sets(), st.floats(-10, 110, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_stab_matches_brute(self, ivs, q):
+        lefts, rights = ivs
+        tree = IntervalTree(lefts, rights)
+        got = set(tree.stab(q).tolist())
+        want = set(np.flatnonzero((lefts <= q) & (rights >= q)).tolist())
+        assert got == want
+
+    @given(
+        interval_sets(),
+        st.floats(-10, 110, allow_nan=False),
+        st.floats(0, 40, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_query_matches_brute(self, ivs, a, width):
+        lefts, rights = ivs
+        tree = IntervalTree(lefts, rights)
+        b = a + width
+        got = set(tree.query_interval(a, b).tolist())
+        want = set(brute_force_intersections(lefts, rights, a, b).tolist())
+        assert got == want
+        assert tree.count_intersections(a, b) == len(want)
+
+
+class TestFlattenedStructureProperty:
+    @given(interval_sets(max_n=40), st.floats(0, 100, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_stab_walk_matches_tree(self, ivs, q):
+        lefts, rights = ivs
+        tree = IntervalTree(lefts, rights)
+        istruct = build_interval_structure(tree)
+        res = run_reference(
+            istruct.structure, np.array([q]), istruct.root_vertex, state_width=1
+        )
+        ids = istruct.vertex_interval[np.array(res.paths()[0])]
+        got = set(ids[ids >= 0].tolist())
+        assert got == set(tree.stab(q).tolist())
+
+
+class TestMeshAppProperty:
+    @given(interval_sets(max_n=40), st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_count_and_report_match_brute(self, ivs, seed):
+        lefts, rights = ivs
+        # distinct finite keys keep the range walk's strictness irrelevant
+        assume(np.unique(lefts).size == lefts.size)
+        setup = setup_interval_search(lefts, rights)
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0, 100, 8)
+        b = a + rng.uniform(0, 20, 8)
+        counts, _ = count_intersections_mesh(setup, a, b)
+        reports, _ = report_intersections_mesh(setup, a, b)
+        for i in range(8):
+            want = set(brute_force_intersections(lefts, rights, a[i], b[i]).tolist())
+            assert counts[i] == len(want)
+            assert set(reports[i].tolist()) == want

@@ -1,0 +1,147 @@
+"""Tests for the iterated-logarithm machinery (paper Section 3 definitions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.mathx import (
+    ceil_div,
+    ilog,
+    is_perfect_square,
+    isqrt_exact,
+    iterated_log,
+    log_star,
+    mu_constant,
+    next_pow,
+)
+
+
+class TestIlog:
+    def test_base2(self):
+        assert ilog(8, 2) == pytest.approx(3.0)
+
+    def test_base3(self):
+        assert ilog(81, 3) == pytest.approx(4.0)
+
+    def test_fractional(self):
+        assert ilog(10, 2) == pytest.approx(math.log2(10))
+
+    def test_rejects_nonpositive_x(self):
+        with pytest.raises(ValueError):
+            ilog(0, 2)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            ilog(4, 1.0)
+
+
+class TestIteratedLog:
+    def test_level0_is_half(self):
+        # the paper's convention: log^(0) x = x / 2
+        assert iterated_log(10, 0) == pytest.approx(5.0)
+
+    def test_level1(self):
+        # log^(1) x = log(x / 2)
+        assert iterated_log(16, 1) == pytest.approx(3.0)
+
+    def test_level2(self):
+        assert iterated_log(16, 2) == pytest.approx(math.log2(3.0))
+
+    def test_collapse_returns_neg_inf(self):
+        assert iterated_log(3, 4) == -math.inf
+
+    def test_monotone_decreasing_along_tower(self):
+        vals = [iterated_log(2**20, i) for i in range(4)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            iterated_log(16, -1)
+
+    def test_square_law(self):
+        # the property the paper needs: log^(i) x >= (log^(i+1) x)^2
+        # for 0 <= i <= log* x with c = mu_constant
+        x = 2**16
+        c = mu_constant(2.0)
+        t = log_star(x, 2.0, c)
+        for i in range(t):
+            assert iterated_log(x, i) >= iterated_log(x, i + 1) ** 2 - 1e-9
+
+
+class TestMuConstant:
+    def test_mu2(self):
+        # 2^y >= y^2 for all y >= 4 (equality at 4), fails at y = 3
+        assert mu_constant(2.0) == 4
+
+    def test_mu3(self):
+        c = mu_constant(3.0)
+        assert 3.0**c >= c * c
+        for y in np.linspace(c, c + 10, 50):
+            assert 3.0**y >= y * y - 1e-9
+
+    def test_large_mu_gives_small_c(self):
+        assert mu_constant(16.0) <= 2
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ValueError):
+            mu_constant(1.0)
+
+
+class TestLogStar:
+    def test_small_x_degenerate(self):
+        # x/2 < c: no valid level at all
+        assert log_star(4, 2.0, c=4) == -1
+
+    def test_moderate(self):
+        # log^(0) 16 = 8 >= 4, log^(1) 16 = 3 < 4
+        assert log_star(16, 2.0, c=4) == 0
+
+    def test_larger(self):
+        # log^(1) 64 = 5 >= 4, log^(2) 64 = log2 5 < 4
+        assert log_star(64, 2.0, c=4) == 1
+
+    def test_definition(self):
+        for x in (8, 20, 100, 2**10, 2**20):
+            for c in (2, 4):
+                t = log_star(x, 2.0, c)
+                if t >= 0:
+                    assert iterated_log(x, t) >= c
+                assert iterated_log(x, t + 1) < c
+
+    def test_grows_with_x(self):
+        assert log_star(2**64, 2.0, c=2) > log_star(2**8, 2.0, c=2)
+
+
+class TestHelpers:
+    def test_next_pow(self):
+        assert next_pow(2, 1) == 1
+        assert next_pow(2, 5) == 8
+        assert next_pow(3, 10) == 27
+
+    def test_next_pow_exact(self):
+        assert next_pow(2, 16) == 16
+
+    def test_next_pow_rejects(self):
+        with pytest.raises(ValueError):
+            next_pow(1, 4)
+        with pytest.raises(ValueError):
+            next_pow(2, 0)
+
+    def test_is_perfect_square(self):
+        assert is_perfect_square(0)
+        assert is_perfect_square(49)
+        assert not is_perfect_square(50)
+        assert not is_perfect_square(-4)
+
+    def test_isqrt_exact(self):
+        assert isqrt_exact(144) == 12
+        with pytest.raises(ValueError):
+            isqrt_exact(145)
+
+    def test_ceil_div(self):
+        assert ceil_div(7, 3) == 3
+        assert ceil_div(6, 3) == 2
+        assert ceil_div(0, 5) == 0
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)

@@ -1,0 +1,47 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        a = make_rng(7).uniform(size=10)
+        b = make_rng(7).uniform(size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).uniform(size=10)
+        b = make_rng(2).uniform(size=10)
+        assert not (a == b).all()
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_allowed(self):
+        g = make_rng(None)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_and_reproducible(self):
+        kids1 = spawn(make_rng(3), 4)
+        kids2 = spawn(make_rng(3), 4)
+        for a, b in zip(kids1, kids2):
+            assert (a.uniform(size=5) == b.uniform(size=5)).all()
+
+    def test_children_mutually_different(self):
+        kids = spawn(make_rng(3), 3)
+        draws = [k.uniform(size=8) for k in kids]
+        assert not (draws[0] == draws[1]).all()
+        assert not (draws[1] == draws[2]).all()
+
+    def test_zero_children(self):
+        assert spawn(make_rng(0), 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
