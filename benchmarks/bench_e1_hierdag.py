@@ -22,18 +22,28 @@ HEIGHTS = [8, 10, 12, 14, 16]
 M_QUERIES = 1024
 
 
-def run_once(height: int, method: str) -> tuple[float, int]:
+def sweep_setup(height: int, method: str) -> dict:
+    """Untimed problem construction (graph, structure, keys) for one point."""
     dag, leaf_keys = build_mu_ary_search_dag(2, height, seed=1)
     st = hierdag_search_structure(dag)
     rng = np.random.default_rng(2)
     keys = rng.uniform(leaf_keys[0], leaf_keys[-1], M_QUERIES)
-    eng = MeshEngine.for_problem(max(dag.size, M_QUERIES))
-    qs = QuerySet.start(keys, 0)
+    return {"st": st, "keys": keys, "n": int(dag.size)}
+
+
+def sweep_run(ctx: dict, height: int, method: str) -> tuple[float, int]:
+    """Timed part: engine + query set + the multisearch itself."""
+    eng = MeshEngine.for_problem(max(ctx["n"], M_QUERIES))
+    qs = QuerySet.start(ctx["keys"], 0)
     if method == "hierdag":
-        res = hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+        res = hierdag_multisearch(eng, ctx["st"], qs, mu=2.0, c=2)
     else:
-        res = synchronous_multisearch(eng, st, qs)
-    return res.mesh_steps, dag.size
+        res = synchronous_multisearch(eng, ctx["st"], qs)
+    return res.mesh_steps, ctx["n"]
+
+
+def run_once(height: int, method: str) -> tuple[float, int]:
+    return sweep_run(sweep_setup(height, method), height, method)
 
 
 @pytest.fixture(scope="module")

@@ -28,9 +28,8 @@ def setup(height):
     return t, st, sp
 
 
-def run_once(height=12, skew=1.0):
-    """skew = fraction of queries starting at the root (max congestion);
-    the rest start spread over the depth-cut subtree roots."""
+def sweep_setup(height=12, skew=1.0):
+    """Untimed problem construction (tree, splitting, keys, start spread)."""
     t, st, sp = setup(height)
     rng = np.random.default_rng(3)
     keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], M)
@@ -41,10 +40,21 @@ def run_once(height=12, skew=1.0):
     picks = roots[rng.integers(0, roots.size, M)]
     starts[spread] = picks[spread]
     keys[spread] = t.subtree_lo[starts[spread]] + 1e-9
-    eng = MeshEngine.for_problem(max(t.size, M))
-    qs = QuerySet.start(keys, starts)
-    stats = constrained_multisearch(eng, st, qs, sp)
-    return eng.clock.time, t.size, stats
+    return {"st": st, "sp": sp, "keys": keys, "starts": starts, "n": int(t.size)}
+
+
+def sweep_run(ctx, height=12, skew=1.0):
+    """Timed part: engine + query set + Constrained-Multisearch."""
+    eng = MeshEngine.for_problem(max(ctx["n"], M))
+    qs = QuerySet.start(ctx["keys"], ctx["starts"])
+    stats = constrained_multisearch(eng, ctx["st"], qs, ctx["sp"])
+    return eng.clock.time, ctx["n"], stats
+
+
+def run_once(height=12, skew=1.0):
+    """skew = fraction of queries starting at the root (max congestion);
+    the rest start spread over the depth-cut subtree roots."""
+    return sweep_run(sweep_setup(height, skew), height, skew)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,429 @@
+"""Parallel benchmark harness: fan sweep points across cores, emit JSON.
+
+Every ``benchmarks/bench_*.py`` defines a sweep (heights, sizes, widths,
+...) driven through a ``run_once``-style entry point.  Under pytest those
+sweeps run sequentially inside one process; this module is the
+machine-readable, parallel alternative:
+
+* the :data:`REGISTRY` names each bench's entry point and sweep points;
+* every point runs in its own worker process (``ProcessPoolExecutor``
+  with ``max_tasks_per_child=1``, so ``getrusage`` peak RSS is per-point),
+  once with the engine fast path enabled and once with it disabled;
+* per point it records min-of-repeats wall time for both engine modes,
+  the mesh-step count (the paper's cost measure — asserted identical
+  between modes), peak RSS, and the fast/slow speedup;
+* results land in ``BENCH_<name>.json`` at the repo root, and
+  ``--compare`` re-runs a sweep and fails on >10% wall-clock regression
+  against a previously committed JSON.
+
+Usage::
+
+    python -m repro.bench.runner --all --jobs 4
+    python -m repro.bench.runner e1_hierdag e2_constrained
+    python -m repro.bench.runner --all --smoke          # smallest points
+    python -m repro.bench.runner e1_hierdag --compare BENCH_e1_hierdag.json
+    python -m repro.bench.runner e2_constrained --profile
+
+``bench_figures.py`` (plot aggregation over other benches' saved tables)
+is intentionally not in the registry — it has no sweep of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import pathlib
+import resource
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+__all__ = ["REGISTRY", "BenchSpec", "run_bench", "run_point", "main"]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+SCHEMA_VERSION = 1
+#: --compare fails when fast-path wall time exceeds baseline by this factor
+REGRESSION_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One bench's entry point and sweep, smallest point first."""
+
+    module: str
+    entry: str
+    points: tuple
+    #: False for sweeps whose return value carries no mesh-step count
+    #: (e.g. a relative volume error) — guards the generic extractor.
+    has_steps: bool = True
+    #: name of an untimed setup function ``setup(**point) -> ctx`` whose
+    #: result is passed as the entry point's first argument; benches with
+    #: one measure only engine + algorithm, not problem construction.
+    setup: str | None = None
+
+
+def _pts(base: dict | None = None, **sweeps) -> tuple:
+    """Cartesian sweep points, last key varying fastest."""
+    points = [dict(base or {})]
+    for name, values in sweeps.items():
+        points = [{**p, name: v} for v in values for p in points]
+    # re-sort so the FIRST sweep key varies slowest and points ascend
+    return tuple(sorted(points, key=lambda p: [p[k] for k in sweeps]))
+
+
+REGISTRY: dict[str, BenchSpec] = {
+    "e1_hierdag": BenchSpec(
+        "bench_e1_hierdag", "sweep_run",
+        _pts(height=[8, 10, 12, 14, 16], method=["hierdag", "baseline"]),
+        setup="sweep_setup",
+    ),
+    "e2_constrained": BenchSpec(
+        "bench_e2_constrained", "sweep_run",
+        _pts(height=[8, 10, 12, 14], skew=[0.0, 0.5, 1.0]),
+        setup="sweep_setup",
+    ),
+    "e3_alpha": BenchSpec(
+        "bench_e3_alpha", "run_once",
+        _pts(handle_len=[4, 16, 64, 192, 448], method=["alpha", "baseline"]),
+    ),
+    "e4_alphabeta": BenchSpec(
+        "bench_e4_alphabeta", "run_once",
+        _pts(width=[2.0, 16.0, 64.0, 256.0], method=["alphabeta", "baseline"]),
+    ),
+    "e5_lemma1": BenchSpec(
+        "bench_e5_lemma1", "run_once", _pts(height=[10, 12, 14, 16])
+    ),
+    "e6_linepoly": BenchSpec(
+        "bench_e6_linepoly", "run_once", _pts(n=[128, 256, 512, 1024])
+    ),
+    "e7_pointloc": BenchSpec(
+        "bench_e7_pointloc", "run_once",
+        _pts(n_sites=[100, 200, 400, 800], method=["hierdag", "baseline"]),
+    ),
+    "e8_intervals": BenchSpec(
+        "bench_e8_intervals", "run_once",
+        _pts(n=[256, 512, 1024, 2048], mode=["count", "report"]),
+    ),
+    "e9a_separation": BenchSpec(
+        "bench_e9_hull3d", "run_separation",
+        _pts(offset=[0.2, 0.8, 1.4, 2.0, 2.6, 3.2]),
+    ),
+    "e9b_hull": BenchSpec(
+        "bench_e9_hull3d", "run_hull", _pts(n=[200, 400, 800]), has_steps=False
+    ),
+    "e10_vm": BenchSpec("bench_e10_vm", "vm_costs", _pts(side=[8, 16, 32, 64])),
+    "a4_twothree": BenchSpec(
+        "bench_a4_twothree", "run_once",
+        _pts(n=[256, 1024, 4096], variant=["complete", "twothree"]),
+    ),
+    "ablation_bands": BenchSpec(
+        "bench_ablation_bands", "run_once",
+        _pts(height=[12, 14, 16], variant=["c=2", "c=4", "none"]),
+    ),
+    "ablation_cm": BenchSpec(
+        "bench_ablation_cm", "run_once", _pts(scale=[0.25, 0.5, 1.0, 2.0, 4.0])
+    ),
+    "dr90_hypercube": BenchSpec(
+        "bench_dr90_hypercube", "run_once",
+        _pts(handle_len=[16, 64, 192],
+             strategy=["hypercube", "mesh-sync", "multisearch"]),
+    ),
+}
+
+
+# -- worker side -----------------------------------------------------------
+
+
+def _extract_steps(result) -> float | None:
+    """Best-effort mesh-step count from a bench entry point's return value.
+
+    Accepts the shapes used across ``benchmarks/``: a bare number, a tuple
+    whose leading numeric element is the step count, an object exposing
+    ``mesh_steps``, or a per-primitive ``{label: steps}`` dict (E10).
+    """
+    def probe(obj):
+        ms = getattr(obj, "mesh_steps", None)
+        if ms is not None:
+            return float(ms)
+        if isinstance(obj, bool):
+            return None
+        if isinstance(obj, (int, float, np.integer, np.floating)):
+            return float(obj)
+        if isinstance(obj, dict) and obj and all(
+            isinstance(v, (int, float, np.integer, np.floating)) for v in obj.values()
+        ):
+            return float(sum(obj.values()))
+        return None
+
+    for obj in result if isinstance(result, tuple) else (result,):
+        found = probe(obj)
+        if found is not None:
+            return found
+    return None
+
+
+def _bench_callable(bench: str):
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    spec = REGISTRY[bench]
+    module = importlib.import_module(spec.module)
+    return spec, getattr(module, spec.entry)
+
+
+def run_point(
+    bench: str,
+    point: dict,
+    repeats: int = 5,
+    warmup: int = 1,
+    profile: bool = False,
+) -> dict:
+    """Measure one sweep point (called in a worker process).
+
+    Runs the point under both engine modes (``REPRO_FAST_PATH=1`` and
+    ``0``) and returns the point's JSON record.  Because the pool recycles
+    the process after each task, ``ru_maxrss`` is this point's peak RSS.
+    """
+    spec, fn = _bench_callable(bench)
+    if spec.setup is not None:
+        module = importlib.import_module(spec.module)
+        ctx = getattr(module, spec.setup)(**point)
+        call = lambda: fn(ctx, **point)  # noqa: E731 - tight timing closure
+    else:
+        call = lambda: fn(**point)  # noqa: E731
+    record: dict = {"params": dict(point)}
+    modes = (("fast", "1"), ("slow", "0"))
+    best = {mode: float("inf") for mode, _ in modes}
+    results: dict = {mode: None for mode, _ in modes}
+    for mode, flag in modes:
+        os.environ["REPRO_FAST_PATH"] = flag
+        for _ in range(warmup):
+            call()
+    # interleave the modes' timed repetitions so scheduler noise (other
+    # sweep points time-slicing the same cores) biases neither mode
+    for _ in range(repeats):
+        for mode, flag in modes:
+            os.environ["REPRO_FAST_PATH"] = flag
+            t0 = time.perf_counter()
+            results[mode] = call()
+            best[mode] = min(best[mode], time.perf_counter() - t0)
+    os.environ.pop("REPRO_FAST_PATH", None)
+    steps_seen: dict[str, float | None] = {}
+    for mode, _ in modes:
+        steps = _extract_steps(results[mode]) if spec.has_steps else None
+        steps_seen[mode] = steps
+        record[mode] = {
+            "wall_s_min": best[mode], "repeats": repeats, "mesh_steps": steps
+        }
+    if steps_seen["fast"] is not None and steps_seen["slow"] is not None:
+        record["mesh_steps_equal"] = steps_seen["fast"] == steps_seen["slow"]
+    record["speedup"] = record["slow"]["wall_s_min"] / record["fast"]["wall_s_min"]
+    if profile:
+        from repro.mesh.clock import drain_profiled_clocks
+        from repro.mesh.profile import CostProfile, profile as summarize
+
+        drain_profiled_clocks()
+        os.environ["REPRO_PROFILE"] = "1"
+        try:
+            call()
+        finally:
+            os.environ.pop("REPRO_PROFILE", None)
+        merged = CostProfile().merge(
+            *(summarize(clock.history) for clock in drain_profiled_clocks())
+        )
+        record["profile"] = merged.to_dict()
+    record["peak_rss_kb"] = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return record
+
+
+# -- parent side -----------------------------------------------------------
+
+
+def _ensure_child_paths() -> None:
+    """Make ``repro`` and the bench modules importable in spawned workers.
+
+    Spawned children rebuild ``sys.path`` from the environment, so a parent
+    that found ``repro`` some other way (pytest conftest, editable install)
+    must pass the paths down explicitly.
+    """
+    parts = [str(REPO_ROOT / "src"), str(BENCH_DIR)]
+    for part in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+        if part and part not in parts:
+            parts.append(part)
+    os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+
+
+def run_bench(
+    bench: str,
+    jobs: int,
+    repeats: int = 5,
+    warmup: int = 1,
+    smoke: bool = False,
+    profile: bool = False,
+) -> dict:
+    """Fan one bench's sweep points across worker processes."""
+    spec = REGISTRY[bench]
+    points = spec.points[:1] if smoke else spec.points
+    if smoke:
+        repeats, warmup = 1, 1
+    _ensure_child_paths()
+    started = time.time()
+    records: list[dict | None] = [None] * len(points)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(points)),
+        mp_context=get_context("spawn"),
+        max_tasks_per_child=1,
+    ) as pool:
+        futures = {
+            pool.submit(run_point, bench, p, repeats, warmup, profile): i
+            for i, p in enumerate(points)
+        }
+        for future in futures:
+            records[futures[future]] = future.result()
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "bench": bench,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "jobs": jobs,
+        "repeats": repeats,
+        "warmup": warmup,
+        "wall_s_total": time.time() - started,
+        "points": records,
+    }
+    if profile:
+        from repro.mesh.profile import CostProfile
+
+        merged = CostProfile().merge(
+            *(CostProfile.from_dict(r["profile"]) for r in records if "profile" in r)
+        )
+        doc["profile"] = merged.to_dict()
+    return doc
+
+
+def compare(doc: dict, baseline: dict, tolerance: float = REGRESSION_TOLERANCE) -> list[str]:
+    """Fast-path wall-clock regressions of ``doc`` vs ``baseline`` (>tolerance)."""
+    failures: list[str] = []
+    base_by_params = {json.dumps(p["params"], sort_keys=True): p for p in baseline["points"]}
+    for point in doc["points"]:
+        key = json.dumps(point["params"], sort_keys=True)
+        base = base_by_params.get(key)
+        if base is None:
+            continue
+        old = base["fast"]["wall_s_min"]
+        new = point["fast"]["wall_s_min"]
+        if old > 0 and new > old * (1 + tolerance):
+            failures.append(
+                f"{doc['bench']} {point['params']}: fast wall {new * 1e3:.2f}ms "
+                f"vs baseline {old * 1e3:.2f}ms (+{(new / old - 1):.0%} > {tolerance:.0%})"
+            )
+    return failures
+
+
+def _render_bench(doc: dict) -> str:
+    lines = [f"{doc['bench']}: {len(doc['points'])} points in {doc['wall_s_total']:.1f}s"]
+    for point in doc["points"]:
+        params = ", ".join(f"{k}={v}" for k, v in point["params"].items())
+        steps = point["fast"]["mesh_steps"]
+        steps_txt = "-" if steps is None else f"{steps:.0f}"
+        eq = point.get("mesh_steps_equal")
+        eq_txt = "" if eq is None else ("" if eq else "  STEPS MISMATCH")
+        lines.append(
+            f"  [{params}] fast={point['fast']['wall_s_min'] * 1e3:.2f}ms "
+            f"slow={point['slow']['wall_s_min'] * 1e3:.2f}ms "
+            f"speedup={point['speedup']:.2f}x steps={steps_txt} "
+            f"rss={point['peak_rss_kb'] / 1024:.0f}MB{eq_txt}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.runner", description=__doc__.split("\n", 1)[0]
+    )
+    parser.add_argument("benches", nargs="*", help="bench names (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every registered bench")
+    parser.add_argument("--list", action="store_true", help="list registered benches")
+    parser.add_argument("--jobs", type=int, default=max(1, (os.cpu_count() or 2) - 1))
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smallest sweep point only, one repeat (tier-2 sanity check)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also collect a merged per-label mesh-step profile",
+    )
+    parser.add_argument(
+        "--out-dir", type=pathlib.Path, default=REPO_ROOT,
+        help="directory for BENCH_<name>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print, write nothing"
+    )
+    parser.add_argument(
+        "--compare", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="baseline BENCH_<name>.json file (or a directory of them); "
+        f"exit 1 on a >{REGRESSION_TOLERANCE:.0%} fast-path wall-clock regression",
+    )
+    parser.add_argument("--tolerance", type=float, default=REGRESSION_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, spec in REGISTRY.items():
+            print(f"{name:<16} {spec.module}.{spec.entry}  {len(spec.points)} points")
+        return 0
+    selected = list(REGISTRY) if args.all else args.benches
+    if not selected:
+        parser.error("name at least one bench, or pass --all / --list")
+    unknown = [b for b in selected if b not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown bench(es): {', '.join(unknown)} (see --list)")
+
+    failures: list[str] = []
+    for bench in selected:
+        doc = run_bench(
+            bench, jobs=args.jobs, repeats=args.repeats, warmup=args.warmup,
+            smoke=args.smoke, profile=args.profile,
+        )
+        print(_render_bench(doc), flush=True)
+        for point in doc["points"]:
+            if point.get("mesh_steps_equal") is False:
+                failures.append(
+                    f"{bench} {point['params']}: fast/slow mesh-step counts differ"
+                )
+        if args.compare is not None:
+            path = args.compare
+            if path.is_dir():
+                path = path / f"BENCH_{bench}.json"
+            if path.exists():
+                baseline = json.loads(path.read_text())
+                failures += compare(doc, baseline, args.tolerance)
+            else:
+                failures.append(f"{bench}: baseline {path} not found")
+        if not args.no_write and args.compare is None:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            out = args.out_dir / f"BENCH_{bench}.json"
+            out.write_text(json.dumps(doc, indent=2) + "\n")
+            print(f"  wrote {out}", flush=True)
+        if args.profile and "profile" in doc:
+            from repro.mesh.profile import CostProfile
+
+            print(CostProfile.from_dict(doc["profile"]).render(), flush=True)
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,8 @@ import numpy as np
 from repro.core.model import STOP, QuerySet, SearchStructure
 from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine, Region
+from repro.mesh.records import fused_view, should_fuse
+from repro.mesh.topology import block_spec
 from repro.util.mathx import ceil_div
 
 __all__ = ["constrained_multisearch", "ConstrainedStats"]
@@ -56,13 +58,31 @@ class ConstrainedStats:
     steps_histogram: dict[int, int] = field(default_factory=dict)
 
 
-def _delta_grid(engine: MeshEngine, n: int, delta: float) -> tuple[list[Region], int]:
-    """Physical delta-submesh grid: ``g x g`` blocks of ``~n^delta`` processors."""
+def _grid_g(engine: MeshEngine, n: int, delta: float) -> int:
+    """Grid granularity: ``g x g`` blocks of ``~n^delta`` processors."""
     sub_records = max(1.0, float(n) ** delta)
     sub_side = max(1, math.ceil(math.sqrt(sub_records)))
-    g = max(1, engine.shape.rows // sub_side)
+    return max(1, engine.shape.rows // sub_side)
+
+
+def _delta_grid(engine: MeshEngine, n: int, delta: float) -> tuple[list[Region], int]:
+    """Physical delta-submesh grid, fully materialized."""
+    g = _grid_g(engine, n, delta)
     regions = engine.root.partition(g, g)
     return regions, g
+
+
+def _grid_block(engine: MeshEngine, g: int, index: int) -> Region:
+    """Block ``index`` (row-major) of the ``g x g`` grid, and nothing else.
+
+    The fast path uses this in place of :func:`_delta_grid`: the procedure
+    only ever touches block 0 (for the common submesh side) and the
+    heaviest block (for the capacity spot-check), so materializing all
+    ``g^2`` region objects per call is pure overhead.  ``block_spec``
+    guarantees the same cuts as ``partition``.
+    """
+    spec = block_spec(engine.root.spec, g, g, index // g, index % g)
+    return Region(engine, spec)
 
 
 def constrained_multisearch(
@@ -88,12 +108,13 @@ def constrained_multisearch(
         rounds = max(1, math.ceil(math.log2(max(n, 2))))
     stats.rounds = rounds
 
+    fast = engine.fast_path
+
     # Step 1: mark queries whose current vertex is in some G_i.  The comp
     # label rides with the vertex record (Section 4 storage convention), so
     # this is one RAR of the label by current-vertex id.
     comp_table = splitting.comp
     cur = qs.current
-    safe = np.where(cur >= 0, cur, 0)
     (comp_of_cur,) = root.rar(
         np.where(cur >= 0, cur, -1), comp_table, fill=-1, label="cm:mark"
     )
@@ -110,7 +131,10 @@ def constrained_multisearch(
         label="cm:gamma",
     )
     cap = max(1, int(math.ceil(float(n) ** delta)))
-    gamma = np.array([ceil_div(int(c), cap) for c in counts], dtype=np.int64)
+    if fast:  # -(-c // cap) is ceil_div, applied to the whole count vector
+        gamma = -(-counts.astype(np.int64) // cap)
+    else:
+        gamma = np.array([ceil_div(int(c), cap) for c in counts], dtype=np.int64)
 
     # Step 3: nothing to do?
     total_copies = int(gamma.sum())
@@ -122,8 +146,17 @@ def constrained_multisearch(
     # physical submeshes round-robin.  Creating and distributing all
     # copies is a constant number of global sort/route operations
     # (total copied data = sum Gamma_i * |G_i| = O(n)).
-    regions, g = _delta_grid(engine, n, delta)
-    n_phys = len(regions)
+    if fast:
+        # geometry only — the procedure touches block 0 (common submesh
+        # side) and the heaviest block (capacity check); skip the other
+        # g^2 - 2 region objects.
+        g = _grid_g(engine, n, delta)
+        n_phys = g * g
+        first_block = _grid_block(engine, g, 0)
+    else:
+        regions, g = _delta_grid(engine, n, delta)
+        n_phys = len(regions)
+        first_block = regions[0]
     component_of_copy = np.repeat(np.arange(k), gamma)
     copy_base = np.concatenate([[0], np.cumsum(gamma)])  # component -> first copy id
     phys_of_copy = np.arange(total_copies) % n_phys
@@ -141,7 +174,8 @@ def constrained_multisearch(
     heavy_records = int(
         splitting.sizes[component_of_copy[phys_of_copy == heavy]].sum()
     ) if total_copies else 0
-    regions[heavy].check_capacity(
+    heavy_region = _grid_block(engine, g, heavy) if fast else regions[heavy]
+    heavy_region.check_capacity(
         heavy_records, per_proc=engine.capacity, what="copied subgraph records"
     )
 
@@ -173,40 +207,107 @@ def constrained_multisearch(
     # cost is that of the most-loaded physical submesh: its virtual copies
     # run sequentially, each round costing one RAR + one local step on a
     # submesh of side regions[0].side.
-    sub_side = regions[0].side
+    sub_side = first_block.side
     per_round_cost = (
         engine.clock.cost.route * sub_side + engine.clock.cost.local
     ) * stats.max_copies_per_submesh
-    live = mk.copy()
     steps_in_cm = np.zeros(qs.m, dtype=np.int64)
-    for _ in range(rounds):
-        if not live.any():
-            break
-        engine.clock.charge(per_round_cost, label="cm:round")
-        cur_live = qs.current[live]
-        nxt, new_state = structure.successor(
-            cur_live,
-            structure.payload[cur_live],
-            structure.adjacency[cur_live],
-            structure.level[cur_live],
-            qs.key[live],
-            qs.state[live],
-        )
-        # next vertex stays in the same subgraph copy?
-        stays = (nxt != STOP) & (comp_table[np.clip(nxt, 0, None)] == comp_of_cur[live])
-        li = np.flatnonzero(live)
-        adv = li[stays]
-        qs.current[adv] = nxt[stays]
-        qs.state[adv] = new_state[stays]
-        qs.steps[adv] += 1
-        steps_in_cm[adv] += 1
-        stats.advanced_total += int(stays.sum())
-        # unmark queries that would leave (they stay at their last vertex)
-        live[li[~stays]] = False
-        qs.log_visit()
+    if fast and not qs.record_trace and should_fuse(structure):
+        # Index-based round loop over a fused vertex-record view: the live
+        # set shrinks monotonically, so the loop owns compact per-live
+        # arrays (current/key/state/step-count) and touches the full-width
+        # query set only when a query drops out — per-round work is one
+        # packed-row fancy-index plus compressions of the shrinking live
+        # arrays, with successor inputs as column views of the rows.
+        fv = fused_view(structure)
+        vblk, pc, pw, pdt = fv.span("payload")
+        _, ac, aw, _ = fv.span("adjacency")
+        _, lc, _, _ = fv.span("level")
+        li = np.flatnonzero(mk)
+        comp_li = comp_of_cur[li]
+        cur_li = qs.current[li]
+        key_li = qs.key[li]
+        state_li = qs.state[li]
+        steps_li = np.zeros(li.size, dtype=np.int64)
+        for _ in range(rounds):
+            if not li.size:
+                break
+            engine.clock.charge(per_round_cost, label="cm:round")
+            vrow = vblk[cur_li]
+            nxt, new_state = structure.successor(
+                cur_li,
+                vrow[:, pc : pc + pw].view(pdt),
+                vrow[:, ac : ac + aw],
+                vrow[:, lc],
+                key_li,
+                state_li,
+            )
+            # next vertex stays in the same subgraph copy?
+            # np.maximum == np.clip(nxt, 0, None) without the iinfo lookup
+            stays = (nxt != STOP) & (comp_table[np.maximum(nxt, 0)] == comp_li)
+            stats.advanced_total += int(stays.sum())
+            if stays.all():
+                cur_li = nxt
+                state_li = new_state
+                steps_li += 1
+                continue
+            # queries that would leave stay at their last vertex and drop
+            # out: flush their pre-round position/state and step counts
+            out = ~stays
+            drop = li[out]
+            qs.current[drop] = cur_li[out]
+            qs.state[drop] = state_li[out]
+            stepped = steps_li[out]
+            qs.steps[drop] += stepped
+            steps_in_cm[drop] = stepped
+            li = li[stays]
+            comp_li = comp_li[stays]
+            key_li = key_li[stays]
+            cur_li = nxt[stays]
+            state_li = np.ascontiguousarray(new_state[stays])
+            steps_li = steps_li[stays] + 1
+        if li.size:  # still-live queries flush once at round exhaustion
+            qs.current[li] = cur_li
+            qs.state[li] = state_li
+            qs.steps[li] += steps_li
+            steps_in_cm[li] = steps_li
+    else:
+        live = mk.copy()
+        for _ in range(rounds):
+            if not live.any():
+                break
+            engine.clock.charge(per_round_cost, label="cm:round")
+            cur_live = qs.current[live]
+            nxt, new_state = structure.successor(
+                cur_live,
+                structure.payload[cur_live],
+                structure.adjacency[cur_live],
+                structure.level[cur_live],
+                qs.key[live],
+                qs.state[live],
+            )
+            # next vertex stays in the same subgraph copy?
+            stays = (nxt != STOP) & (comp_table[np.clip(nxt, 0, None)] == comp_of_cur[live])
+            li = np.flatnonzero(live)
+            adv = li[stays]
+            qs.current[adv] = nxt[stays]
+            qs.state[adv] = new_state[stays]
+            qs.steps[adv] += 1
+            steps_in_cm[adv] += 1
+            stats.advanced_total += int(stays.sum())
+            # unmark queries that would leave (they stay at their last vertex)
+            live[li[~stays]] = False
+            qs.log_visit()
 
     # Step 7: discard copies; route the queries back to their home slots.
     engine.clock.charge(engine.clock.cost.route * root.side, label="cm:return-route")
-    vals, cnts = np.unique(steps_in_cm[mk], return_counts=True) if mk.any() else ([], [])
-    stats.steps_histogram = {int(v): int(c) for v, c in zip(vals, cnts)}
+    if fast:
+        # histogram of small non-negative ints: bincount + nonzero yields
+        # the same {value: count} dict (ascending) as np.unique, in O(n).
+        counts_hist = np.bincount(steps_in_cm[mk]) if mk.any() else np.array([], dtype=np.int64)
+        nz = np.flatnonzero(counts_hist)
+        stats.steps_histogram = {int(v): int(counts_hist[v]) for v in nz}
+    else:
+        vals, cnts = np.unique(steps_in_cm[mk], return_counts=True) if mk.any() else ([], [])
+        stats.steps_histogram = {int(v): int(c) for v, c in zip(vals, cnts)}
     return stats

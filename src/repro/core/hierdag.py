@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.bands import Band, BandDecomposition, compute_bands
 from repro.core.model import STOP, MultisearchResult, QuerySet, SearchStructure
 from repro.mesh.engine import MeshEngine
+from repro.mesh.records import fused_view, should_fuse
 from repro.util.mathx import iterated_log
 
 __all__ = ["BandPlan", "HierDagPlan", "plan_hierdag", "hierdag_multisearch", "lemma1_band_steps"]
@@ -123,6 +124,53 @@ def plan_hierdag(
     return HierDagPlan(deco, plans, mesh_side, rec_per_vertex)
 
 
+def _cached_plan(
+    structure: SearchStructure, mesh_side: int, mu: float, c: int | None
+) -> HierDagPlan:
+    """Memoized :func:`plan_hierdag` (the plan is a pure function of the
+    structure's level histogram and the parameters).
+
+    Cached on the structure object, guarded by the identity of its level
+    array; replacing ``structure.level`` invalidates the entry.  Used by
+    the fast path so repeated multisearches over one structure stop
+    re-deriving the same band grids.
+    """
+    key = (mesh_side, mu, c)
+    cached = getattr(structure, "_repro_plan", None)
+    if cached is not None and cached[0] == key and cached[1] is structure.level:
+        return cached[2]
+    plan = plan_hierdag(structure, mesh_side, mu, c)
+    try:
+        structure._repro_plan = (key, structure.level, plan)
+    except (AttributeError, TypeError):  # frozen/slotted structures: no cache
+        pass
+    return plan
+
+
+def _unit_level_steps(structure: SearchStructure) -> bool:
+    """True when every edge drops exactly one level (cached on the structure).
+
+    When it holds, an advancing query's new level is ``old + 1`` (or ``-1``
+    on STOP), so the advancer can skip the random ``level[nxt]`` gather.
+    """
+    cached = getattr(structure, "_repro_unit_levels", None)
+    if cached is not None and cached[0] is structure.adjacency:
+        return cached[1]
+    adj = structure.adjacency
+    lvl = structure.level
+    valid = adj >= 0
+    ok = bool(
+        np.array_equal(
+            lvl[adj[valid]], np.broadcast_to(lvl[:, None] + 1, adj.shape)[valid]
+        )
+    )
+    try:
+        structure._repro_unit_levels = (structure.adjacency, ok)
+    except (AttributeError, TypeError):  # frozen/slotted structures: no cache
+        pass
+    return ok
+
+
 def _advance_level(structure: SearchStructure, qs: QuerySet, level: int) -> int:
     """Advance every active query currently at ``level`` by one step."""
     act = qs.current != STOP
@@ -150,12 +198,155 @@ def _advance_level(structure: SearchStructure, qs: QuerySet, level: int) -> int:
     return int(idx.size)
 
 
+class _FastAdvancer:
+    """Host-fast equivalent of :func:`_advance_level` for one multisearch run.
+
+    Instead of re-deriving "which queries sit at this level" from scratch
+    every level (a clip + gather + three comparisons over all ``m``
+    queries), it carries each query's current level in an array that the
+    advance itself keeps up to date, and gathers the selected queries'
+    vertex records straight out of the structure's packed
+    :func:`fused_view` block — one row fancy-index per advance.
+
+    The query side is packed the same way: an *owned* int64 block
+    ``[current, steps, key-bits, state-bits]`` (floats bit-cast) feeds
+    each advance with a single row gather and is flushed back into the
+    :class:`QuerySet` by :meth:`flush` — required after the last advance.
+    Successor inputs are column *views* of the gathered rows (the
+    Section 2 contract already makes them read-only to successors), so
+    selection set, successor inputs and query-state updates are
+    element-for-element those of :func:`_advance_level` and outputs are
+    byte-identical.  With ``record_trace`` on, ``qs.current`` must stay
+    live at every visit, so the advancer operates on ``qs`` directly.
+    """
+
+    def __init__(self, structure: SearchStructure, qs: QuerySet) -> None:
+        self.structure = structure
+        self.qs = qs
+        fv = fused_view(structure)
+        self.vblk, self._pc, self._pw, self._pdt = fv.span("payload")
+        _, self._ac, self._aw, _ = fv.span("adjacency")
+        _, self._lc, _, _ = fv.span("level")
+        levels = np.full(qs.m, -1, dtype=np.int64)
+        at = qs.current >= 0  # active and placed (STOP is the only negative)
+        levels[at] = structure.level[qs.current[at]]
+        self.levels = levels
+        self._unit = _unit_level_steps(structure)
+        self._owned = not qs.record_trace
+        if self._owned:
+            m = qs.m
+            self._key_1d = qs.key.ndim == 1
+            kw = 1 if self._key_1d else qs.key.shape[1]
+            sw = qs.state.shape[1]
+            key = np.ascontiguousarray(qs.key).reshape(m, kw).view(np.int64)
+            state = np.ascontiguousarray(qs.state).reshape(m, sw).view(np.int64)
+            self._kc, self._kw = 2, kw
+            self._sc, self._sw = 2 + kw, sw
+            self.qblk = np.concatenate(
+                [qs.current[:, None], qs.steps[:, None], key, state], axis=1
+            )
+
+    def flush(self) -> None:
+        """Write the owned query block back into the :class:`QuerySet`."""
+        if not self._owned:
+            return
+        qs = self.qs
+        qs.current[:] = self.qblk[:, 0]
+        qs.steps[:] = self.qblk[:, 1]
+        qs.state[...] = (
+            self.qblk[:, self._sc : self._sc + self._sw]
+            .view(np.float64)
+            .reshape(qs.state.shape)
+        )
+
+    def advance(self, level: int) -> int:
+        if not self._owned:
+            return self._advance_traced(level)
+        sel = np.flatnonzero(self.levels == level)
+        if sel.size == 0:
+            return 0  # log_visit is a no-op without tracing
+        full = sel.size == self.levels.shape[0]
+        qrow = self.qblk if full else self.qblk[sel]
+        cs = qrow[:, 0]
+        vrow = self.vblk[cs]
+        payload = vrow[:, self._pc : self._pc + self._pw].view(self._pdt)
+        adjacency = vrow[:, self._ac : self._ac + self._aw]
+        vlevel = vrow[:, self._lc]
+        if self._key_1d:
+            key = qrow[:, self._kc].view(np.float64)
+        else:
+            key = qrow[:, self._kc : self._kc + self._kw].view(np.float64)
+        st = qrow[:, self._sc : self._sc + self._sw].view(np.float64)
+        nxt, new_state = self.structure.successor(
+            cs, payload, adjacency, vlevel, key, st
+        )
+        if self._unit:  # new level is old + 1 (or -1 on STOP): no gather
+            lv = np.where(nxt >= 0, vlevel + 1, np.int64(-1))
+        else:
+            # negative ids (STOP == -1) wrap to a garbage level, then fixed
+            lv = self.structure.level[nxt]
+            lv[nxt < 0] = -1
+        if full:  # sel is arange(m): write whole columns, rebind levels
+            self.qblk[:, 0] = nxt
+            self.qblk[:, 1] += 1
+            if new_state is not st:
+                self.qblk[:, self._sc : self._sc + self._sw] = (
+                    np.ascontiguousarray(new_state, dtype=np.float64)
+                    .reshape(nxt.shape[0], -1)
+                    .view(np.int64)
+                )
+            self.levels = lv
+        else:
+            self.qblk[sel, 0] = nxt
+            self.qblk[sel, 1] = qrow[:, 1] + 1
+            if new_state is not st:
+                self.qblk[sel, self._sc : self._sc + self._sw] = (
+                    np.ascontiguousarray(new_state, dtype=np.float64)
+                    .reshape(nxt.shape[0], -1)
+                    .view(np.int64)
+                )
+            self.levels[sel] = lv
+        return int(sel.size)
+
+    def _advance_traced(self, level: int) -> int:
+        qs = self.qs
+        sel = np.flatnonzero(self.levels == level)
+        if sel.size == 0:
+            if qs.active.any():  # mirror _advance_level's log/no-log split
+                qs.log_visit()
+            return 0
+        cs = qs.current[sel]
+        vrow = self.vblk[cs]
+        st = qs.state[sel]
+        nxt, new_state = self.structure.successor(
+            cs,
+            vrow[:, self._pc : self._pc + self._pw].view(self._pdt),
+            vrow[:, self._ac : self._ac + self._aw],
+            vrow[:, self._lc],
+            qs.key[sel],
+            st,
+        )
+        qs.current[sel] = nxt
+        if new_state is not st:  # writing the gathered state back is a no-op
+            qs.state[sel] = new_state
+        qs.steps[sel] += 1
+        if self._unit:
+            lv = np.where(nxt >= 0, vrow[:, self._lc] + 1, np.int64(-1))
+        else:
+            lv = self.structure.level[nxt]
+            lv[nxt < 0] = -1
+        self.levels[sel] = lv
+        qs.log_visit()
+        return int(sel.size)
+
+
 def lemma1_band_steps(
     engine: MeshEngine,
     structure: SearchStructure,
     qs: QuerySet,
     plan: BandPlan,
     label: str = "hierdag",
+    advancer: "_FastAdvancer | None" = None,
 ) -> dict[str, float]:
     """Lemma 1: solve the multisearch for one band on its submeshes.
 
@@ -166,6 +357,12 @@ def lemma1_band_steps(
     """
     clock = engine.clock
     cost = clock.cost
+    local_advancer = None
+    if advancer is None and engine.fast_path and should_fuse(structure):
+        advancer = local_advancer = _FastAdvancer(structure, qs)
+    step = advancer.advance if advancer is not None else (
+        lambda lvl: _advance_level(structure, qs, lvl)
+    )
     detail = {"phase1": 0.0, "phase2": 0.0, "dup_b1": 0.0}
     band = plan.band
     b1 = band.b1_levels
@@ -177,13 +374,15 @@ def lemma1_band_steps(
         for lvl in range(b1[0], b1[1] + 1):
             clock.charge(step1, f"{label}:phase1")
             detail["phase1"] += step1
-            _advance_level(structure, qs, lvl)
+            step(lvl)
     lo2, hi2 = band.b2_levels
     step2 = cost.route * plan.sub_side + cost.local
     for lvl in range(lo2, hi2 + 1):
         clock.charge(step2, f"{label}:phase2")
         detail["phase2"] += step2
-        _advance_level(structure, qs, lvl)
+        step(lvl)
+    if local_advancer is not None:  # caller-owned advancers flush later
+        local_advancer.flush()
     return detail
 
 
@@ -204,10 +403,18 @@ def hierdag_multisearch(
     clock = engine.clock
     cost = clock.cost
     if plan is None:
-        plan = plan_hierdag(structure, engine.shape.rows, mu, c)
+        if engine.fast_path:
+            plan = _cached_plan(structure, engine.shape.rows, mu, c)
+        else:
+            plan = plan_hierdag(structure, engine.shape.rows, mu, c)
     deco = plan.decomposition
     start_time = clock.current
     detail: dict[str, float] = {}
+    advancer = (
+        _FastAdvancer(structure, qs)
+        if engine.fast_path and should_fuse(structure)
+        else None
+    )
 
     # Steps 1-2: labelling and band distribution.  Step 1 is t local
     # passes; Step 2 per band i is a constant number of standard ops per
@@ -230,7 +437,7 @@ def hierdag_multisearch(
         dup = (cost.sort + cost.route) * parent_side
         clock.charge(dup, "hierdag:dup-band")
         detail[f"band{j}:dup"] = dup
-        d = lemma1_band_steps(engine, structure, qs, bp)
+        d = lemma1_band_steps(engine, structure, qs, bp, advancer=advancer)
         for k, v in d.items():
             detail[f"band{j}:{k}"] = v
         multisteps += bp.band.n_levels
@@ -241,10 +448,15 @@ def hierdag_multisearch(
     for lvl in range(deco.bstar_lo, deco.h + 1):
         clock.charge(step_cost, "hierdag:bstar")
         bstar += step_cost
-        _advance_level(structure, qs, lvl)
+        if advancer is not None:
+            advancer.advance(lvl)
+        else:
+            _advance_level(structure, qs, lvl)
         multisteps += 1
     detail["bstar"] = bstar
 
+    if advancer is not None:
+        advancer.flush()
     return MultisearchResult(
         queries=qs,
         mesh_steps=clock.current - start_time,

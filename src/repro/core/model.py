@@ -115,8 +115,20 @@ class SearchStructure:
 
     @property
     def size(self) -> int:
-        """Paper's ``n = |V| + |E|``."""
-        return self.n_vertices + self.n_edges
+        """Paper's ``n = |V| + |E|``.
+
+        Memoized against the adjacency array's identity: counting live
+        edges is an O(V * d) reduction, and ``size`` is read at the top of
+        every multisearch call.  Replacing ``adjacency`` invalidates the
+        cache; mutating it in place (nothing in the codebase does) would
+        require clearing ``_repro_size``.
+        """
+        cached = self.__dict__.get("_repro_size")
+        if cached is not None and cached[0] is self.adjacency:
+            return cached[1]
+        n = self.n_vertices + self.n_edges
+        self.__dict__["_repro_size"] = (self.adjacency, n)
+        return n
 
     @property
     def max_degree(self) -> int:

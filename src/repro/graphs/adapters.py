@@ -45,8 +45,15 @@ def hierdag_search_structure(dag: HierarchicalDAG) -> SearchStructure:
 
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
         m = vid.shape[0]
-        nxt = np.full(m, STOP, dtype=np.int64)
         internal = vlevel < h
+        if internal.all():
+            # whole batch at internal vertices (the common case in a
+            # level-synchronous descent): index directly, no re-masking
+            keys = np.asarray(qkey)
+            idx = (vpayload[:, : mu - 1] < keys[:, None]).sum(axis=1)
+            nxt = vadjacency[np.arange(m), idx]
+            return nxt, qstate
+        nxt = np.full(m, STOP, dtype=np.int64)
         if internal.any():
             seps = vpayload[internal, : mu - 1]
             keys = np.asarray(qkey)[internal]
@@ -77,8 +84,13 @@ def ktree_directed_structure(tree: BalancedKTree) -> SearchStructure:
 
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
         m = vid.shape[0]
-        nxt = np.full(m, STOP, dtype=np.int64)
         internal = vlevel < h
+        if internal.all():
+            keys = np.asarray(qkey)
+            idx = (vpayload[:, : k - 1] < keys[:, None]).sum(axis=1)
+            nxt = vadjacency[np.arange(m), idx]
+            return nxt, qstate
+        nxt = np.full(m, STOP, dtype=np.int64)
         if internal.any():
             seps = vpayload[internal, : k - 1]
             keys = np.asarray(qkey)[internal]

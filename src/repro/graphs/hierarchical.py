@@ -80,7 +80,14 @@ class HierarchicalDAG:
 
     @property
     def n_edges(self) -> int:
-        return int((self.children >= 0).sum())
+        # memoized: a full scan of children per access adds up inside the
+        # simulators' hot loops, and children is identity-guarded below.
+        cached = self.__dict__.get("_repro_edges")
+        if cached is not None and cached[0] is self.children:
+            return cached[1]
+        m = int((self.children >= 0).sum())
+        self.__dict__["_repro_edges"] = (self.children, m)
+        return m
 
     @property
     def size(self) -> int:

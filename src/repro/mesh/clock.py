@@ -24,11 +24,24 @@ engine enforces this.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["CostModel", "StepClock", "ParallelFrame"]
+__all__ = ["CostModel", "StepClock", "ParallelFrame", "drain_profiled_clocks"]
+
+#: clocks created while ``REPRO_PROFILE`` was set — the bench runner's
+#: hook for profiling code that builds its engines internally.  Worker
+#: processes drain this after each profiled run.
+_PROFILED_CLOCKS: list["StepClock"] = []
+
+
+def drain_profiled_clocks() -> list["StepClock"]:
+    """Return and clear the clocks captured under ``REPRO_PROFILE``."""
+    out = list(_PROFILED_CLOCKS)
+    _PROFILED_CLOCKS.clear()
+    return out
 
 
 @dataclass(frozen=True)
@@ -70,6 +83,9 @@ class StepClock:
         self._frames: list[ParallelFrame] = []
         self.history: list[tuple[str, float]] = []
         self.record_history: bool = False
+        if os.environ.get("REPRO_PROFILE"):
+            self.record_history = True
+            _PROFILED_CLOCKS.append(self)
 
     @property
     def time(self) -> float:

@@ -34,15 +34,29 @@ points where the paper's proofs claim it.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.mesh.clock import CostModel, StepClock
+from repro.mesh.records import ArgsortMemo, BufferPool, RecordSet
 from repro.mesh.topology import MeshShape, RegionSpec
 
-__all__ = ["MeshEngine", "Region", "CapacityError"]
+__all__ = ["MeshEngine", "Region", "CapacityError", "fast_path_default"]
+
+
+def fast_path_default() -> bool:
+    """Process-wide default for :class:`MeshEngine`'s ``fast_path`` flag.
+
+    Controlled by the ``REPRO_FAST_PATH`` environment variable (unset or
+    ``1``/``true``/``on`` = enabled).  The fast path changes host wall
+    time only — outputs and step-clock charges are byte-identical, which
+    the equivalence suite asserts.
+    """
+    val = os.environ.get("REPRO_FAST_PATH", "1").strip().lower()
+    return val not in ("0", "false", "off", "no", "")
 
 _REDUCERS = {
     "add": np.add,
@@ -55,6 +69,21 @@ class CapacityError(RuntimeError):
     """Raised when a step would exceed the per-processor memory bound."""
 
 
+def _check_route_targets(targets: np.ndarray, out_size: int) -> None:
+    """Validate route destinations: in range and pairwise distinct.
+
+    The duplicate check is a bincount over the (already range-checked)
+    targets — O(n + out_size) instead of the O(n log n) ``np.unique`` sort,
+    on the hottest primitive's validation path.
+    """
+    if not targets.size:
+        return
+    if int(targets.max()) >= out_size:
+        raise ValueError("route destination out of range")
+    if int(np.bincount(targets, minlength=1).max()) > 1:
+        raise ValueError("route with duplicate destinations (use raw)")
+
+
 class MeshEngine:
     """A ``rows x cols`` mesh-connected computer with a step clock."""
 
@@ -63,6 +92,7 @@ class MeshEngine:
         shape: int | MeshShape,
         cost_model: CostModel | None = None,
         capacity: int = 16,
+        fast_path: bool | None = None,
     ) -> None:
         if isinstance(shape, int):
             shape = MeshShape.square(shape)
@@ -73,13 +103,20 @@ class MeshEngine:
         #: finite; algorithms that would need more records per processor
         #: than this anywhere fail loudly.
         self.capacity = capacity
+        #: host-side fast path: fused record blocks, argsort memoization,
+        #: buffer reuse.  Byte-identical outputs and charges either way.
+        self.fast_path = fast_path_default() if fast_path is None else bool(fast_path)
+        self.argsort_memo = ArgsortMemo()
+        self.pool = BufferPool()
         self.root = Region(self, RegionSpec(0, 0, shape.rows, shape.cols))
         self._branch_region: RegionSpec | None = None
 
     @classmethod
-    def for_problem(cls, n: int, capacity: int = 16) -> "MeshEngine":
+    def for_problem(
+        cls, n: int, capacity: int = 16, fast_path: bool | None = None
+    ) -> "MeshEngine":
         """Smallest square engine whose mesh holds an ``n``-record problem."""
-        return cls(MeshShape.for_size(n).side, capacity=capacity)
+        return cls(MeshShape.for_size(n).side, capacity=capacity, fast_path=fast_path)
 
     @property
     def side(self) -> int:
@@ -242,11 +279,22 @@ class Region:
 
     # -- primitives ----------------------------------------------------------
 
+    def _stable_order(self, keys: np.ndarray) -> np.ndarray:
+        """Stable argsort, memoized under ``fast_path``.
+
+        The memo's guard is a value-equality check, so a hit replays the
+        exact permutation ``np.argsort`` would recompute; memoized orders
+        are returned read-only to keep later hits honest.
+        """
+        if self.engine.fast_path:
+            return self.engine.argsort_memo.order_for(np.asarray(keys))
+        return np.argsort(np.asarray(keys), kind="stable")
+
     def argsort(self, keys: np.ndarray, label: str = "sort") -> np.ndarray:
         """Stable sort permutation of the records by key (cost: optimal sort)."""
         self._check_records(keys)
         self._charge(self.engine.clock.cost.sort, label)
-        return np.argsort(np.asarray(keys), kind="stable")
+        return self._stable_order(keys)
 
     def sort_by(
         self, keys: np.ndarray, *arrays: np.ndarray, label: str = "sort"
@@ -254,10 +302,18 @@ class Region:
         """Sort records by key; returns ``(sorted_keys, *permuted_arrays)``."""
         self._check_records(keys, *arrays)
         self._charge(self.engine.clock.cost.sort, label)
-        order = np.argsort(np.asarray(keys), kind="stable")
+        order = self._stable_order(keys)
         out = [np.asarray(keys)[order]]
         out.extend(np.asarray(a)[order] for a in arrays)
         return tuple(out)
+
+    def sort_records(self, rs: RecordSet, key: str, label: str = "sort") -> RecordSet:
+        """Fused :meth:`sort_by`: sort a whole :class:`RecordSet` by one of
+        its fields with a single fancy-index per dtype block."""
+        self._check_records(*rs.arrays())
+        self._charge(self.engine.clock.cost.sort, label)
+        memo = self.engine.argsort_memo if self.engine.fast_path else None
+        return rs.permute(rs.argsort(key, memo=memo))
 
     def route(
         self,
@@ -279,10 +335,7 @@ class Region:
             raise CapacityError(f"route output {out_size} exceeds region capacity")
         live = dest >= 0
         targets = dest[live]
-        if targets.size and int(targets.max()) >= out_size:
-            raise ValueError("route destination out of range")
-        if np.unique(targets).size != targets.size:
-            raise ValueError("route with duplicate destinations (use raw)")
+        _check_route_targets(targets, out_size)
         self._charge(self.engine.clock.cost.route, label)
         outs: list[np.ndarray] = []
         for a in arrays:
@@ -291,6 +344,24 @@ class Region:
             out[targets] = a[live]
             outs.append(out)
         return tuple(outs)
+
+    def route_records(
+        self,
+        dest: np.ndarray,
+        rs: RecordSet,
+        size: int | None = None,
+        fill: float = 0,
+        label: str = "route",
+    ) -> RecordSet:
+        """Fused :meth:`route`: one scatter per dtype block of ``rs``."""
+        dest = np.asarray(dest, dtype=np.int64)
+        self._check_records(dest, *rs.arrays())
+        out_size = self.size if size is None else size
+        if out_size > self.size * self.engine.capacity:
+            raise CapacityError(f"route output {out_size} exceeds region capacity")
+        _check_route_targets(dest[dest >= 0], out_size)
+        self._charge(self.engine.clock.cost.route, label)
+        return rs.scatter(dest, out_size, fill=fill)
 
     def rar(
         self,
@@ -322,6 +393,23 @@ class Region:
             outs.append(out)
         return tuple(outs)
 
+    def rar_records(
+        self,
+        addresses: np.ndarray,
+        table: RecordSet,
+        fill: float = 0,
+        label: str = "rar",
+    ) -> RecordSet:
+        """Fused :meth:`rar`: one gather per dtype block of ``table``."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check_records(addresses)
+        self._check_records(*table.arrays())
+        self._charge(self.engine.clock.cost.route, label)
+        live = addresses >= 0
+        if live.any() and int(addresses[live].max()) >= table.n:
+            raise ValueError("rar address out of range")
+        return table.take(addresses, fill=fill)
+
     def raw(
         self,
         addresses: np.ndarray,
@@ -347,8 +435,29 @@ class Region:
         if live.any() and int(addresses[live].max()) >= size:
             raise ValueError("raw address out of range")
         if combine == "add":
-            out = np.full(size, fill, dtype=values.dtype)
-            np.add.at(out, addresses[live], values[live])
+            idx = addresses[live]
+            vals = values[live]
+            if (
+                self.engine.fast_path
+                and vals.ndim == 1
+                and vals.dtype.kind in "iu"
+                and (
+                    vals.size == 0
+                    or int(np.abs(vals).max()) * vals.size < 2**53
+                )
+            ):
+                # np.add.at is unbuffered and slow; a weighted bincount is
+                # the same combining write.  It accumulates in float64,
+                # which is exact while |sum| stays below 2**53 — guarded
+                # above, so the int cast back is lossless.
+                out = np.bincount(idx, weights=vals, minlength=size).astype(
+                    values.dtype
+                )
+                if fill:
+                    out += values.dtype.type(fill)
+            else:
+                out = np.full(size, fill, dtype=values.dtype)
+                np.add.at(out, idx, vals)
         else:
             ufunc = _REDUCERS[combine]
             if values.dtype.kind == "f":
@@ -358,7 +467,10 @@ class Region:
                 init = info.max if combine == "min" else info.min
             out = np.full(size, init, dtype=values.dtype)
             ufunc.at(out, addresses[live], values[live])
-            written = np.zeros(size, dtype=bool)
+            if self.engine.fast_path:  # loop-local scratch: pooled, not returned
+                written = self.engine.pool.full(size, bool, False)
+            else:
+                written = np.zeros(size, dtype=bool)
             written[addresses[live]] = True
             out[~written] = fill
         return out
@@ -425,25 +537,34 @@ class Region:
             if not inclusive:
                 result = result - values
             return result
-        # min/max: process per segment via reduceat (host-side; the mesh
-        # simulation is the carried-id scan, cost already charged)
-        starts = np.flatnonzero(boundary)
-        ufunc = _REDUCERS[op]
+        # min/max (host-side; the mesh simulation is the carried-id scan,
+        # cost already charged): vectorized via an offset-adjusted
+        # accumulate over *ranks*.  Replacing each value by its stable sort
+        # rank and shifting segment s by s*n puts every segment in its own
+        # disjoint integer band, so one global maximum.accumulate restarts
+        # exactly at each boundary; mapping the winning ranks back through
+        # the sort order returns the original values bit-for-bit.  This
+        # removes the O(#segments) Python loop.  (NaN values are not
+        # supported — ranks order them arbitrarily.)
+        order = np.argsort(values, kind="stable")
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+        offset = seg_index * n
+        if op == "max":
+            run = np.maximum.accumulate(rank + offset) - offset
+        else:
+            run = np.minimum.accumulate(rank - offset) + offset
+        inc = values[order[run]]
         if inclusive:
-            out = np.empty_like(values)
-            for s, e in zip(starts, np.concatenate([starts[1:], [n]])):
-                out[s:e] = ufunc.accumulate(values[s:e])
-            return out
+            return inc
         out = np.empty_like(values)
+        out[1:] = inc[:-1]
         ident = (
             (np.inf if op == "min" else -np.inf)
             if values.dtype.kind == "f"
             else (np.iinfo(values.dtype).max if op == "min" else np.iinfo(values.dtype).min)
         )
-        for s, e in zip(starts, np.concatenate([starts[1:], [n]])):
-            acc = ufunc.accumulate(values[s:e])
-            out[s] = ident
-            out[s + 1 : e] = acc[:-1]
+        out[np.flatnonzero(boundary)] = ident
         return out
 
     def reduce(self, values: np.ndarray, op: str = "add", label: str = "reduce"):
@@ -479,3 +600,13 @@ class Region:
         self._charge(self.engine.clock.cost.compress, label)
         count = int(mask.sum())
         return (count, *(np.asarray(a)[mask] for a in arrays))
+
+    def compress_records(
+        self, mask: np.ndarray, rs: RecordSet, label: str = "compress"
+    ) -> tuple[int, RecordSet]:
+        """Fused :meth:`compress`: one masked pack per dtype block."""
+        mask = np.asarray(mask, dtype=bool)
+        self._check_records(mask, *rs.arrays())
+        self._charge(self.engine.clock.cost.compress, label)
+        packed = rs.select(mask)
+        return packed.n, packed

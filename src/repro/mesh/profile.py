@@ -41,13 +41,40 @@ class CostProfile:
         return part / self.total
 
     def render(self) -> str:
-        lines = [f"total mesh steps: {self.total:.0f}"]
+        total = self.total
+        lines = [f"total mesh steps: {total:.0f}"]
         for label, cost in self.top(32):
+            share = cost / total if total else 0.0  # all-zero-cost profiles
             lines.append(
-                f"  {label:<24} {cost:>12.0f}  ({cost / self.total:6.1%},"
+                f"  {label:<24} {cost:>12.0f}  ({share:6.1%},"
                 f" {self.calls[label]} charges)"
             )
         return "\n".join(lines)
+
+    def merge(self, *others: "CostProfile") -> "CostProfile":
+        """Combine profiles label-wise into a new profile.
+
+        The parallel bench runner profiles each sweep point in its own
+        worker process and merges the pieces into one per-bench breakdown.
+        """
+        out = CostProfile(by_label=dict(self.by_label), calls=dict(self.calls))
+        for other in others:
+            for label, cost in other.by_label.items():
+                out.by_label[label] = out.by_label.get(label, 0.0) + cost
+            for label, count in other.calls.items():
+                out.calls[label] = out.calls.get(label, 0) + count
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {"by_label": dict(self.by_label), "calls": dict(self.calls)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostProfile":
+        return cls(
+            by_label={str(k): float(v) for k, v in data.get("by_label", {}).items()},
+            calls={str(k): int(v) for k, v in data.get("calls", {}).items()},
+        )
 
 
 def profile(history: list[tuple[str, float]]) -> CostProfile:

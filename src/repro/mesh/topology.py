@@ -15,6 +15,7 @@ Two linearizations are used throughout:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +24,7 @@ __all__ = [
     "MeshShape",
     "RegionSpec",
     "block_partition",
+    "block_spec",
     "snake_index",
     "snake_to_rowmajor",
     "rowmajor_to_snake",
@@ -58,9 +60,7 @@ class MeshShape:
         """Smallest square mesh with at least ``n`` processors."""
         if n < 1:
             raise ValueError(f"need n >= 1, got {n}")
-        side = 1
-        while side * side < n:
-            side += 1
+        side = math.isqrt(n - 1) + 1  # ceil(sqrt(n)), exactly
         return cls(side, side)
 
 
@@ -132,6 +132,27 @@ class RegionSpec:
         return (row_hi - row_lo) + (col_hi - col_lo)
 
 
+_CUTS_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _cuts(length: int, parts: int) -> np.ndarray:
+    """``np.linspace(0, length, parts + 1).astype(int)``, memoized.
+
+    Grid geometry repeats endlessly in the simulators' inner loops (the
+    same region cut into the same grid every call); the cut positions are
+    pure functions of ``(length, parts)``.  Cached arrays are read-only.
+    """
+    key = (length, parts)
+    cuts = _CUTS_CACHE.get(key)
+    if cuts is None:
+        cuts = np.linspace(0, length, parts + 1).astype(int)
+        cuts.setflags(write=False)
+        if len(_CUTS_CACHE) >= 256:
+            _CUTS_CACHE.clear()
+        _CUTS_CACHE[key] = cuts
+    return cuts
+
+
 def block_partition(region: RegionSpec, grid_rows: int, grid_cols: int) -> list[RegionSpec]:
     """Partition ``region`` into a ``grid_rows x grid_cols`` grid of blocks.
 
@@ -147,8 +168,8 @@ def block_partition(region: RegionSpec, grid_rows: int, grid_cols: int) -> list[
             f"cannot cut {region.rows}x{region.cols} region into "
             f"{grid_rows}x{grid_cols} non-empty blocks"
         )
-    row_cuts = np.linspace(0, region.rows, grid_rows + 1).astype(int)
-    col_cuts = np.linspace(0, region.cols, grid_cols + 1).astype(int)
+    row_cuts = _cuts(region.rows, grid_rows)
+    col_cuts = _cuts(region.cols, grid_cols)
     blocks: list[RegionSpec] = []
     for i in range(grid_rows):
         for j in range(grid_cols):
@@ -161,6 +182,36 @@ def block_partition(region: RegionSpec, grid_rows: int, grid_cols: int) -> list[
                 )
             )
     return blocks
+
+
+def block_spec(
+    region: RegionSpec, grid_rows: int, grid_cols: int, i: int, j: int
+) -> RegionSpec:
+    """Block ``(i, j)`` of :func:`block_partition`, without materializing
+    the whole grid.
+
+    Uses the same linspace cuts, so ``block_spec(r, gr, gc, i, j) ==
+    block_partition(r, gr, gc)[i * gc + j]`` exactly; grids of thousands of
+    blocks where only one or two are needed (capacity spot-checks on the
+    heaviest submesh) cost O(grid side) instead of O(grid size).
+    """
+    if grid_rows < 1 or grid_cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if grid_rows > region.rows or grid_cols > region.cols:
+        raise ValueError(
+            f"cannot cut {region.rows}x{region.cols} region into "
+            f"{grid_rows}x{grid_cols} non-empty blocks"
+        )
+    if not (0 <= i < grid_rows and 0 <= j < grid_cols):
+        raise ValueError(f"block ({i}, {j}) outside {grid_rows}x{grid_cols} grid")
+    row_cuts = _cuts(region.rows, grid_rows)
+    col_cuts = _cuts(region.cols, grid_cols)
+    return region.subregion(
+        int(row_cuts[i]),
+        int(col_cuts[j]),
+        int(row_cuts[i + 1] - row_cuts[i]),
+        int(col_cuts[j + 1] - col_cuts[j]),
+    )
 
 
 def snake_index(rows: int, cols: int) -> np.ndarray:

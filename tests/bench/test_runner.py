@@ -1,0 +1,130 @@
+"""Unit tests for the parallel benchmark runner (repro.bench.runner)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import runner
+from repro.bench.runner import (
+    BENCH_DIR,
+    REGISTRY,
+    _extract_steps,
+    _pts,
+    compare,
+    main,
+    run_point,
+)
+
+
+class TestRegistry:
+    def test_every_bench_module_is_registered(self):
+        # every benchmarks/bench_*.py is driven by the runner, except the
+        # figure-generation script (plots, not measurements)
+        on_disk = {p.stem for p in BENCH_DIR.glob("bench_*.py")}
+        registered = {spec.module for spec in REGISTRY.values()}
+        assert on_disk - registered == {"bench_figures"}
+        assert registered <= on_disk
+
+    def test_points_ascend(self):
+        for name, spec in REGISTRY.items():
+            assert spec.points, name
+            keys = list(spec.points[0])
+            seq = [[p[k] for k in keys] for p in spec.points]
+            assert seq == sorted(seq), name
+
+    def test_pts_cartesian(self):
+        pts = _pts(a=[1, 2], b=["x", "y"])
+        assert len(pts) == 4
+        assert pts[0] == {"a": 1, "b": "x"}
+        assert pts[-1] == {"a": 2, "b": "y"}
+        assert _pts({"fixed": 3}, a=[1])[0] == {"fixed": 3, "a": 1}
+
+
+class _WithSteps:
+    mesh_steps = 42.0
+
+
+class TestExtractSteps:
+    def test_shapes(self):
+        assert _extract_steps(17) == 17.0
+        assert _extract_steps(3.5) == 3.5
+        assert _extract_steps(np.int64(9)) == 9.0
+        assert _extract_steps(_WithSteps()) == 42.0
+        assert _extract_steps((_WithSteps(), 1024)) == 42.0
+        assert _extract_steps((12.0, 4096)) == 12.0
+        assert _extract_steps({"sort": 2.0, "route": 3.0}) == 5.0
+
+    def test_non_steps(self):
+        assert _extract_steps(True) is None  # bool is not a step count
+        assert _extract_steps("nope") is None
+        assert _extract_steps((None, "x")) is None
+        assert _extract_steps({"sort": 2.0, "note": "hi"}) is None
+
+
+def _doc(wall_by_params):
+    return {
+        "bench": "demo",
+        "points": [
+            {"params": dict(p), "fast": {"wall_s_min": w}}
+            for p, w in wall_by_params
+        ],
+    }
+
+
+class TestCompare:
+    BASE = _doc([({"n": 1}, 1.0), ({"n": 2}, 2.0)])
+
+    def test_within_tolerance_passes(self):
+        doc = _doc([({"n": 1}, 1.05), ({"n": 2}, 1.9)])
+        assert compare(doc, self.BASE, tolerance=0.10) == []
+
+    def test_regression_fails(self):
+        doc = _doc([({"n": 1}, 1.5), ({"n": 2}, 2.0)])
+        failures = compare(doc, self.BASE, tolerance=0.10)
+        assert len(failures) == 1
+        assert "n': 1" in failures[0] or "'n': 1" in failures[0]
+
+    def test_unknown_points_skipped(self):
+        doc = _doc([({"n": 99}, 100.0)])
+        assert compare(doc, self.BASE, tolerance=0.10) == []
+
+
+class TestRunPoint:
+    def test_record_schema_in_process(self):
+        # the smallest E10 point is cheap enough to measure inline
+        record = run_point("e10_vm", {"side": 8}, repeats=1, warmup=0)
+        assert record["params"] == {"side": 8}
+        for mode in ("fast", "slow"):
+            assert record[mode]["wall_s_min"] > 0
+            assert record[mode]["repeats"] == 1
+            assert record[mode]["mesh_steps"] > 0
+        assert record["mesh_steps_equal"] is True
+        assert record["speedup"] > 0
+        assert record["peak_rss_kb"] > 0
+
+    def test_profile_record(self):
+        # e10 runs on the raw MeshVM (no StepClock), so profile an
+        # engine-based bench: E1's smallest point
+        record = run_point(
+            "e1_hierdag",
+            {"height": 8, "method": "hierdag"},
+            repeats=1,
+            warmup=0,
+            profile=True,
+        )
+        assert record["profile"]["by_label"]
+        assert sum(record["profile"]["by_label"].values()) > 0
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1_hierdag" in out and "e2_constrained" in out
+
+    def test_unknown_bench_errors(self):
+        with pytest.raises(SystemExit):
+            main(["not_a_bench"])
+
+    def test_requires_selection(self):
+        with pytest.raises(SystemExit):
+            main([])
