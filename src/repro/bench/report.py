@@ -1,0 +1,162 @@
+"""Render and diff ``BENCH_<name>.json`` blobs (review artifacts).
+
+The parallel runner (:mod:`repro.bench.runner`) writes machine-readable
+bench documents; this CLI turns them back into things a reviewer can
+read:
+
+* ``python -m repro.bench.report BENCH_e1_hierdag.json`` — per-point
+  wall/steps/speedup table plus, when the run was collected with
+  ``--profile``, the per-label mesh-step breakdown;
+* ``python -m repro.bench.report --diff OLD.json NEW.json`` — per-point
+  wall-clock and mesh-step deltas, per-label profile deltas when both
+  documents carry profiles, and the same regression verdict as the
+  runner's ``--compare``: the exit status is non-zero exactly when
+  ``runner.compare(NEW, OLD)`` reports a fast-path wall regression above
+  the tolerance (default ``REGRESSION_TOLERANCE``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench.runner import REGRESSION_TOLERANCE, compare
+from repro.mesh.profile import CostProfile
+
+__all__ = ["render_doc", "render_diff", "main"]
+
+
+def _load(path: pathlib.Path) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _params_key(point: dict) -> str:
+    return json.dumps(point["params"], sort_keys=True)
+
+
+def _params_txt(point: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in point["params"].items())
+
+
+def _fmt_delta(old: float, new: float) -> str:
+    if old == 0:
+        return "n/a" if new == 0 else "+inf"
+    return f"{(new / old - 1):+.1%}"
+
+
+def render_doc(doc: dict) -> str:
+    """Per-phase breakdown of one bench run."""
+    lines = [
+        f"bench {doc['bench']}  (created {doc.get('created', '?')}, "
+        f"{len(doc['points'])} points, repeats={doc.get('repeats', '?')})"
+    ]
+    for point in doc["points"]:
+        fast = point["fast"]
+        slow = point["slow"]
+        steps = fast.get("mesh_steps")
+        steps_txt = "-" if steps is None else f"{steps:.0f}"
+        lines.append(
+            f"  [{_params_txt(point)}] fast={fast['wall_s_min'] * 1e3:.2f}ms "
+            f"slow={slow['wall_s_min'] * 1e3:.2f}ms "
+            f"speedup={point['speedup']:.2f}x steps={steps_txt} "
+            f"rss={point.get('peak_rss_kb', 0) / 1024:.0f}MB"
+        )
+        if "profile" in point:
+            prof = CostProfile.from_dict(point["profile"])
+            lines.extend("    " + ln for ln in prof.render().splitlines())
+    if "profile" in doc:
+        lines.append("merged per-label profile:")
+        prof = CostProfile.from_dict(doc["profile"])
+        lines.extend("  " + ln for ln in prof.render().splitlines())
+    return "\n".join(lines)
+
+
+def render_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]:
+    """Human-readable delta of two bench documents + regression failures.
+
+    The failure list is exactly what ``runner --compare`` would produce
+    for ``new`` against baseline ``old`` — the caller turns non-emptiness
+    into the exit status.
+    """
+    lines = [
+        f"diff {old['bench']} -> {new['bench']}  "
+        f"(old {old.get('created', '?')}, new {new.get('created', '?')})"
+    ]
+    old_by_params = {_params_key(p): p for p in old["points"]}
+    for point in new["points"]:
+        base = old_by_params.get(_params_key(point))
+        if base is None:
+            lines.append(f"  [{_params_txt(point)}] new point (no baseline)")
+            continue
+        ow, nw = base["fast"]["wall_s_min"], point["fast"]["wall_s_min"]
+        os_, ns = base["fast"].get("mesh_steps"), point["fast"].get("mesh_steps")
+        steps_txt = "steps=-"
+        if os_ is not None and ns is not None:
+            steps_txt = f"steps {os_:.0f} -> {ns:.0f} ({_fmt_delta(os_, ns)})"
+        lines.append(
+            f"  [{_params_txt(point)}] fast wall {ow * 1e3:.2f}ms -> "
+            f"{nw * 1e3:.2f}ms ({_fmt_delta(ow, nw)})  {steps_txt}"
+        )
+    dropped = [
+        p for key, p in old_by_params.items()
+        if key not in {_params_key(q) for q in new["points"]}
+    ]
+    for point in dropped:
+        lines.append(f"  [{_params_txt(point)}] dropped (only in baseline)")
+    if "profile" in old and "profile" in new:
+        oldp = CostProfile.from_dict(old["profile"])
+        newp = CostProfile.from_dict(new["profile"])
+        labels = sorted(
+            set(oldp.by_label) | set(newp.by_label),
+            key=lambda lb: -max(oldp.by_label.get(lb, 0.0), newp.by_label.get(lb, 0.0)),
+        )
+        lines.append("per-label step deltas:")
+        for label in labels:
+            ov = oldp.by_label.get(label, 0.0)
+            nv = newp.by_label.get(label, 0.0)
+            if ov == nv:
+                continue
+            lines.append(
+                f"  {label:<24} {ov:>12.0f} -> {nv:>12.0f} ({_fmt_delta(ov, nv)})"
+            )
+    failures = compare(new, old, tolerance)
+    if failures:
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  {f}" for f in failures)
+    else:
+        lines.append(f"no fast-path wall regression > {tolerance:.0%}")
+    return "\n".join(lines), failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.report", description=__doc__.split("\n", 1)[0]
+    )
+    parser.add_argument(
+        "files", nargs="+", type=pathlib.Path,
+        help="one BENCH_<name>.json to render, or two with --diff",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="diff two bench documents: --diff OLD.json NEW.json; exit "
+        "non-zero iff the runner's --compare would flag NEW against OLD",
+    )
+    parser.add_argument("--tolerance", type=float, default=REGRESSION_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        if len(args.files) != 2:
+            parser.error("--diff takes exactly two files: OLD.json NEW.json")
+        old, new = _load(args.files[0]), _load(args.files[1])
+        text, failures = render_diff(old, new, args.tolerance)
+        print(text, flush=True)
+        return 1 if failures else 0
+    for path in args.files:
+        print(render_doc(_load(path)), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,10 @@ Usage::
     python -m repro.bench.runner --all --smoke          # smallest points
     python -m repro.bench.runner e1_hierdag --compare BENCH_e1_hierdag.json
     python -m repro.bench.runner e2_constrained --profile
+    python -m repro.bench.runner e1_hierdag --trace   # Chrome trace blobs
+
+``python -m repro.bench.report`` renders one BENCH JSON's per-phase
+breakdown and diffs two of them (same regression rule as ``--compare``).
 
 ``bench_figures.py`` (plot aggregation over other benches' saved tables)
 is intentionally not in the registry — it has no sweep of its own.
@@ -70,11 +74,16 @@ class BenchSpec:
 
 
 def _pts(base: dict | None = None, **sweeps) -> tuple:
-    """Cartesian sweep points, last key varying fastest."""
+    """Cartesian sweep points, sorted ascending by the sweep keys.
+
+    Points are ordered lexicographically by the sweep keys in declaration
+    order — the *first* key varies slowest, the last fastest — and each
+    key's values ascend regardless of the order they were listed in, so
+    ``points[0]`` is always the smallest point (the ``--smoke`` subject).
+    """
     points = [dict(base or {})]
     for name, values in sweeps.items():
         points = [{**p, name: v} for v in values for p in points]
-    # re-sort so the FIRST sweep key varies slowest and points ascend
     return tuple(sorted(points, key=lambda p: [p[k] for k in sweeps]))
 
 
@@ -141,6 +150,21 @@ REGISTRY: dict[str, BenchSpec] = {
 # -- worker side -----------------------------------------------------------
 
 
+def _peak_rss_kib(ru_maxrss: int, platform: str | None = None) -> int:
+    """Normalize ``getrusage().ru_maxrss`` to KiB.
+
+    Linux reports ``ru_maxrss`` in KiB but macOS reports bytes; without
+    the per-platform divide, ``peak_rss_kb`` would be inflated 1024x on
+    Darwin.  (The BSDs also report bytes, but the runner targets the two
+    platforms CI and development actually use.)
+    """
+    if platform is None:
+        platform = sys.platform
+    if platform == "darwin":
+        return int(ru_maxrss) // 1024
+    return int(ru_maxrss)
+
+
 def _extract_steps(result) -> float | None:
     """Best-effort mesh-step count from a bench entry point's return value.
 
@@ -183,6 +207,7 @@ def run_point(
     repeats: int = 5,
     warmup: int = 1,
     profile: bool = False,
+    trace: bool = False,
 ) -> dict:
     """Measure one sweep point (called in a worker process).
 
@@ -238,7 +263,22 @@ def run_point(
             *(summarize(clock.history) for clock in drain_profiled_clocks())
         )
         record["profile"] = merged.to_dict()
-    record["peak_rss_kb"] = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if trace:
+        from repro.mesh.trace import chrome_doc, drain_traced_tracers
+
+        drain_traced_tracers()  # clear any stale registrations first
+        os.environ["REPRO_TRACE"] = "1"
+        try:
+            call()
+        finally:
+            os.environ.pop("REPRO_TRACE", None)
+        tracers = drain_traced_tracers()
+        record["trace"] = chrome_doc(tracers)
+        record["trace_tree"] = "\n\n".join(t.render() for t in tracers)
+        record["trace_steps"] = sum(t.total_steps for t in tracers)
+    record["peak_rss_kb"] = _peak_rss_kib(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
     return record
 
 
@@ -266,6 +306,7 @@ def run_bench(
     warmup: int = 1,
     smoke: bool = False,
     profile: bool = False,
+    trace: bool = False,
 ) -> dict:
     """Fan one bench's sweep points across worker processes."""
     spec = REGISTRY[bench]
@@ -281,7 +322,7 @@ def run_bench(
         max_tasks_per_child=1,
     ) as pool:
         futures = {
-            pool.submit(run_point, bench, p, repeats, warmup, profile): i
+            pool.submit(run_point, bench, p, repeats, warmup, profile, trace): i
             for i, p in enumerate(points)
         }
         for future in futures:
@@ -361,6 +402,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also collect a merged per-label mesh-step profile",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="also record one span-traced pass per point; Chrome trace_event "
+        "blobs land next to BENCH_<name>.json as TRACE_<name>__<params>.json "
+        "(plus a .txt tree render)",
+    )
+    parser.add_argument(
         "--out-dir", type=pathlib.Path, default=REPO_ROOT,
         help="directory for BENCH_<name>.json (default: repo root)",
     )
@@ -390,8 +437,22 @@ def main(argv: list[str] | None = None) -> int:
     for bench in selected:
         doc = run_bench(
             bench, jobs=args.jobs, repeats=args.repeats, warmup=args.warmup,
-            smoke=args.smoke, profile=args.profile,
+            smoke=args.smoke, profile=args.profile, trace=args.trace,
         )
+        if args.trace:
+            # trace blobs ride back in the point records; peel them off into
+            # sidecar files so BENCH_<name>.json stays diff-sized
+            for point in doc["points"]:
+                blob = point.pop("trace", None)
+                tree = point.pop("trace_tree", "")
+                if blob is None or args.no_write:
+                    continue
+                args.out_dir.mkdir(parents=True, exist_ok=True)
+                pname = "_".join(f"{k}-{v}" for k, v in point["params"].items())
+                tpath = args.out_dir / f"TRACE_{bench}__{pname}.json"
+                tpath.write_text(json.dumps(blob) + "\n")
+                (args.out_dir / f"TRACE_{bench}__{pname}.txt").write_text(tree + "\n")
+                print(f"  wrote {tpath}", flush=True)
         print(_render_bench(doc), flush=True)
         for point in doc["points"]:
             if point.get("mesh_steps_equal") is False:

@@ -31,6 +31,7 @@ from repro.core.model import (
 )
 from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine
+from repro.mesh.trace import traced
 
 __all__ = ["alpha_multisearch", "run_log_phase", "LogPhaseStats"]
 
@@ -56,20 +57,23 @@ def run_log_phase(
     """One log-phase (Algorithm 2 when both splittings coincide,
     Algorithm 3 when they are the S1/S2 pair)."""
     stats = LogPhaseStats(phase=phase)
-    if phase > 0:
-        adv = advance_queries(store, structure, qs, label="logphase:step1")
-        stats.advanced_step1 = int(adv.sum())
-    # step 2
-    stats.cm_stats.append(
-        constrained_multisearch(engine, structure, qs, splittings[0])
-    )
-    # step 3
-    adv = advance_queries(store, structure, qs, label="logphase:step3")
-    stats.advanced_step3 = int(adv.sum())
-    # step 4
-    stats.cm_stats.append(
-        constrained_multisearch(engine, structure, qs, splittings[1])
-    )
+    with traced(engine.clock, f"logphase{phase}"):
+        if phase > 0:
+            with traced(engine.clock, "logphase:step1"):
+                adv = advance_queries(store, structure, qs, label="logphase:step1")
+                stats.advanced_step1 = int(adv.sum())
+        # step 2 (the constrained_multisearch call opens its own "cm" span)
+        stats.cm_stats.append(
+            constrained_multisearch(engine, structure, qs, splittings[0])
+        )
+        # step 3
+        with traced(engine.clock, "logphase:step3"):
+            adv = advance_queries(store, structure, qs, label="logphase:step3")
+            stats.advanced_step3 = int(adv.sum())
+        # step 4
+        stats.cm_stats.append(
+            constrained_multisearch(engine, structure, qs, splittings[1])
+        )
     return stats
 
 
@@ -90,19 +94,20 @@ def alpha_multisearch(
     Runs until every query terminates; charges ``O(sqrt(n))`` per
     log-phase.  Returns per-phase diagnostics in ``detail``.
     """
-    store = GraphStore.load(engine.root, structure)
-    start = engine.clock.current
-    phases: list[LogPhaseStats] = []
-    limit = max_phases if max_phases is not None else 4 * structure.n_vertices + 16
-    phase = 0
-    while qs.active.any():
-        if phase >= limit:
-            raise RuntimeError(f"multisearch did not terminate in {limit} log-phases")
-        phases.append(
-            run_log_phase(engine, structure, store, qs, (splitting, splitting), phase)
-        )
-        phase += 1
-    total_advanced = int(qs.steps.sum())
+    with traced(engine.clock, "alpha"):
+        store = GraphStore.load(engine.root, structure)
+        start = engine.clock.current
+        phases: list[LogPhaseStats] = []
+        limit = max_phases if max_phases is not None else 4 * structure.n_vertices + 16
+        phase = 0
+        while qs.active.any():
+            if phase >= limit:
+                raise RuntimeError(f"multisearch did not terminate in {limit} log-phases")
+            phases.append(
+                run_log_phase(engine, structure, store, qs, (splitting, splitting), phase)
+            )
+            phase += 1
+        total_advanced = int(qs.steps.sum())
     return MultisearchResult(
         queries=qs,
         mesh_steps=engine.clock.current - start,

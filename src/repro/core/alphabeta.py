@@ -18,6 +18,7 @@ from repro.core.alpha import LogPhaseStats, run_log_phase
 from repro.core.model import GraphStore, MultisearchResult, QuerySet, SearchStructure
 from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine
+from repro.mesh.trace import traced
 
 __all__ = ["alphabeta_multisearch"]
 
@@ -38,20 +39,21 @@ def alphabeta_multisearch(
     that crosses both borders within one log-phase simply advances fewer
     steps that phase and the driver runs more phases).
     """
-    store = GraphStore.load(engine.root, structure)
-    start = engine.clock.current
-    phases: list[LogPhaseStats] = []
-    limit = max_phases if max_phases is not None else 4 * structure.n_vertices + 16
-    phase = 0
-    while qs.active.any():
-        if phase >= limit:
-            raise RuntimeError(f"multisearch did not terminate in {limit} log-phases")
-        phases.append(
-            run_log_phase(
-                engine, structure, store, qs, (splitting1, splitting2), phase
+    with traced(engine.clock, "alphabeta"):
+        store = GraphStore.load(engine.root, structure)
+        start = engine.clock.current
+        phases: list[LogPhaseStats] = []
+        limit = max_phases if max_phases is not None else 4 * structure.n_vertices + 16
+        phase = 0
+        while qs.active.any():
+            if phase >= limit:
+                raise RuntimeError(f"multisearch did not terminate in {limit} log-phases")
+            phases.append(
+                run_log_phase(
+                    engine, structure, store, qs, (splitting1, splitting2), phase
+                )
             )
-        )
-        phase += 1
+            phase += 1
     return MultisearchResult(
         queries=qs,
         mesh_steps=engine.clock.current - start,

@@ -40,6 +40,7 @@ from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine, Region
 from repro.mesh.records import fused_view, should_fuse
 from repro.mesh.topology import block_spec
+from repro.mesh.trace import traced
 from repro.util.mathx import ceil_div
 
 __all__ = ["constrained_multisearch", "ConstrainedStats"]
@@ -99,6 +100,18 @@ def constrained_multisearch(
     charges the engine clock.  ``rounds`` defaults to ``ceil(log2 n)``
     where ``n = structure.size`` — the paper's ``x = log2 n``.
     """
+    with traced(engine.clock, "cm"):
+        return _constrained_multisearch(engine, structure, qs, splitting, rounds, stats)
+
+
+def _constrained_multisearch(
+    engine: MeshEngine,
+    structure: SearchStructure,
+    qs: QuerySet,
+    splitting: Splitting,
+    rounds: int | None,
+    stats: ConstrainedStats | None,
+) -> ConstrainedStats:
     n = structure.size
     delta = splitting.delta
     root = engine.root
@@ -113,28 +126,29 @@ def constrained_multisearch(
     # Step 1: mark queries whose current vertex is in some G_i.  The comp
     # label rides with the vertex record (Section 4 storage convention), so
     # this is one RAR of the label by current-vertex id.
-    comp_table = splitting.comp
-    cur = qs.current
-    (comp_of_cur,) = root.rar(
-        np.where(cur >= 0, cur, -1), comp_table, fill=-1, label="cm:mark"
-    )
-    marked = (cur != STOP) & (comp_of_cur >= 0)
-    stats.marked = int(marked.sum())
+    with traced(engine.clock, "cm:mark"):
+        comp_table = splitting.comp
+        cur = qs.current
+        (comp_of_cur,) = root.rar(
+            np.where(cur >= 0, cur, -1), comp_table, fill=-1, label="cm:mark"
+        )
+        marked = (cur != STOP) & (comp_of_cur >= 0)
+        stats.marked = int(marked.sum())
 
-    # Step 2: Gamma_i for every G_i (one combining RAW = sort + scan).
-    k = splitting.n_components
-    counts = root.raw(
-        np.where(marked, comp_of_cur, -1),
-        np.ones(qs.m, dtype=np.int64),
-        size=max(k, 1),
-        combine="add",
-        label="cm:gamma",
-    )
-    cap = max(1, int(math.ceil(float(n) ** delta)))
-    if fast:  # -(-c // cap) is ceil_div, applied to the whole count vector
-        gamma = -(-counts.astype(np.int64) // cap)
-    else:
-        gamma = np.array([ceil_div(int(c), cap) for c in counts], dtype=np.int64)
+        # Step 2: Gamma_i for every G_i (one combining RAW = sort + scan).
+        k = splitting.n_components
+        counts = root.raw(
+            np.where(marked, comp_of_cur, -1),
+            np.ones(qs.m, dtype=np.int64),
+            size=max(k, 1),
+            combine="add",
+            label="cm:gamma",
+        )
+        cap = max(1, int(math.ceil(float(n) ** delta)))
+        if fast:  # -(-c // cap) is ceil_div, applied to the whole count vector
+            gamma = -(-counts.astype(np.int64) // cap)
+        else:
+            gamma = np.array([ceil_div(int(c), cap) for c in counts], dtype=np.int64)
 
     # Step 3: nothing to do?
     total_copies = int(gamma.sum())
@@ -146,61 +160,62 @@ def constrained_multisearch(
     # physical submeshes round-robin.  Creating and distributing all
     # copies is a constant number of global sort/route operations
     # (total copied data = sum Gamma_i * |G_i| = O(n)).
-    if fast:
-        # geometry only — the procedure touches block 0 (common submesh
-        # side) and the heaviest block (capacity check); skip the other
-        # g^2 - 2 region objects.
-        g = _grid_g(engine, n, delta)
-        n_phys = g * g
-        first_block = _grid_block(engine, g, 0)
-    else:
-        regions, g = _delta_grid(engine, n, delta)
-        n_phys = len(regions)
-        first_block = regions[0]
-    component_of_copy = np.repeat(np.arange(k), gamma)
-    copy_base = np.concatenate([[0], np.cumsum(gamma)])  # component -> first copy id
-    phys_of_copy = np.arange(total_copies) % n_phys
-    stats.copies_created = total_copies
-    copies_per_phys = np.bincount(phys_of_copy, minlength=n_phys)
-    stats.max_copies_per_submesh = int(copies_per_phys.max())
-    # the copy broadcast: executed as one root sort + route (records of
-    # every G_i annotated with replica ids), charged as such.
-    root.charge_local(1, label="cm:copy-plan")
-    engine.clock.charge(engine.clock.cost.sort * root.side, label="cm:copy-sort")
-    engine.clock.charge(engine.clock.cost.route * root.side, label="cm:copy-route")
-    # capacity honesty: the heaviest physical submesh must hold its share
-    # of copied records within O(1) words per processor.
-    heavy = int(np.argmax(copies_per_phys))
-    heavy_records = int(
-        splitting.sizes[component_of_copy[phys_of_copy == heavy]].sum()
-    ) if total_copies else 0
-    heavy_region = _grid_block(engine, g, heavy) if fast else regions[heavy]
-    heavy_region.check_capacity(
-        heavy_records, per_proc=engine.capacity, what="copied subgraph records"
-    )
+    with traced(engine.clock, "cm:distribute"):
+        if fast:
+            # geometry only — the procedure touches block 0 (common submesh
+            # side) and the heaviest block (capacity check); skip the other
+            # g^2 - 2 region objects.
+            g = _grid_g(engine, n, delta)
+            n_phys = g * g
+            first_block = _grid_block(engine, g, 0)
+        else:
+            regions, g = _delta_grid(engine, n, delta)
+            n_phys = len(regions)
+            first_block = regions[0]
+        component_of_copy = np.repeat(np.arange(k), gamma)
+        copy_base = np.concatenate([[0], np.cumsum(gamma)])  # component -> first copy id
+        phys_of_copy = np.arange(total_copies) % n_phys
+        stats.copies_created = total_copies
+        copies_per_phys = np.bincount(phys_of_copy, minlength=n_phys)
+        stats.max_copies_per_submesh = int(copies_per_phys.max())
+        # the copy broadcast: executed as one root sort + route (records of
+        # every G_i annotated with replica ids), charged as such.
+        root.charge_local(1, label="cm:copy-plan")
+        engine.clock.charge(engine.clock.cost.sort * root.side, label="cm:copy-sort")
+        engine.clock.charge(engine.clock.cost.route * root.side, label="cm:copy-route")
+        # capacity honesty: the heaviest physical submesh must hold its share
+        # of copied records within O(1) words per processor.
+        heavy = int(np.argmax(copies_per_phys))
+        heavy_records = int(
+            splitting.sizes[component_of_copy[phys_of_copy == heavy]].sum()
+        ) if total_copies else 0
+        heavy_region = _grid_block(engine, g, heavy) if fast else regions[heavy]
+        heavy_region.check_capacity(
+            heavy_records, per_proc=engine.capacity, what="copied subgraph records"
+        )
 
-    # Step 5: route marked queries to copies of their subgraphs.
-    # rank within component -> replica = rank // cap  (so <= cap per copy).
-    sort_key = np.where(marked, comp_of_cur, k)  # unmarked sort to the back
-    order = root.argsort(sort_key, label="cm:query-sort")
-    sorted_comp = sort_key[order]
-    rank_sorted = root.segmented_scan(
-        np.ones(qs.m, dtype=np.int64),
-        sorted_comp,
-        inclusive=False,
-        label="cm:rank-scan",
-    )
-    ranked = np.empty(qs.m, dtype=np.int64)
-    ranked[order] = rank_sorted
-    copy_of_query = np.full(qs.m, -1, dtype=np.int64)
-    mk = marked
-    copy_of_query[mk] = copy_base[comp_of_cur[mk]] + ranked[mk] // cap
-    engine.clock.charge(engine.clock.cost.route * root.side, label="cm:query-route")
-    if mk.any():
-        per_copy = np.bincount(copy_of_query[mk], minlength=total_copies)
-        stats.max_queries_per_copy = int(per_copy.max())
-        if stats.max_queries_per_copy > cap:
-            raise AssertionError("copy overloaded: Lemma 3 packing violated")
+        # Step 5: route marked queries to copies of their subgraphs.
+        # rank within component -> replica = rank // cap  (so <= cap per copy).
+        sort_key = np.where(marked, comp_of_cur, k)  # unmarked sort to the back
+        order = root.argsort(sort_key, label="cm:query-sort")
+        sorted_comp = sort_key[order]
+        rank_sorted = root.segmented_scan(
+            np.ones(qs.m, dtype=np.int64),
+            sorted_comp,
+            inclusive=False,
+            label="cm:rank-scan",
+        )
+        ranked = np.empty(qs.m, dtype=np.int64)
+        ranked[order] = rank_sorted
+        copy_of_query = np.full(qs.m, -1, dtype=np.int64)
+        mk = marked
+        copy_of_query[mk] = copy_base[comp_of_cur[mk]] + ranked[mk] // cap
+        engine.clock.charge(engine.clock.cost.route * root.side, label="cm:query-route")
+        if mk.any():
+            per_copy = np.bincount(copy_of_query[mk], minlength=total_copies)
+            stats.max_queries_per_copy = int(per_copy.max())
+            if stats.max_queries_per_copy > cap:
+                raise AssertionError("copy overloaded: Lemma 3 packing violated")
 
     # Step 6: log2 n rounds inside the delta-submeshes (parallel max).
     # Data movement is executed as one vectorized batch per round; the
@@ -212,102 +227,104 @@ def constrained_multisearch(
         engine.clock.cost.route * sub_side + engine.clock.cost.local
     ) * stats.max_copies_per_submesh
     steps_in_cm = np.zeros(qs.m, dtype=np.int64)
-    if fast and not qs.record_trace and should_fuse(structure):
-        # Index-based round loop over a fused vertex-record view: the live
-        # set shrinks monotonically, so the loop owns compact per-live
-        # arrays (current/key/state/step-count) and touches the full-width
-        # query set only when a query drops out — per-round work is one
-        # packed-row fancy-index plus compressions of the shrinking live
-        # arrays, with successor inputs as column views of the rows.
-        fv = fused_view(structure)
-        vblk, pc, pw, pdt = fv.span("payload")
-        _, ac, aw, _ = fv.span("adjacency")
-        _, lc, _, _ = fv.span("level")
-        li = np.flatnonzero(mk)
-        comp_li = comp_of_cur[li]
-        cur_li = qs.current[li]
-        key_li = qs.key[li]
-        state_li = qs.state[li]
-        steps_li = np.zeros(li.size, dtype=np.int64)
-        for _ in range(rounds):
-            if not li.size:
-                break
-            engine.clock.charge(per_round_cost, label="cm:round")
-            vrow = vblk[cur_li]
-            nxt, new_state = structure.successor(
-                cur_li,
-                vrow[:, pc : pc + pw].view(pdt),
-                vrow[:, ac : ac + aw],
-                vrow[:, lc],
-                key_li,
-                state_li,
-            )
-            # next vertex stays in the same subgraph copy?
-            # np.maximum == np.clip(nxt, 0, None) without the iinfo lookup
-            stays = (nxt != STOP) & (comp_table[np.maximum(nxt, 0)] == comp_li)
-            stats.advanced_total += int(stays.sum())
-            if stays.all():
-                cur_li = nxt
-                state_li = new_state
-                steps_li += 1
-                continue
-            # queries that would leave stay at their last vertex and drop
-            # out: flush their pre-round position/state and step counts
-            out = ~stays
-            drop = li[out]
-            qs.current[drop] = cur_li[out]
-            qs.state[drop] = state_li[out]
-            stepped = steps_li[out]
-            qs.steps[drop] += stepped
-            steps_in_cm[drop] = stepped
-            li = li[stays]
-            comp_li = comp_li[stays]
-            key_li = key_li[stays]
-            cur_li = nxt[stays]
-            state_li = np.ascontiguousarray(new_state[stays])
-            steps_li = steps_li[stays] + 1
-        if li.size:  # still-live queries flush once at round exhaustion
-            qs.current[li] = cur_li
-            qs.state[li] = state_li
-            qs.steps[li] += steps_li
-            steps_in_cm[li] = steps_li
-    else:
-        live = mk.copy()
-        for _ in range(rounds):
-            if not live.any():
-                break
-            engine.clock.charge(per_round_cost, label="cm:round")
-            cur_live = qs.current[live]
-            nxt, new_state = structure.successor(
-                cur_live,
-                structure.payload[cur_live],
-                structure.adjacency[cur_live],
-                structure.level[cur_live],
-                qs.key[live],
-                qs.state[live],
-            )
-            # next vertex stays in the same subgraph copy?
-            stays = (nxt != STOP) & (comp_table[np.clip(nxt, 0, None)] == comp_of_cur[live])
-            li = np.flatnonzero(live)
-            adv = li[stays]
-            qs.current[adv] = nxt[stays]
-            qs.state[adv] = new_state[stays]
-            qs.steps[adv] += 1
-            steps_in_cm[adv] += 1
-            stats.advanced_total += int(stays.sum())
-            # unmark queries that would leave (they stay at their last vertex)
-            live[li[~stays]] = False
-            qs.log_visit()
+    with traced(engine.clock, "cm:rounds"):
+        if fast and not qs.record_trace and should_fuse(structure):
+            # Index-based round loop over a fused vertex-record view: the live
+            # set shrinks monotonically, so the loop owns compact per-live
+            # arrays (current/key/state/step-count) and touches the full-width
+            # query set only when a query drops out — per-round work is one
+            # packed-row fancy-index plus compressions of the shrinking live
+            # arrays, with successor inputs as column views of the rows.
+            fv = fused_view(structure)
+            vblk, pc, pw, pdt = fv.span("payload")
+            _, ac, aw, _ = fv.span("adjacency")
+            _, lc, _, _ = fv.span("level")
+            li = np.flatnonzero(mk)
+            comp_li = comp_of_cur[li]
+            cur_li = qs.current[li]
+            key_li = qs.key[li]
+            state_li = qs.state[li]
+            steps_li = np.zeros(li.size, dtype=np.int64)
+            for _ in range(rounds):
+                if not li.size:
+                    break
+                engine.clock.charge(per_round_cost, label="cm:round")
+                vrow = vblk[cur_li]
+                nxt, new_state = structure.successor(
+                    cur_li,
+                    vrow[:, pc : pc + pw].view(pdt),
+                    vrow[:, ac : ac + aw],
+                    vrow[:, lc],
+                    key_li,
+                    state_li,
+                )
+                # next vertex stays in the same subgraph copy?
+                # np.maximum == np.clip(nxt, 0, None) without the iinfo lookup
+                stays = (nxt != STOP) & (comp_table[np.maximum(nxt, 0)] == comp_li)
+                stats.advanced_total += int(stays.sum())
+                if stays.all():
+                    cur_li = nxt
+                    state_li = new_state
+                    steps_li += 1
+                    continue
+                # queries that would leave stay at their last vertex and drop
+                # out: flush their pre-round position/state and step counts
+                out = ~stays
+                drop = li[out]
+                qs.current[drop] = cur_li[out]
+                qs.state[drop] = state_li[out]
+                stepped = steps_li[out]
+                qs.steps[drop] += stepped
+                steps_in_cm[drop] = stepped
+                li = li[stays]
+                comp_li = comp_li[stays]
+                key_li = key_li[stays]
+                cur_li = nxt[stays]
+                state_li = np.ascontiguousarray(new_state[stays])
+                steps_li = steps_li[stays] + 1
+            if li.size:  # still-live queries flush once at round exhaustion
+                qs.current[li] = cur_li
+                qs.state[li] = state_li
+                qs.steps[li] += steps_li
+                steps_in_cm[li] = steps_li
+        else:
+            live = mk.copy()
+            for _ in range(rounds):
+                if not live.any():
+                    break
+                engine.clock.charge(per_round_cost, label="cm:round")
+                cur_live = qs.current[live]
+                nxt, new_state = structure.successor(
+                    cur_live,
+                    structure.payload[cur_live],
+                    structure.adjacency[cur_live],
+                    structure.level[cur_live],
+                    qs.key[live],
+                    qs.state[live],
+                )
+                # next vertex stays in the same subgraph copy?
+                stays = (nxt != STOP) & (comp_table[np.clip(nxt, 0, None)] == comp_of_cur[live])
+                li = np.flatnonzero(live)
+                adv = li[stays]
+                qs.current[adv] = nxt[stays]
+                qs.state[adv] = new_state[stays]
+                qs.steps[adv] += 1
+                steps_in_cm[adv] += 1
+                stats.advanced_total += int(stays.sum())
+                # unmark queries that would leave (they stay at their last vertex)
+                live[li[~stays]] = False
+                qs.log_visit()
 
     # Step 7: discard copies; route the queries back to their home slots.
-    engine.clock.charge(engine.clock.cost.route * root.side, label="cm:return-route")
-    if fast:
-        # histogram of small non-negative ints: bincount + nonzero yields
-        # the same {value: count} dict (ascending) as np.unique, in O(n).
-        counts_hist = np.bincount(steps_in_cm[mk]) if mk.any() else np.array([], dtype=np.int64)
-        nz = np.flatnonzero(counts_hist)
-        stats.steps_histogram = {int(v): int(counts_hist[v]) for v in nz}
-    else:
-        vals, cnts = np.unique(steps_in_cm[mk], return_counts=True) if mk.any() else ([], [])
-        stats.steps_histogram = {int(v): int(c) for v, c in zip(vals, cnts)}
+    with traced(engine.clock, "cm:return"):
+        engine.clock.charge(engine.clock.cost.route * root.side, label="cm:return-route")
+        if fast:
+            # histogram of small non-negative ints: bincount + nonzero yields
+            # the same {value: count} dict (ascending) as np.unique, in O(n).
+            counts_hist = np.bincount(steps_in_cm[mk]) if mk.any() else np.array([], dtype=np.int64)
+            nz = np.flatnonzero(counts_hist)
+            stats.steps_histogram = {int(v): int(counts_hist[v]) for v in nz}
+        else:
+            vals, cnts = np.unique(steps_in_cm[mk], return_counts=True) if mk.any() else ([], [])
+            stats.steps_histogram = {int(v): int(c) for v, c in zip(vals, cnts)}
     return stats

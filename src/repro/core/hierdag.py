@@ -46,6 +46,7 @@ from repro.core.bands import Band, BandDecomposition, compute_bands
 from repro.core.model import STOP, MultisearchResult, QuerySet, SearchStructure
 from repro.mesh.engine import MeshEngine
 from repro.mesh.records import fused_view, should_fuse
+from repro.mesh.trace import traced
 from repro.util.mathx import iterated_log
 
 __all__ = ["BandPlan", "HierDagPlan", "plan_hierdag", "hierdag_multisearch", "lemma1_band_steps"]
@@ -367,20 +368,22 @@ def lemma1_band_steps(
     band = plan.band
     b1 = band.b1_levels
     if b1 is not None:
-        dup = (cost.sort + cost.route) * plan.sub_side
-        clock.charge(dup, f"{label}:dup-b1")
-        detail["dup_b1"] += dup
-        step1 = cost.route * plan.inner_side + cost.local
-        for lvl in range(b1[0], b1[1] + 1):
-            clock.charge(step1, f"{label}:phase1")
-            detail["phase1"] += step1
-            step(lvl)
+        with traced(clock, f"{label}:phase1"):
+            dup = (cost.sort + cost.route) * plan.sub_side
+            clock.charge(dup, f"{label}:dup-b1")
+            detail["dup_b1"] += dup
+            step1 = cost.route * plan.inner_side + cost.local
+            for lvl in range(b1[0], b1[1] + 1):
+                clock.charge(step1, f"{label}:phase1")
+                detail["phase1"] += step1
+                step(lvl)
     lo2, hi2 = band.b2_levels
     step2 = cost.route * plan.sub_side + cost.local
-    for lvl in range(lo2, hi2 + 1):
-        clock.charge(step2, f"{label}:phase2")
-        detail["phase2"] += step2
-        step(lvl)
+    with traced(clock, f"{label}:phase2"):
+        for lvl in range(lo2, hi2 + 1):
+            clock.charge(step2, f"{label}:phase2")
+            detail["phase2"] += step2
+            step(lvl)
     if local_advancer is not None:  # caller-owned advancers flush later
         local_advancer.flush()
     return detail
@@ -416,47 +419,51 @@ def hierdag_multisearch(
         else None
     )
 
-    # Steps 1-2: labelling and band distribution.  Step 1 is t local
-    # passes; Step 2 per band i is a constant number of standard ops per
-    # B_{i+1}-submesh (distribute B_i among label-i processors, replicate
-    # the union of earlier bands into each B_i-submesh), all submeshes in
-    # parallel -> charged at the B_{i+1}-submesh side.
-    clock.charge(cost.local * max(1, len(plan.bands)), "hierdag:labels")
-    setup = 0.0
-    for j, bp in enumerate(plan.bands):
-        parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
-        charge = (cost.sort + cost.route + cost.scan) * parent_side
-        clock.charge(charge, "hierdag:distribute")
-        setup += charge
-    detail["setup"] = setup
+    with traced(clock, "hierdag"):
+        # Steps 1-2: labelling and band distribution.  Step 1 is t local
+        # passes; Step 2 per band i is a constant number of standard ops per
+        # B_{i+1}-submesh (distribute B_i among label-i processors, replicate
+        # the union of earlier bands into each B_i-submesh), all submeshes in
+        # parallel -> charged at the B_{i+1}-submesh side.
+        with traced(clock, "hierdag:setup"):
+            clock.charge(cost.local * max(1, len(plan.bands)), "hierdag:labels")
+            setup = 0.0
+            for j, bp in enumerate(plan.bands):
+                parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
+                charge = (cost.sort + cost.route + cost.scan) * parent_side
+                clock.charge(charge, "hierdag:distribute")
+                setup += charge
+            detail["setup"] = setup
 
-    # Step 3: per band, duplicate B_i into each B_i-submesh, then Lemma 1.
-    multisteps = 0
-    for j, bp in enumerate(plan.bands):
-        parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
-        dup = (cost.sort + cost.route) * parent_side
-        clock.charge(dup, "hierdag:dup-band")
-        detail[f"band{j}:dup"] = dup
-        d = lemma1_band_steps(engine, structure, qs, bp, advancer=advancer)
-        for k, v in d.items():
-            detail[f"band{j}:{k}"] = v
-        multisteps += bp.band.n_levels
+        # Step 3: per band, duplicate B_i into each B_i-submesh, then Lemma 1.
+        multisteps = 0
+        for j, bp in enumerate(plan.bands):
+            with traced(clock, f"hierdag:band{j}"):
+                parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
+                dup = (cost.sort + cost.route) * parent_side
+                clock.charge(dup, "hierdag:dup-band")
+                detail[f"band{j}:dup"] = dup
+                d = lemma1_band_steps(engine, structure, qs, bp, advancer=advancer)
+                for k, v in d.items():
+                    detail[f"band{j}:{k}"] = v
+                multisteps += bp.band.n_levels
 
-    # Step 4: B* level by level on the whole mesh (O(1) levels).
-    bstar = 0.0
-    step_cost = cost.route * plan.mesh_side + cost.local
-    for lvl in range(deco.bstar_lo, deco.h + 1):
-        clock.charge(step_cost, "hierdag:bstar")
-        bstar += step_cost
+        # Step 4: B* level by level on the whole mesh (O(1) levels).
+        bstar = 0.0
+        step_cost = cost.route * plan.mesh_side + cost.local
+        with traced(clock, "hierdag:bstar"):
+            for lvl in range(deco.bstar_lo, deco.h + 1):
+                clock.charge(step_cost, "hierdag:bstar")
+                bstar += step_cost
+                if advancer is not None:
+                    advancer.advance(lvl)
+                else:
+                    _advance_level(structure, qs, lvl)
+                multisteps += 1
+        detail["bstar"] = bstar
+
         if advancer is not None:
-            advancer.advance(lvl)
-        else:
-            _advance_level(structure, qs, lvl)
-        multisteps += 1
-    detail["bstar"] = bstar
-
-    if advancer is not None:
-        advancer.flush()
+            advancer.flush()
     return MultisearchResult(
         queries=qs,
         mesh_steps=clock.current - start_time,

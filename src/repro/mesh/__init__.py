@@ -19,6 +19,7 @@ from repro.mesh.clock import CostModel, StepClock
 from repro.mesh.engine import MeshEngine, Region
 from repro.mesh.machine import MeshVM
 from repro.mesh.topology import MeshShape, RegionSpec, block_partition, snake_index
+from repro.mesh.trace import Tracer, traced
 
 __all__ = [
     "CostModel",
@@ -30,4 +31,6 @@ __all__ = [
     "RegionSpec",
     "block_partition",
     "snake_index",
+    "Tracer",
+    "traced",
 ]

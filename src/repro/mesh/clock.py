@@ -83,9 +83,16 @@ class StepClock:
         self._frames: list[ParallelFrame] = []
         self.history: list[tuple[str, float]] = []
         self.record_history: bool = False
+        #: attached :class:`repro.mesh.trace.Tracer` (None = tracing off);
+        #: every charge is forwarded to its innermost open span.
+        self.tracer = None
         if os.environ.get("REPRO_PROFILE"):
             self.record_history = True
             _PROFILED_CLOCKS.append(self)
+        if os.environ.get("REPRO_TRACE"):
+            from repro.mesh.trace import Tracer, register_traced_tracer
+
+            register_traced_tracer(Tracer(clock=self))
 
     @property
     def time(self) -> float:
@@ -99,13 +106,20 @@ class StepClock:
         """Steps charged to the innermost open accumulator (for diagnostics)."""
         return self._accumulators[-1]
 
-    def charge(self, steps: float, label: str = "") -> None:
-        """Charge ``steps`` mesh steps to the innermost accumulator."""
+    def charge(self, steps: float, label: str = "", volume: int = 0) -> None:
+        """Charge ``steps`` mesh steps to the innermost accumulator.
+
+        ``volume`` is the number of records the charged operation moved
+        (engine primitives report it); it is metadata for the attached
+        tracer only and never affects the step count.
+        """
         if steps < 0:
             raise ValueError(f"cannot charge negative steps: {steps}")
         self._accumulators[-1] += steps
         if self.record_history:
             self.history.append((label, steps))
+        if self.tracer is not None:
+            self.tracer.on_charge(label, steps, volume)
 
     @contextmanager
     def parallel(self) -> Iterator["ParallelSection"]:

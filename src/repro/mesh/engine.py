@@ -178,7 +178,8 @@ class MeshEngine:
                 )
             out.append(a.copy())
         span = src.spec.distance_to(dst.spec)
-        self.clock.charge(self.clock.cost.transfer * span, label)
+        volume = int(out[0].shape[0]) if out else 0
+        self.clock.charge(self.clock.cost.transfer * span, label, volume=volume)
         return tuple(out)
 
     def _check_scope(self, spec: RegionSpec) -> None:
@@ -245,9 +246,9 @@ class Region:
 
     # -- cost helpers --------------------------------------------------------
 
-    def _charge(self, constant: float, label: str) -> None:
+    def _charge(self, constant: float, label: str, volume: int = 0) -> None:
         self.engine._check_scope(self.spec)
-        self.engine.clock.charge(constant * self.side, label)
+        self.engine.clock.charge(constant * self.side, label, volume=volume)
 
     def charge_local(self, steps: int = 1, label: str = "local") -> None:
         """Charge ``steps`` SIMD local steps (side-independent)."""
@@ -292,16 +293,16 @@ class Region:
 
     def argsort(self, keys: np.ndarray, label: str = "sort") -> np.ndarray:
         """Stable sort permutation of the records by key (cost: optimal sort)."""
-        self._check_records(keys)
-        self._charge(self.engine.clock.cost.sort, label)
+        n = self._check_records(keys)
+        self._charge(self.engine.clock.cost.sort, label, volume=n)
         return self._stable_order(keys)
 
     def sort_by(
         self, keys: np.ndarray, *arrays: np.ndarray, label: str = "sort"
     ) -> tuple[np.ndarray, ...]:
         """Sort records by key; returns ``(sorted_keys, *permuted_arrays)``."""
-        self._check_records(keys, *arrays)
-        self._charge(self.engine.clock.cost.sort, label)
+        n = self._check_records(keys, *arrays)
+        self._charge(self.engine.clock.cost.sort, label, volume=n)
         order = self._stable_order(keys)
         out = [np.asarray(keys)[order]]
         out.extend(np.asarray(a)[order] for a in arrays)
@@ -310,8 +311,8 @@ class Region:
     def sort_records(self, rs: RecordSet, key: str, label: str = "sort") -> RecordSet:
         """Fused :meth:`sort_by`: sort a whole :class:`RecordSet` by one of
         its fields with a single fancy-index per dtype block."""
-        self._check_records(*rs.arrays())
-        self._charge(self.engine.clock.cost.sort, label)
+        n = self._check_records(*rs.arrays())
+        self._charge(self.engine.clock.cost.sort, label, volume=n)
         memo = self.engine.argsort_memo if self.engine.fast_path else None
         return rs.permute(rs.argsort(key, memo=memo))
 
@@ -329,14 +330,14 @@ class Region:
         programming error (use :meth:`raw` for combining writes).
         """
         dest = np.asarray(dest, dtype=np.int64)
-        self._check_records(dest, *arrays)
+        n = self._check_records(dest, *arrays)
         out_size = self.size if size is None else size
         if out_size > self.size * self.engine.capacity:
             raise CapacityError(f"route output {out_size} exceeds region capacity")
         live = dest >= 0
         targets = dest[live]
         _check_route_targets(targets, out_size)
-        self._charge(self.engine.clock.cost.route, label)
+        self._charge(self.engine.clock.cost.route, label, volume=n)
         outs: list[np.ndarray] = []
         for a in arrays:
             a = np.asarray(a)
@@ -355,12 +356,12 @@ class Region:
     ) -> RecordSet:
         """Fused :meth:`route`: one scatter per dtype block of ``rs``."""
         dest = np.asarray(dest, dtype=np.int64)
-        self._check_records(dest, *rs.arrays())
+        n = self._check_records(dest, *rs.arrays())
         out_size = self.size if size is None else size
         if out_size > self.size * self.engine.capacity:
             raise CapacityError(f"route output {out_size} exceeds region capacity")
         _check_route_targets(dest[dest >= 0], out_size)
-        self._charge(self.engine.clock.cost.route, label)
+        self._charge(self.engine.clock.cost.route, label, volume=n)
         return rs.scatter(dest, out_size, fill=fill)
 
     def rar(
@@ -378,10 +379,10 @@ class Region:
         ``fill``.
         """
         addresses = np.asarray(addresses, dtype=np.int64)
-        self._check_records(addresses)
+        n = self._check_records(addresses)
         for t in tables:
             self._check_records(np.asarray(t))
-        self._charge(self.engine.clock.cost.route, label)
+        self._charge(self.engine.clock.cost.route, label, volume=n)
         live = addresses >= 0
         outs: list[np.ndarray] = []
         for t in tables:
@@ -402,9 +403,9 @@ class Region:
     ) -> RecordSet:
         """Fused :meth:`rar`: one gather per dtype block of ``table``."""
         addresses = np.asarray(addresses, dtype=np.int64)
-        self._check_records(addresses)
+        n = self._check_records(addresses)
         self._check_records(*table.arrays())
-        self._charge(self.engine.clock.cost.route, label)
+        self._charge(self.engine.clock.cost.route, label, volume=n)
         live = addresses >= 0
         if live.any() and int(addresses[live].max()) >= table.n:
             raise ValueError("rar address out of range")
@@ -425,12 +426,12 @@ class Region:
         """
         addresses = np.asarray(addresses, dtype=np.int64)
         values = np.asarray(values)
-        self._check_records(addresses, values)
+        n = self._check_records(addresses, values)
         if size > self.size * self.engine.capacity:
             raise CapacityError(f"raw output {size} exceeds region capacity")
         if combine not in _REDUCERS:
             raise ValueError(f"unknown combine {combine!r}")
-        self._charge(self.engine.clock.cost.route, label)
+        self._charge(self.engine.clock.cost.route, label, volume=n)
         live = addresses >= 0
         if live.any() and int(addresses[live].max()) >= size:
             raise ValueError("raw address out of range")
@@ -484,10 +485,10 @@ class Region:
     ) -> np.ndarray:
         """Prefix combine in processor order (snake-order on a real mesh)."""
         values = np.asarray(values)
-        self._check_records(values)
+        n = self._check_records(values)
         if op not in _REDUCERS:
             raise ValueError(f"unknown scan op {op!r}")
-        self._charge(self.engine.clock.cost.scan, label)
+        self._charge(self.engine.clock.cost.scan, label, volume=n)
         ufunc = _REDUCERS[op]
         result = ufunc.accumulate(values)
         if inclusive:
@@ -520,10 +521,10 @@ class Region:
         """
         values = np.asarray(values)
         segments = np.asarray(segments)
-        self._check_records(values, segments)
+        vol = self._check_records(values, segments)
         if op not in _REDUCERS:
             raise ValueError(f"unknown segmented_scan op {op!r}")
-        self._charge(self.engine.clock.cost.scan, label)
+        self._charge(self.engine.clock.cost.scan, label, volume=vol)
         n = values.shape[0]
         if n == 0:
             return values.copy()
@@ -570,10 +571,10 @@ class Region:
     def reduce(self, values: np.ndarray, op: str = "add", label: str = "reduce"):
         """Global reduction; the scalar result is visible to all processors."""
         values = np.asarray(values)
-        self._check_records(values)
+        n = self._check_records(values)
         if op not in _REDUCERS:
             raise ValueError(f"unknown reduce op {op!r}")
-        self._charge(self.engine.clock.cost.scan, label)
+        self._charge(self.engine.clock.cost.scan, label, volume=n)
         if values.size == 0:
             if op == "add":
                 return values.dtype.type(0)
@@ -584,7 +585,7 @@ class Region:
 
     def broadcast(self, value, label: str = "broadcast"):
         """Deliver one word to every processor of the region."""
-        self._charge(self.engine.clock.cost.broadcast, label)
+        self._charge(self.engine.clock.cost.broadcast, label, volume=1)
         return value
 
     def compress(
@@ -596,8 +597,8 @@ class Region:
         ``count``.  (Scan + route on a real mesh.)
         """
         mask = np.asarray(mask, dtype=bool)
-        self._check_records(mask, *arrays)
-        self._charge(self.engine.clock.cost.compress, label)
+        n = self._check_records(mask, *arrays)
+        self._charge(self.engine.clock.cost.compress, label, volume=n)
         count = int(mask.sum())
         return (count, *(np.asarray(a)[mask] for a in arrays))
 
@@ -606,7 +607,7 @@ class Region:
     ) -> tuple[int, RecordSet]:
         """Fused :meth:`compress`: one masked pack per dtype block."""
         mask = np.asarray(mask, dtype=bool)
-        self._check_records(mask, *rs.arrays())
-        self._charge(self.engine.clock.cost.compress, label)
+        n = self._check_records(mask, *rs.arrays())
+        self._charge(self.engine.clock.cost.compress, label, volume=n)
         packed = rs.select(mask)
         return packed.n, packed

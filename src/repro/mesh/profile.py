@@ -45,9 +45,11 @@ class CostProfile:
         lines = [f"total mesh steps: {total:.0f}"]
         for label, cost in self.top(32):
             share = cost / total if total else 0.0  # all-zero-cost profiles
+            # calls may lack a label present in by_label (partial from_dict
+            # data, hand-built profiles) — render 0 charges, don't raise
             lines.append(
                 f"  {label:<24} {cost:>12.0f}  ({share:6.1%},"
-                f" {self.calls[label]} charges)"
+                f" {self.calls.get(label, 0)} charges)"
             )
         return "\n".join(lines)
 

@@ -1,0 +1,308 @@
+"""Hierarchical span tracing + metrics over the :class:`StepClock`.
+
+The paper's whole evaluation is cost accounting — every theorem is a claim
+about *where* mesh steps go.  :mod:`repro.mesh.profile` answers the flat
+per-label question ("how much did ``sort`` cost"); this module adds the
+*hierarchical* one ("how much did ``sort`` cost inside band 2's Phase 1").
+
+A :class:`Tracer` attaches to a clock (``tracer.attach(clock)`` or
+``Tracer(clock=clock)``); from then on every :meth:`StepClock.charge`
+is attributed to the innermost open span:
+
+    tracer = Tracer(clock=engine.clock)
+    with tracer.span("hierdag:phase2"):
+        region.rar(...)            # counted under hierdag:phase2
+
+Each :class:`Span` records host wall time plus, per charge label, the
+invocation count, charged mesh steps, and moved element volume (record
+counts reported by the engine primitives).  Algorithm code opens spans
+through :func:`traced`, which is a zero-cost no-op when the clock has no
+tracer attached — instrumented code paths cost one attribute check when
+tracing is off.
+
+Exporters:
+
+* :meth:`Tracer.to_chrome` — Chrome ``trace_event`` JSON (open the blob
+  in ``chrome://tracing`` / Perfetto; span steps and counters ride in the
+  event ``args``);
+* :meth:`Tracer.render` — a plain-text tree for terminals and review
+  artifacts.
+
+Parallel-fold caveat (same as :mod:`repro.mesh.profile`): span step
+totals are *raw charges*.  Inside a ``clock.parallel()`` section the
+clock folds branch totals by max, but the fold itself is not a charge, so
+``tracer.total_steps`` equals ``clock.time`` only for runs without
+parallel sections (true of Algorithm 1/2/3 as implemented — their
+parallelism is charged analytically) and otherwise bounds it from above.
+The tracer answers "what work happened where", not "what was the critical
+path".
+
+The bench runner's ``--trace`` flag uses the ``REPRO_TRACE`` environment
+variable the same way ``--profile`` uses ``REPRO_PROFILE``: clocks
+created while it is set auto-attach a fresh tracer and register it in a
+module-level list drained by :func:`drain_traced_tracers`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "PrimCounter",
+    "Span",
+    "Tracer",
+    "traced",
+    "chrome_doc",
+    "register_traced_tracer",
+    "drain_traced_tracers",
+]
+
+#: tracers auto-attached to clocks created under ``REPRO_TRACE`` (see
+#: :class:`repro.mesh.clock.StepClock`); the bench runner's worker
+#: processes drain this after each traced run.
+_TRACED_TRACERS: list["Tracer"] = []
+
+
+def register_traced_tracer(tracer: "Tracer") -> None:
+    _TRACED_TRACERS.append(tracer)
+
+
+def drain_traced_tracers() -> list["Tracer"]:
+    """Return and clear the tracers captured under ``REPRO_TRACE``."""
+    out = list(_TRACED_TRACERS)
+    _TRACED_TRACERS.clear()
+    return out
+
+
+@dataclass
+class PrimCounter:
+    """Per-label accumulator within one span."""
+
+    calls: int = 0
+    steps: float = 0.0
+    volume: int = 0
+
+
+@dataclass
+class Span:
+    """One node of the span tree."""
+
+    name: str
+    t0: float
+    t1: float | None = None
+    #: mesh steps charged while this span was innermost (self, not children)
+    steps: float = 0.0
+    counters: dict[str, PrimCounter] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def wall_s(self) -> float:
+        """Host wall time of the span (0 while still open)."""
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    @property
+    def steps_total(self) -> float:
+        """Self charges plus all descendants' (raw, no parallel fold)."""
+        return self.steps + sum(c.steps_total for c in self.children)
+
+    @property
+    def calls_total(self) -> int:
+        return sum(c.calls for c in self.counters.values()) + sum(
+            ch.calls_total for ch in self.children
+        )
+
+    @property
+    def volume_total(self) -> int:
+        return sum(c.volume for c in self.counters.values()) + sum(
+            ch.volume_total for ch in self.children
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "steps": self.steps,
+            "counters": {
+                label: {"calls": c.calls, "steps": c.steps, "volume": c.volume}
+                for label, c in self.counters.items()
+            },
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(
+            name=str(data["name"]),
+            t0=0.0,
+            t1=float(data.get("wall_s", 0.0)),
+            steps=float(data.get("steps", 0.0)),
+        )
+        for label, c in data.get("counters", {}).items():
+            span.counters[str(label)] = PrimCounter(
+                calls=int(c.get("calls", 0)),
+                steps=float(c.get("steps", 0.0)),
+                volume=int(c.get("volume", 0)),
+            )
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+
+class Tracer:
+    """Span tree builder fed by :meth:`StepClock.charge`."""
+
+    def __init__(self, name: str = "run", clock=None) -> None:
+        self.root = Span(name, t0=time.perf_counter())
+        self._stack: list[Span] = [self.root]
+        if clock is not None:
+            self.attach(clock)
+
+    # -- clock wiring ------------------------------------------------------
+
+    def attach(self, clock) -> None:
+        """Route the clock's charges into this tracer's open span."""
+        clock.tracer = self
+
+    def detach(self, clock) -> None:
+        if getattr(clock, "tracer", None) is self:
+            clock.tracer = None
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a nested span; charges inside attribute to it."""
+        node = Span(name, t0=time.perf_counter())
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.t1 = time.perf_counter()
+            self._stack.pop()
+
+    def on_charge(self, label: str, steps: float, volume: int = 0) -> None:
+        """Called by the clock for every charge while attached."""
+        node = self._stack[-1]
+        node.steps += steps
+        counter = node.counters.get(label)
+        if counter is None:
+            counter = node.counters[label] = PrimCounter()
+        counter.calls += 1
+        counter.steps += steps
+        counter.volume += volume
+
+    def finish(self) -> "Tracer":
+        """Close the root span's wall time (idempotent)."""
+        if self.root.t1 is None:
+            self.root.t1 = time.perf_counter()
+        return self
+
+    @property
+    def total_steps(self) -> float:
+        """Summed raw span charges (== ``clock.time`` absent parallel folds)."""
+        return self.root.steps_total
+
+    # -- exporters ---------------------------------------------------------
+
+    def chrome_events(self, pid: int = 1, tid: int = 1) -> list[dict]:
+        """Chrome ``trace_event`` complete ("X") events, one per span."""
+        self.finish()
+        base = self.root.t0
+        events: list[dict] = []
+
+        def emit(span: Span) -> None:
+            end = span.t1 if span.t1 is not None else span.t0
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.t0 - base) * 1e6,
+                    "dur": max(0.0, (end - span.t0) * 1e6),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "steps": span.steps_total,
+                        "steps_self": span.steps,
+                        "calls": span.calls_total,
+                        "volume": span.volume_total,
+                        "counters": {
+                            label: {
+                                "calls": c.calls,
+                                "steps": c.steps,
+                                "volume": c.volume,
+                            }
+                            for label, c in span.counters.items()
+                        },
+                    },
+                }
+            )
+            for child in span.children:
+                emit(child)
+
+        emit(self.root)
+        return events
+
+    def to_chrome(self) -> dict:
+        """A complete Chrome trace document for this tracer alone."""
+        return chrome_doc([self])
+
+    def render(self) -> str:
+        """Plain-text tree: per-span steps, wall time, and top labels."""
+        self.finish()
+        lines = ["span tree (steps are raw charges; parallel fold not applied)"]
+
+        def walk(span: Span, depth: int) -> None:
+            top = sorted(
+                span.counters.items(), key=lambda kv: -kv[1].steps
+            )[:3]
+            top_txt = (
+                "  [" + ", ".join(
+                    f"{label}:{c.calls}x/{c.steps:.0f}" for label, c in top
+                ) + "]"
+                if top
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}{span.name:<{max(1, 28 - 2 * depth)}} "
+                f"steps={span.steps_total:>10.0f} (self={span.steps:.0f})  "
+                f"wall={span.wall_s * 1e3:.2f}ms{top_txt}"
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        self.finish()
+        return {"schema": 1, "root": self.root.to_dict()}
+
+
+def traced(clock, name: str):
+    """Span context for instrumented code: no-op when nothing is attached.
+
+    Algorithm phases wrap themselves in ``with traced(engine.clock,
+    "hierdag:phase2"):`` — when no tracer is attached (the default) this
+    is one ``getattr`` plus a shared ``nullcontext``, preserving the
+    zero-mesh-step / negligible-wall guarantee of untraced runs.
+    """
+    tracer = getattr(clock, "tracer", None)
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name)
+
+
+def chrome_doc(tracers: list["Tracer"]) -> dict:
+    """Merge tracers into one Chrome ``trace_event`` JSON document.
+
+    Each tracer becomes its own ``pid`` so a bench point that builds
+    several engines (e.g. method sweeps) shows one track per engine.
+    """
+    events: list[dict] = []
+    for i, tracer in enumerate(tracers, start=1):
+        events.extend(tracer.chrome_events(pid=i))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

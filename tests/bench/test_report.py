@@ -1,0 +1,126 @@
+"""Tests for the bench report CLI (repro.bench.report)."""
+
+import json
+
+import pytest
+
+from repro.bench import report
+from repro.bench.runner import compare
+
+
+def _doc(bench, points, profile=None):
+    doc = {
+        "schema": 1,
+        "bench": bench,
+        "created": "2026-01-01T00:00:00Z",
+        "repeats": 3,
+        "points": [
+            {
+                "params": dict(params),
+                "fast": {"wall_s_min": fast, "repeats": 3, "mesh_steps": steps},
+                "slow": {"wall_s_min": fast * 2, "repeats": 3, "mesh_steps": steps},
+                "mesh_steps_equal": True,
+                "speedup": 2.0,
+                "peak_rss_kb": 4096,
+            }
+            for params, fast, steps in points
+        ],
+    }
+    if profile is not None:
+        doc["profile"] = profile
+    return doc
+
+
+BASE = _doc(
+    "demo",
+    [({"n": 1}, 0.010, 100.0), ({"n": 2}, 0.020, 200.0)],
+    profile={"by_label": {"sort": 60.0, "route": 40.0}, "calls": {"sort": 2, "route": 1}},
+)
+SAME = _doc(
+    "demo",
+    [({"n": 1}, 0.0101, 100.0), ({"n": 2}, 0.0199, 200.0)],
+    profile={"by_label": {"sort": 60.0, "route": 40.0}, "calls": {"sort": 2, "route": 1}},
+)
+REGRESSED = _doc(
+    "demo",
+    [({"n": 1}, 0.050, 120.0), ({"n": 2}, 0.020, 200.0)],
+)
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestRender:
+    def test_render_single_doc(self, capsys, tmp_path):
+        assert report.main([_write(tmp_path, "a.json", BASE)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "n=1" in out and "n=2" in out
+        assert "10.00ms" in out
+        assert "sort" in out  # merged profile rendered
+
+    def test_render_doc_without_profile(self, capsys, tmp_path):
+        assert report.main([_write(tmp_path, "a.json", REGRESSED)]) == 0
+        assert "demo" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_no_regression_exits_zero(self, capsys, tmp_path):
+        old = _write(tmp_path, "old.json", BASE)
+        new = _write(tmp_path, "new.json", SAME)
+        assert report.main(["--diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "no fast-path wall regression" in out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        old = _write(tmp_path, "old.json", BASE)
+        new = _write(tmp_path, "new.json", REGRESSED)
+        assert report.main(["--diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+
+    def test_exit_matches_runner_compare(self, tmp_path):
+        # acceptance: --diff exits non-zero iff runner --compare would fail
+        for new_doc in (SAME, REGRESSED):
+            old = _write(tmp_path, "old.json", BASE)
+            new = _write(tmp_path, "new.json", new_doc)
+            rc = report.main(["--diff", old, new])
+            runner_failures = compare(new_doc, BASE)
+            assert (rc != 0) == bool(runner_failures)
+
+    def test_tolerance_forwarded(self, tmp_path):
+        old = _write(tmp_path, "old.json", BASE)
+        new = _write(tmp_path, "new.json", REGRESSED)
+        # 5x regression passes under an absurdly loose tolerance
+        assert report.main(["--diff", old, new, "--tolerance", "10.0"]) == 0
+
+    def test_per_label_deltas_rendered(self, capsys, tmp_path):
+        new_doc = _doc(
+            "demo",
+            [({"n": 1}, 0.010, 100.0)],
+            profile={"by_label": {"sort": 90.0, "route": 40.0}, "calls": {"sort": 3, "route": 1}},
+        )
+        old = _write(tmp_path, "old.json", BASE)
+        new = _write(tmp_path, "new.json", new_doc)
+        report.main(["--diff", old, new])
+        out = capsys.readouterr().out
+        assert "per-label step deltas" in out
+        assert "sort" in out and "+50.0%" in out
+        assert "dropped" in out  # n=2 exists only in the baseline
+
+    def test_diff_needs_two_files(self, tmp_path):
+        with pytest.raises(SystemExit):
+            report.main(["--diff", _write(tmp_path, "a.json", BASE)])
+
+    def test_committed_bench_jsons_diff_clean_against_themselves(self):
+        # the two BENCH blobs committed at the repo root are valid report
+        # inputs and self-diff to exit 0 (acceptance criterion artifact)
+        from repro.bench.runner import REPO_ROOT
+
+        for name in ("BENCH_e1_hierdag.json", "BENCH_e2_constrained.json"):
+            path = REPO_ROOT / name
+            assert path.exists()
+            assert report.main(["--diff", str(path), str(path)]) == 0

@@ -8,6 +8,7 @@ from repro.bench.runner import (
     BENCH_DIR,
     REGISTRY,
     _extract_steps,
+    _peak_rss_kib,
     _pts,
     compare,
     main,
@@ -37,6 +38,33 @@ class TestRegistry:
         assert pts[0] == {"a": 1, "b": "x"}
         assert pts[-1] == {"a": 2, "b": "y"}
         assert _pts({"fixed": 3}, a=[1])[0] == {"fixed": 3, "a": 1}
+
+    def test_pts_order_pinned(self):
+        # documented contract: lexicographic by sweep keys in declaration
+        # order (first key slowest, last fastest), values ascending even
+        # when listed descending — points[0] is the smallest point
+        pts = _pts(a=[2, 1], b=["y", "x"])
+        assert pts == (
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        )
+
+
+class TestPeakRssKib:
+    def test_linux_passthrough(self):
+        assert _peak_rss_kib(123456, platform="linux") == 123456
+
+    def test_darwin_bytes_to_kib(self):
+        assert _peak_rss_kib(123456 * 1024, platform="darwin") == 123456
+        assert _peak_rss_kib(1023, platform="darwin") == 0  # sub-KiB floors
+
+    def test_default_platform_is_current(self):
+        import sys
+
+        expected = 2048 // 1024 if sys.platform == "darwin" else 2048
+        assert _peak_rss_kib(2048) == expected
 
 
 class _WithSteps:
@@ -100,6 +128,23 @@ class TestRunPoint:
         assert record["mesh_steps_equal"] is True
         assert record["speedup"] > 0
         assert record["peak_rss_kb"] > 0
+
+    def test_trace_record(self):
+        record = run_point(
+            "e1_hierdag",
+            {"height": 8, "method": "hierdag"},
+            repeats=1,
+            warmup=0,
+            trace=True,
+        )
+        events = record["trace"]["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert "hierdag" in names and "hierdag:bstar" in names
+        # summed span charges match the bench's reported mesh steps: the
+        # traced pass re-runs the same deterministic schedule
+        assert record["trace_steps"] == record["fast"]["mesh_steps"]
+        assert "hierdag" in record["trace_tree"]
 
     def test_profile_record(self):
         # e10 runs on the raw MeshVM (no StepClock), so profile an

@@ -1,6 +1,7 @@
 """Tests for the cost profiler."""
 
 import numpy as np
+import pytest
 
 from repro.mesh.engine import MeshEngine
 from repro.mesh.profile import CostProfile, profile, profiled
@@ -27,6 +28,53 @@ class TestProfile:
         assert prof.total == 0.0
         assert prof.fraction("x") == 0.0
 
+    def test_render_label_missing_from_calls(self):
+        # a label can exist in by_label but not calls (partial from_dict
+        # data, hand-built profiles); render must not KeyError
+        prof = CostProfile.from_dict({"by_label": {"sort": 12.0}})
+        assert prof.calls == {}
+        text = prof.render()
+        assert "sort" in text and "0 charges" in text
+
+    def test_hand_built_profile_renders(self):
+        prof = CostProfile(by_label={"a": 3.0, "b": 1.0}, calls={"a": 2})
+        text = prof.render()
+        assert "2 charges" in text and "0 charges" in text
+
+
+class TestRoundTrips:
+    def test_to_from_dict_round_trip(self):
+        prof = profile([("sort", 10.0), ("route", 5.0), ("sort", 3.0)])
+        back = CostProfile.from_dict(prof.to_dict())
+        assert back.by_label == prof.by_label
+        assert back.calls == prof.calls
+        assert back.total == prof.total
+
+    def test_from_dict_partial_then_render_round_trip(self):
+        data = {"by_label": {"x": 7.0}}  # no calls key at all
+        back = CostProfile.from_dict(data)
+        again = CostProfile.from_dict(back.to_dict())
+        assert again.by_label == {"x": 7.0}
+        assert again.calls == {}
+        again.render()  # must not raise
+
+    def test_merge_disjoint_and_overlapping(self):
+        a = profile([("sort", 10.0), ("scan", 1.0)])
+        b = profile([("sort", 2.0), ("route", 4.0)])
+        merged = a.merge(b)
+        assert merged.by_label == {"sort": 12.0, "scan": 1.0, "route": 4.0}
+        assert merged.calls == {"sort": 2, "scan": 1, "route": 1}
+        # inputs untouched
+        assert a.by_label["sort"] == 10.0 and b.by_label["sort"] == 2.0
+
+    def test_merge_to_dict_round_trip(self):
+        a = profile([("sort", 10.0)])
+        b = profile([("route", 5.0), ("route", 5.0)])
+        merged = CostProfile().merge(a, b)
+        back = CostProfile.from_dict(merged.to_dict())
+        assert back.by_label == merged.by_label
+        assert back.calls == merged.calls
+
 
 class TestProfiledContext:
     def test_captures_engine_charges(self):
@@ -44,6 +92,24 @@ class TestProfiledContext:
         with profiled(eng.clock):
             pass
         assert not eng.clock.record_history
+
+    def test_restores_flag_on_exception(self):
+        eng = MeshEngine(8)
+        with pytest.raises(RuntimeError):
+            with profiled(eng.clock) as prof:
+                eng.root.scan(np.arange(64), label="pre-crash")
+                raise RuntimeError("boom")
+        assert not eng.clock.record_history
+        # charges up to the exception are still summarized
+        assert prof.by_label["pre-crash"] == eng.clock.cost.scan * 8
+
+    def test_preserves_pre_enabled_flag_on_exception(self):
+        eng = MeshEngine(8)
+        eng.clock.record_history = True
+        with pytest.raises(ValueError):
+            with profiled(eng.clock):
+                raise ValueError("boom")
+        assert eng.clock.record_history  # prior True restored, not clobbered
 
     def test_only_block_charges_counted(self):
         eng = MeshEngine(8)
