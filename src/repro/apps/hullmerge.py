@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.hull3d import Hull3D, convex_hull_3d
+from repro.mesh.trace import traced
 
 __all__ = ["merge_hulls", "convex_hull_divide_conquer"]
 
@@ -25,16 +26,23 @@ def merge_hulls(h1: Hull3D, h2: Hull3D, seed=0) -> Hull3D:
 
     Returns a hull over the concatenated point array (h1's points first),
     so face indices refer to that combined array.
+
+    Traced phases (host spans): ``hullmerge:merge`` wrapping
+    ``hullmerge:filter`` (mutual inclusion filter) and ``hullmerge:hull``
+    (incremental hull over the survivors).
     """
-    p1 = h1.points[h1.vertices]
-    p2 = h2.points[h2.vertices]
-    keep1 = ~h2.contains(p1)
-    keep2 = ~h1.contains(p2)
-    # keep at least a simplex worth of points from the union
-    pts = np.concatenate([p1[keep1], p2[keep2]])
-    if pts.shape[0] < 4:
-        pts = np.concatenate([p1, p2])
-    return convex_hull_3d(pts, seed=seed)
+    with traced(None, "hullmerge:merge"):
+        with traced(None, "hullmerge:filter"):
+            p1 = h1.points[h1.vertices]
+            p2 = h2.points[h2.vertices]
+            keep1 = ~h2.contains(p1)
+            keep2 = ~h1.contains(p2)
+            # keep at least a simplex worth of points from the union
+            pts = np.concatenate([p1[keep1], p2[keep2]])
+            if pts.shape[0] < 4:
+                pts = np.concatenate([p1, p2])
+        with traced(None, "hullmerge:hull"):
+            return convex_hull_3d(pts, seed=seed)
 
 
 def convex_hull_divide_conquer(
@@ -47,12 +55,16 @@ def convex_hull_divide_conquer(
     ``points`` array is a subset of the input (hull candidates only), so
     use geometric assertions (volume, containment) rather than index
     equality when comparing to other constructions.
+
+    Each internal node is traced as a host span ``hullmerge:divide``
+    (nested per recursion level, with ``hullmerge:merge`` children).
     """
     points = np.asarray(points, dtype=np.float64)
     if points.shape[0] <= max(leaf_size, 4):
         return convex_hull_3d(points, seed=seed)
-    order = np.argsort(points[:, 0], kind="stable")
-    half = points.shape[0] // 2
-    left = convex_hull_divide_conquer(points[order[:half]], leaf_size, seed)
-    right = convex_hull_divide_conquer(points[order[half:]], leaf_size, seed)
-    return merge_hulls(left, right, seed=seed)
+    with traced(None, "hullmerge:divide"):
+        order = np.argsort(points[:, 0], kind="stable")
+        half = points.shape[0] // 2
+        left = convex_hull_divide_conquer(points[order[:half]], leaf_size, seed)
+        right = convex_hull_divide_conquer(points[order[half:]], leaf_size, seed)
+        return merge_hulls(left, right, seed=seed)

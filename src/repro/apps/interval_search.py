@@ -33,6 +33,7 @@ from repro.intervals.interval_tree import IntervalTree
 from repro.intervals.structure import IntervalStructure, build_interval_structure
 from repro.mesh.engine import MeshEngine
 from repro.mesh.topology import MeshShape
+from repro.mesh.trace import traced
 
 __all__ = ["IntervalSearchSetup", "setup_interval_search", "count_intersections_mesh", "report_intersections_mesh"]
 
@@ -70,9 +71,17 @@ class IntervalSearchSetup:
 
 
 def setup_interval_search(lefts: np.ndarray, rights: np.ndarray, k: int = 2) -> IntervalSearchSetup:
-    """Build the trees and the flattened interval tree for a dataset."""
+    """Build the trees and the flattened interval tree for a dataset.
+
+    Traced as one host span ``intervals:setup``.
+    """
     lefts = np.asarray(lefts, dtype=np.float64)
     rights = np.asarray(rights, dtype=np.float64)
+    with traced(None, "intervals:setup"):
+        return _setup_interval_search(lefts, rights, k)
+
+
+def _setup_interval_search(lefts, rights, k: int) -> IntervalSearchSetup:
     left_order = np.argsort(lefts, kind="stable")
     tree_lefts = tree_from_keys(k, lefts[left_order])
     tree_rights = tree_from_keys(k, np.sort(rights))
@@ -96,7 +105,11 @@ def count_intersections_mesh(
     b: np.ndarray,
     engine: MeshEngine | None = None,
 ) -> tuple[np.ndarray, float]:
-    """Counts per query; returns ``(counts, mesh_steps)``."""
+    """Counts per query; returns ``(counts, mesh_steps)``.
+
+    Traced phases: engine span ``intervals:count`` wrapping the two rank
+    descents ``intervals:count:rank-le-b`` and ``intervals:count:rank-lt-a``.
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     m = a.shape[0]
@@ -107,13 +120,16 @@ def count_intersections_mesh(
         engine = MeshEngine(MeshShape.for_size(size).side)
     t0 = engine.clock.current
 
-    qs1 = QuerySet.start(b, 0, state_width=1)
-    alpha_multisearch(engine, st_l, qs1, _tree_splitting(setup.tree_lefts))
-    rank_le_b = qs1.state[:, 0]
+    with traced(engine.clock, "intervals:count"):
+        with traced(engine.clock, "intervals:count:rank-le-b"):
+            qs1 = QuerySet.start(b, 0, state_width=1)
+            alpha_multisearch(engine, st_l, qs1, _tree_splitting(setup.tree_lefts))
+            rank_le_b = qs1.state[:, 0]
 
-    qs2 = QuerySet.start(a, 0, state_width=1)
-    alpha_multisearch(engine, st_r, qs2, _tree_splitting(setup.tree_rights))
-    rank_lt_a = qs2.state[:, 0]
+        with traced(engine.clock, "intervals:count:rank-lt-a"):
+            qs2 = QuerySet.start(a, 0, state_width=1)
+            alpha_multisearch(engine, st_r, qs2, _tree_splitting(setup.tree_rights))
+            rank_lt_a = qs2.state[:, 0]
 
     counts = (rank_le_b - rank_lt_a).astype(np.int64)
     return counts, engine.clock.current - t0
@@ -129,6 +145,11 @@ def report_intersections_mesh(
 
     Output-sensitive: each query's mesh search path has length
     ``O(log n + k_query)``.
+
+    Traced phases: engine span ``intervals:report`` wrapping
+    ``intervals:report:range-walk`` (alpha-beta walk + id collection),
+    ``intervals:report:stab`` (interval-tree stabbing + id collection)
+    and ``intervals:report:collect`` (the final per-query union).
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -141,37 +162,41 @@ def report_intersections_mesh(
         engine = MeshEngine(MeshShape.for_size(size).side)
     t0 = engine.clock.current
 
-    # leg 1: range walk over left endpoints for l in [a, b].  The walker
-    # visits leaves with key strictly above its lower bound, so nudge the
-    # bound just below ``a`` to make the range closed at ``a``.
-    keys = np.stack([np.nextafter(a, -np.inf), b], axis=1)
-    qs1 = QuerySet.start(keys, 0, state_width=2, record_trace=True)
-    sp1, sp2 = _tree_splittings_ab(tree)
-    alphabeta_multisearch(engine, st_range, qs1, sp1, sp2)
+    with traced(engine.clock, "intervals:report"):
+        # leg 1: range walk over left endpoints for l in [a, b].  The walker
+        # visits leaves with key strictly above its lower bound, so nudge the
+        # bound just below ``a`` to make the range closed at ``a``.
+        with traced(engine.clock, "intervals:report:range-walk"):
+            keys = np.stack([np.nextafter(a, -np.inf), b], axis=1)
+            qs1 = QuerySet.start(keys, 0, state_width=2, record_trace=True)
+            sp1, sp2 = _tree_splittings_ab(tree)
+            alphabeta_multisearch(engine, st_range, qs1, sp1, sp2)
 
-    first_leaf = tree.first_leaf()
-    n = setup.lefts.size
-    leg1: list[np.ndarray] = []
-    for i, path in enumerate(qs1.paths()):
-        visited = np.array([v for v in path if v >= first_leaf], dtype=np.int64)
-        ranks = visited - first_leaf
-        ranks = ranks[ranks < n]
-        ids = setup.left_order[ranks]
-        sel = (setup.lefts[ids] >= a[i]) & (setup.lefts[ids] <= b[i])
-        leg1.append(np.unique(ids[sel]))
+            first_leaf = tree.first_leaf()
+            n = setup.lefts.size
+            leg1: list[np.ndarray] = []
+            for i, path in enumerate(qs1.paths()):
+                visited = np.array([v for v in path if v >= first_leaf], dtype=np.int64)
+                ranks = visited - first_leaf
+                ranks = ranks[ranks < n]
+                ids = setup.left_order[ranks]
+                sel = (setup.lefts[ids] >= a[i]) & (setup.lefts[ids] <= b[i])
+                leg1.append(np.unique(ids[sel]))
 
-    # leg 2: stabbing at a on the flattened interval tree
-    qs2 = QuerySet.start(a, istruct.root_vertex, state_width=1, record_trace=True)
-    alphabeta_multisearch(
-        engine, istruct.structure, qs2, istruct.splitting1, istruct.splitting2
-    )
-    leg2: list[np.ndarray] = []
-    for path in qs2.paths():
-        ivs = istruct.vertex_interval[np.array(path, dtype=np.int64)]
-        leg2.append(np.unique(ivs[ivs >= 0]))
+        # leg 2: stabbing at a on the flattened interval tree
+        with traced(engine.clock, "intervals:report:stab"):
+            qs2 = QuerySet.start(a, istruct.root_vertex, state_width=1, record_trace=True)
+            alphabeta_multisearch(
+                engine, istruct.structure, qs2, istruct.splitting1, istruct.splitting2
+            )
+            leg2: list[np.ndarray] = []
+            for path in qs2.paths():
+                ivs = istruct.vertex_interval[np.array(path, dtype=np.int64)]
+                leg2.append(np.unique(ivs[ivs >= 0]))
 
-    reports = [
-        np.unique(np.concatenate([l1, l2])).astype(np.int64)
-        for l1, l2 in zip(leg1, leg2)
-    ]
+        with traced(engine.clock, "intervals:report:collect"):
+            reports = [
+                np.unique(np.concatenate([l1, l2])).astype(np.int64)
+                for l1, l2 in zip(leg1, leg2)
+            ]
     return reports, engine.clock.current - t0

@@ -31,6 +31,7 @@ from repro.core.model import QuerySet
 from repro.geometry.dk3d import DKHierarchy, dk_tangent_structure
 from repro.mesh.engine import MeshEngine
 from repro.mesh.topology import MeshShape
+from repro.mesh.trace import traced
 
 __all__ = ["LinePolyRun", "line_polyhedron_queries", "line_keys", "brute_force_line_test"]
 
@@ -87,10 +88,16 @@ def line_polyhedron_queries(
     c: int | None = 2,
     max_walk: int = 64,
 ) -> LinePolyRun:
-    """Answer a batch of line queries against ``hier``'s polyhedron."""
+    """Answer a batch of line queries against ``hier``'s polyhedron.
+
+    Traced phases: host span ``linepoly:structure`` (DAG construction),
+    engine spans ``linepoly:search`` (the Theorem 2 multisearch) and
+    ``linepoly:verify`` (tangency verification + plane assembly).
+    """
     keys = line_keys(lines_p0, lines_dir)
     m = keys.shape[0]
-    structure, original = dk_tangent_structure(hier)
+    with traced(None, "linepoly:structure"):
+        structure, original = dk_tangent_structure(hier)
     # two tangent searches per line: side +1 (left) and -1 (right)
     all_keys = np.concatenate([keys, keys], axis=0)
     sides = np.concatenate([np.ones(m), -np.ones(m)])
@@ -101,7 +108,8 @@ def line_polyhedron_queries(
     mu = max(1.1, (hier.hulls[0].vertices.size / max(hier.hulls[-1].vertices.size, 1))
              ** (1.0 / max(hier.n_levels - 1, 1)))
     t0 = engine.clock.current
-    hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
+    with traced(engine.clock, "linepoly:search"):
+        hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
     mesh_steps = engine.clock.current - t0
 
     finals = np.array([p[-1] for p in qs.paths()], dtype=np.int64)
@@ -113,8 +121,28 @@ def line_polyhedron_queries(
     t_left = np.full(m, -1, dtype=np.int64)
     t_right = np.full(m, -1, dtype=np.int64)
     planes = np.full((m, 2, 4), np.nan)
-    improved = 0
 
+    with traced(engine.clock, "linepoly:verify"):
+        improved = _verify_tangents(
+            hier, keys, lines_p0, lines_dir, cand, adj, pts, m, max_walk,
+            intersects, t_left, t_right, planes,
+        )
+    return LinePolyRun(
+        intersects=intersects,
+        tangent_left=t_left,
+        tangent_right=t_right,
+        planes=planes,
+        mesh_steps=mesh_steps,
+        improved=improved,
+    )
+
+
+def _verify_tangents(
+    hier, keys, lines_p0, lines_dir, cand, adj, pts, m, max_walk,
+    intersects, t_left, t_right, planes,
+) -> int:
+    """Local tangency verification + plane assembly; returns walk count."""
+    improved = 0
     for i in range(m):
         key = keys[i]
         verdicts = []
@@ -154,14 +182,7 @@ def line_polyhedron_queries(
                     planes[i, s, 3] = nrm @ p0
         else:
             intersects[i] = True
-    return LinePolyRun(
-        intersects=intersects,
-        tangent_left=t_left,
-        tangent_right=t_right,
-        planes=planes,
-        mesh_steps=mesh_steps,
-        improved=improved,
-    )
+    return improved
 
 
 def brute_force_line_test(

@@ -21,6 +21,7 @@ from repro.geometry.kirkpatrick import (
 )
 from repro.mesh.engine import MeshEngine
 from repro.mesh.topology import MeshShape
+from repro.mesh.trace import traced
 
 __all__ = ["PointLocationRun", "locate_points_mesh", "locate_faces_mesh"]
 
@@ -63,23 +64,32 @@ def locate_points_mesh(
     ``method`` is ``"hierdag"`` (Algorithm 1) or ``"baseline"``
     (synchronous level-by-level).  ``c = 2`` is the engineering value of
     the band constant (DESIGN.md) — pass ``None`` for the paper's.
+
+    Traced phases: host spans ``pointloc:build`` / ``pointloc:structure``
+    (construction, before the engine may exist), then engine spans
+    ``pointloc:search`` and ``pointloc:finalize``.
     """
-    hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
-    structure, mu = kirkpatrick_structure(hier)
+    with traced(None, "pointloc:build"):
+        hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
+    with traced(None, "pointloc:structure"):
+        structure, mu = kirkpatrick_structure(hier)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     if engine is None:
         engine = MeshEngine(MeshShape.for_size(max(structure.size, queries.shape[0])).side)
     qs = QuerySet.start(queries, 0, record_trace=True)
     t0 = engine.clock.current
-    if method == "hierdag":
-        hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
-    elif method == "baseline":
-        synchronous_multisearch(engine, structure, qs)
-    else:
-        raise ValueError(f"unknown method {method!r}")
+    with traced(engine.clock, "pointloc:search"):
+        if method == "hierdag":
+            hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
+        elif method == "baseline":
+            synchronous_multisearch(engine, structure, qs)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+    with traced(engine.clock, "pointloc:finalize"):
+        triangle = _final_triangles(hier, qs, structure)
     return PointLocationRun(
         hierarchy=hier,
-        triangle=_final_triangles(hier, qs, structure),
+        triangle=triangle,
         mesh_steps=engine.clock.current - t0,
         dag_size=structure.size,
         method=method,
@@ -116,9 +126,12 @@ def locate_faces_mesh(
     """
     from repro.geometry.subdivision import PlanarSubdivision, merged_face_subdivision
 
-    hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
-    sub = merged_face_subdivision(hier, merge_fraction=merge_fraction, seed=seed)
-    structure, mu = kirkpatrick_structure(hier)
+    with traced(None, "pointloc:build"):
+        hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
+    with traced(None, "pointloc:subdivision"):
+        sub = merged_face_subdivision(hier, merge_fraction=merge_fraction, seed=seed)
+    with traced(None, "pointloc:structure"):
+        structure, mu = kirkpatrick_structure(hier)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     if engine is None:
         engine = MeshEngine(
@@ -126,12 +139,16 @@ def locate_faces_mesh(
         )
     qs = QuerySet.start(queries, 0, record_trace=True)
     t0 = engine.clock.current
-    hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
-    triangle = _final_triangles(hier, qs, structure)
-    # triangle -> face: O(1) local work per query (the map rides with the
-    # triangle record on a real mesh)
-    engine.root.charge_local(1, label="pointloc:face-map")
-    face = np.where(triangle >= 0, sub.face_of_triangle[np.clip(triangle, 0, None)], -1)
+    with traced(engine.clock, "pointloc:search"):
+        hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
+    with traced(engine.clock, "pointloc:finalize"):
+        triangle = _final_triangles(hier, qs, structure)
+        # triangle -> face: O(1) local work per query (the map rides with
+        # the triangle record on a real mesh)
+        engine.root.charge_local(1, label="pointloc:face-map")
+        face = np.where(
+            triangle >= 0, sub.face_of_triangle[np.clip(triangle, 0, None)], -1
+        )
     return FaceLocationRun(
         subdivision=sub,
         hierarchy=hier,

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.dk3d import DKHierarchy
+from repro.mesh.trace import traced
 
 __all__ = ["SeparationResult", "separate_polyhedra", "separation_oracle"]
 
@@ -50,9 +51,17 @@ def separate_polyhedra(
     max_iter: int = 512,
     eps: float = 1e-9,
 ) -> SeparationResult:
-    """Frank-Wolfe separation using hierarchy support queries."""
+    """Frank-Wolfe separation using hierarchy support queries.
+
+    Traced as one host span ``separation:frank-wolfe`` per pair.
+    """
     vp = hier_p.points[hier_p.hulls[0].vertices]
     vq = hier_q.points[hier_q.hulls[0].vertices]
+    with traced(None, "separation:frank-wolfe"):
+        return _frank_wolfe(hier_p, hier_q, vp, vq, max_iter, eps)
+
+
+def _frank_wolfe(hier_p, hier_q, vp, vq, max_iter: int, eps: float) -> SeparationResult:
     p = vp.mean(axis=0)
     q = vq.mean(axis=0)
     support_queries = 0

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.hull3d import Hull3D
+from repro.mesh.trace import traced
 
 __all__ = ["TangentCone", "tangent_cones"]
 
@@ -40,8 +41,16 @@ class TangentCone:
 
 
 def tangent_cones(hull: Hull3D, queries: np.ndarray) -> list[TangentCone]:
-    """Tangent cones of a batch of query points against ``hull``."""
+    """Tangent cones of a batch of query points against ``hull``.
+
+    Traced as one host span ``tangent:cones`` per batch.
+    """
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    with traced(None, "tangent:cones"):
+        return _tangent_cones(hull, queries)
+
+
+def _tangent_cones(hull: Hull3D, queries: np.ndarray) -> list[TangentCone]:
     pts = hull.points
     out: list[TangentCone] = []
 

@@ -12,7 +12,16 @@ read:
   documents carry profiles, and the same regression verdict as the
   runner's ``--compare``: the exit status is non-zero exactly when
   ``runner.compare(NEW, OLD)`` reports a fast-path wall regression above
-  the tolerance (default ``REGRESSION_TOLERANCE``).
+  the tolerance (default ``REGRESSION_TOLERANCE``);
+* ``python -m repro.bench.report --diff TRACE_OLD.json TRACE_NEW.json``
+  — when both files are ``TRACE_*`` span-tree sidecars (they carry a
+  ``spanTrees`` key), the diff is *structural*: per-span-path net step
+  deltas (which phase regressed), added/removed spans, and the same
+  exit-code convention as the runner's ``--compare`` (1 on a per-span
+  step regression above the tolerance).
+
+Missing or malformed input files exit with status 2 (distinct from the
+regression exit 1), so CI can tell "worse" from "broken".
 """
 
 from __future__ import annotations
@@ -24,12 +33,70 @@ import sys
 
 from repro.bench.runner import REGRESSION_TOLERANCE, compare
 from repro.mesh.profile import CostProfile
+from repro.mesh.trace import Span
 
-__all__ = ["render_doc", "render_diff", "main"]
+__all__ = [
+    "ReportError",
+    "render_doc",
+    "render_diff",
+    "render_trace_doc",
+    "render_trace_diff",
+    "span_paths",
+    "main",
+]
+
+
+class ReportError(Exception):
+    """A report input is missing or malformed (CLI exit status 2)."""
 
 
 def _load(path: pathlib.Path) -> dict:
-    return json.loads(pathlib.Path(path).read_text())
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError as exc:
+        raise ReportError(f"{path}: cannot read ({exc})") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReportError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict):
+        raise ReportError(f"{path}: expected a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def _is_trace_doc(doc: dict) -> bool:
+    """TRACE_* sidecars carry span trees; BENCH_* documents carry points."""
+    return "spanTrees" in doc or ("traceEvents" in doc and "points" not in doc)
+
+
+def span_paths(doc: dict) -> dict[tuple[str, ...], float]:
+    """Flatten a TRACE sidecar: span path -> net self steps (fold applied).
+
+    Aggregates across the document's tracers; values sum to the traced
+    run's ``clock.time``.  Raises :class:`ReportError` when the document
+    has no usable ``spanTrees``.
+    """
+    trees = doc.get("spanTrees")
+    if not isinstance(trees, list) or not trees:
+        raise ReportError(
+            "trace document has no spanTrees (written by an older runner? "
+            "re-record with --trace)"
+        )
+    out: dict[tuple[str, ...], float] = {}
+
+    def walk(span: Span, prefix: tuple[str, ...]) -> None:
+        path = prefix + (span.name,)
+        out[path] = out.get(path, 0.0) + span.steps_self
+        for child in span.children:
+            walk(child, path)
+
+    for tree in trees:
+        try:
+            root = Span.from_dict(tree["root"])
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ReportError(f"malformed span tree in trace document: {exc}") from exc
+        walk(root, ())
+    return out
 
 
 def _params_key(point: dict) -> str:
@@ -71,6 +138,59 @@ def render_doc(doc: dict) -> str:
         prof = CostProfile.from_dict(doc["profile"])
         lines.extend("  " + ln for ln in prof.render().splitlines())
     return "\n".join(lines)
+
+
+def render_trace_doc(doc: dict) -> str:
+    """Indented per-span-path step table of one TRACE sidecar."""
+    paths = span_paths(doc)
+    total = sum(paths.values())
+    lines = [f"trace: {len(paths)} spans, {total:.0f} net steps"]
+    for path in sorted(paths):
+        depth = len(path) - 1
+        lines.append(f"{'  ' * depth}{path[-1]:<{max(1, 32 - 2 * depth)}} "
+                     f"steps={paths[path]:>12.0f}")
+    return "\n".join(lines)
+
+
+def render_trace_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]:
+    """Structural span-tree delta of two TRACE sidecars + regressions.
+
+    Per common span path, the net self-step delta; paths only in one
+    document are reported as added/removed.  A common path whose steps
+    grew by more than ``tolerance`` is a regression (exit 1 in the CLI,
+    matching ``runner --compare``'s convention).
+    """
+    old_paths = span_paths(old)
+    new_paths = span_paths(new)
+    lines = ["trace diff (net per-span steps, parallel folds applied):"]
+    failures: list[str] = []
+    for path in sorted(set(old_paths) | set(new_paths)):
+        name = ";".join(path)
+        depth = len(path) - 1
+        pad = "  " * depth
+        if path not in old_paths:
+            lines.append(f"{pad}{path[-1]}: added ({new_paths[path]:.0f} steps)")
+            continue
+        if path not in new_paths:
+            lines.append(f"{pad}{path[-1]}: removed (was {old_paths[path]:.0f} steps)")
+            continue
+        ov, nv = old_paths[path], new_paths[path]
+        if ov == nv:
+            continue
+        lines.append(f"{pad}{path[-1]}: {ov:.0f} -> {nv:.0f} ({_fmt_delta(ov, nv)})")
+        if ov > 0 and nv > ov * (1 + tolerance):
+            failures.append(
+                f"span {name}: {nv:.0f} steps vs baseline {ov:.0f} "
+                f"(+{(nv / ov - 1):.0%} > {tolerance:.0%})"
+            )
+    ot, nt = sum(old_paths.values()), sum(new_paths.values())
+    lines.append(f"total: {ot:.0f} -> {nt:.0f} ({_fmt_delta(ot, nt)})")
+    if failures:
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  {f}" for f in failures)
+    else:
+        lines.append(f"no per-span step regression > {tolerance:.0%}")
+    return "\n".join(lines), failures
 
 
 def render_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]:
@@ -140,22 +260,49 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--diff", action="store_true",
-        help="diff two bench documents: --diff OLD.json NEW.json; exit "
-        "non-zero iff the runner's --compare would flag NEW against OLD",
+        help="diff two bench documents (or two TRACE_* span-tree sidecars): "
+        "--diff OLD.json NEW.json; exit 1 on a regression beyond the "
+        "tolerance, 2 on a missing/malformed input",
     )
     parser.add_argument("--tolerance", type=float, default=REGRESSION_TOLERANCE)
     args = parser.parse_args(argv)
 
-    if args.diff:
-        if len(args.files) != 2:
-            parser.error("--diff takes exactly two files: OLD.json NEW.json")
-        old, new = _load(args.files[0]), _load(args.files[1])
-        text, failures = render_diff(old, new, args.tolerance)
-        print(text, flush=True)
-        return 1 if failures else 0
-    for path in args.files:
-        print(render_doc(_load(path)), flush=True)
-    return 0
+    try:
+        if args.diff:
+            if len(args.files) != 2:
+                parser.error("--diff takes exactly two files: OLD.json NEW.json")
+            old, new = _load(args.files[0]), _load(args.files[1])
+            if _is_trace_doc(old) != _is_trace_doc(new):
+                raise ReportError(
+                    "cannot diff a bench document against a trace sidecar "
+                    f"({args.files[0]} vs {args.files[1]})"
+                )
+            if _is_trace_doc(old):
+                text, failures = render_trace_diff(old, new, args.tolerance)
+            else:
+                try:
+                    text, failures = render_diff(old, new, args.tolerance)
+                except (KeyError, TypeError) as exc:
+                    raise ReportError(
+                        f"malformed bench document: missing {exc}"
+                    ) from exc
+            print(text, flush=True)
+            return 1 if failures else 0
+        for path in args.files:
+            doc = _load(path)
+            if _is_trace_doc(doc):
+                print(render_trace_doc(doc), flush=True)
+            else:
+                try:
+                    print(render_doc(doc), flush=True)
+                except (KeyError, TypeError) as exc:
+                    raise ReportError(
+                        f"{path}: malformed bench document: missing {exc}"
+                    ) from exc
+        return 0
+    except ReportError as exc:
+        print(f"repro.bench.report: error: {exc}", file=sys.stderr, flush=True)
+        return 2
 
 
 if __name__ == "__main__":

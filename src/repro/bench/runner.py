@@ -275,6 +275,7 @@ def run_point(
         tracers = drain_traced_tracers()
         record["trace"] = chrome_doc(tracers)
         record["trace_tree"] = "\n\n".join(t.render() for t in tracers)
+        record["trace_collapsed"] = "\n".join(t.collapsed() for t in tracers)
         record["trace_steps"] = sum(t.total_steps for t in tracers)
     record["peak_rss_kb"] = _peak_rss_kib(
         resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -405,7 +406,7 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", action="store_true",
         help="also record one span-traced pass per point; Chrome trace_event "
         "blobs land next to BENCH_<name>.json as TRACE_<name>__<params>.json "
-        "(plus a .txt tree render)",
+        "(plus a .txt tree render and a flamegraph .collapsed export)",
     )
     parser.add_argument(
         "--out-dir", type=pathlib.Path, default=REPO_ROOT,
@@ -445,6 +446,7 @@ def main(argv: list[str] | None = None) -> int:
             for point in doc["points"]:
                 blob = point.pop("trace", None)
                 tree = point.pop("trace_tree", "")
+                folded = point.pop("trace_collapsed", "")
                 if blob is None or args.no_write:
                     continue
                 args.out_dir.mkdir(parents=True, exist_ok=True)
@@ -452,6 +454,9 @@ def main(argv: list[str] | None = None) -> int:
                 tpath = args.out_dir / f"TRACE_{bench}__{pname}.json"
                 tpath.write_text(json.dumps(blob) + "\n")
                 (args.out_dir / f"TRACE_{bench}__{pname}.txt").write_text(tree + "\n")
+                (args.out_dir / f"TRACE_{bench}__{pname}.collapsed").write_text(
+                    folded + "\n"
+                )
                 print(f"  wrote {tpath}", flush=True)
         print(_render_bench(doc), flush=True)
         for point in doc["points"]:

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.model import STOP, SearchStructure
 from repro.geometry.hull3d import Hull3D, convex_hull_3d
 from repro.geometry.independent import greedy_low_degree_independent_set
+from repro.mesh.trace import traced
 from repro.util.rng import make_rng
 
 __all__ = ["DKHierarchy", "build_dk_hierarchy", "dk_support_structure", "dk_tangent_structure"]
@@ -86,33 +87,40 @@ def build_dk_hierarchy(
     stop_size: int = 8,
     max_rounds: int = 64,
 ) -> DKHierarchy:
-    """Build the hierarchy over the hull of ``points``."""
+    """Build the hierarchy over the hull of ``points``.
+
+    Traced phases (host-side spans): ``dk3d:build`` wrapping
+    ``dk3d:base-hull`` and one ``dk3d:level`` per coarsening round.
+    """
     points = np.asarray(points, dtype=np.float64)
     rng = make_rng(seed)
-    hull = convex_hull_3d(points, seed=rng.integers(2**31))
-    hulls = [hull]
-    adjacency = [_hull_adjacency(hull)]
-    while hulls[-1].vertices.size > stop_size and len(hulls) < max_rounds:
-        cur = hulls[-1]
-        adj = adjacency[-1]
-        neighbors = {v: set(int(x) for x in nb) for v, nb in adj.items()}
-        chosen = greedy_low_degree_independent_set(
-            neighbors, set(neighbors.keys()), max_degree=max_degree, seed=rng
-        )
-        keep = np.array(sorted(set(int(v) for v in cur.vertices) - set(chosen)))
-        if keep.size < 4 or not chosen:
-            break
-        nxt = convex_hull_3d(points[keep], seed=rng.integers(2**31))
-        # re-index faces back to original point ids
-        remapped = Hull3D(
-            points=points,
-            faces=keep[nxt.faces],
-            normals=nxt.normals,
-            offsets=nxt.offsets,
-        )
-        hulls.append(remapped)
-        adjacency.append(_hull_adjacency(remapped))
-    return DKHierarchy(points=points, hulls=hulls, adjacency=adjacency)
+    with traced(None, "dk3d:build"):
+        with traced(None, "dk3d:base-hull"):
+            hull = convex_hull_3d(points, seed=rng.integers(2**31))
+        hulls = [hull]
+        adjacency = [_hull_adjacency(hull)]
+        while hulls[-1].vertices.size > stop_size and len(hulls) < max_rounds:
+            with traced(None, "dk3d:level"):
+                cur = hulls[-1]
+                adj = adjacency[-1]
+                neighbors = {v: set(int(x) for x in nb) for v, nb in adj.items()}
+                chosen = greedy_low_degree_independent_set(
+                    neighbors, set(neighbors.keys()), max_degree=max_degree, seed=rng
+                )
+                keep = np.array(sorted(set(int(v) for v in cur.vertices) - set(chosen)))
+                if keep.size < 4 or not chosen:
+                    break
+                nxt = convex_hull_3d(points[keep], seed=rng.integers(2**31))
+                # re-index faces back to original point ids
+                remapped = Hull3D(
+                    points=points,
+                    faces=keep[nxt.faces],
+                    normals=nxt.normals,
+                    offsets=nxt.offsets,
+                )
+                hulls.append(remapped)
+                adjacency.append(_hull_adjacency(remapped))
+        return DKHierarchy(points=points, hulls=hulls, adjacency=adjacency)
 
 
 # ---------------------------------------------------------------------------
@@ -129,6 +137,11 @@ def _dag_arrays(hier: DKHierarchy, max_candidates: int):
     slot 0 of a non-root node is "stay on this vertex" (the child copy of
     itself one level finer).
     """
+    with traced(None, "dk3d:dag-arrays"):
+        return _dag_arrays_body(hier, max_candidates)
+
+
+def _dag_arrays_body(hier: DKHierarchy, max_candidates: int):
     L = hier.n_levels
     level_vertices = [hier.hulls[L - d].vertices for d in range(1, L + 1)]
     sizes = [1] + [vs.size for vs in level_vertices]

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.mesh.trace import traced
+
 __all__ = ["Hull3D", "convex_hull_3d"]
 
 _EPS = 1e-9
@@ -110,6 +112,10 @@ def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS) -> Hull3D:
 
     ``seed`` randomizes the insertion order (recommended; ``None`` keeps
     the input order after the initial simplex).
+
+    Traced phases (host-side spans): ``hull3d:build`` wrapping
+    ``hull3d:simplex`` (initial-simplex search) and ``hull3d:insert``
+    (the incremental insertion loop).
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:
@@ -117,8 +123,14 @@ def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS) -> Hull3D:
     n = points.shape[0]
     if n < 4:
         raise ValueError(f"need >= 4 points, got {n}")
+    with traced(None, "hull3d:build"):
+        return _convex_hull_3d(points, seed, eps)
 
-    simplex = _initial_simplex(points, eps)
+
+def _convex_hull_3d(points: np.ndarray, seed, eps: float) -> Hull3D:
+    n = points.shape[0]
+    with traced(None, "hull3d:simplex"):
+        simplex = _initial_simplex(points, eps)
     centroid = points[simplex].mean(axis=0)
 
     faces: list[tuple[int, int, int]] = []
@@ -160,33 +172,34 @@ def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS) -> Hull3D:
     normals_arr = np.array(normals)
     offsets_arr = np.array(offsets)
 
-    for p_idx in order:
-        p = points[p_idx]
-        alive_arr = np.array(alive)
-        dists = normals_arr @ p - offsets_arr
-        visible = np.flatnonzero(alive_arr & (dists > eps))
-        if visible.size == 0:
-            continue  # inside the current hull
-        visible_set = set(int(f) for f in visible)
-        # horizon: edges of visible faces whose other side is hidden (or
-        # boundary — cannot happen on a closed hull)
-        horizon: list[tuple[int, int]] = []
-        for f in visible_set:
-            a, b, c = faces[f]
-            for u, v in ((a, b), (b, c), (c, a)):
-                key = (min(u, v), max(u, v))
-                adj = [g for g in edge_faces[key] if alive[g]]
-                others = [g for g in adj if g not in visible_set]
-                if others:
-                    # orient the horizon edge as it appears in the visible
-                    # face so the new face keeps a consistent winding
-                    horizon.append((u, v))
-        for f in visible_set:
-            alive[f] = False
-        for u, v in horizon:
-            add_face(u, v, p_idx)
-        normals_arr = np.array(normals)
-        offsets_arr = np.array(offsets)
+    with traced(None, "hull3d:insert"):
+        for p_idx in order:
+            p = points[p_idx]
+            alive_arr = np.array(alive)
+            dists = normals_arr @ p - offsets_arr
+            visible = np.flatnonzero(alive_arr & (dists > eps))
+            if visible.size == 0:
+                continue  # inside the current hull
+            visible_set = set(int(f) for f in visible)
+            # horizon: edges of visible faces whose other side is hidden (or
+            # boundary — cannot happen on a closed hull)
+            horizon: list[tuple[int, int]] = []
+            for f in visible_set:
+                a, b, c = faces[f]
+                for u, v in ((a, b), (b, c), (c, a)):
+                    key = (min(u, v), max(u, v))
+                    adj = [g for g in edge_faces[key] if alive[g]]
+                    others = [g for g in adj if g not in visible_set]
+                    if others:
+                        # orient the horizon edge as it appears in the visible
+                        # face so the new face keeps a consistent winding
+                        horizon.append((u, v))
+            for f in visible_set:
+                alive[f] = False
+            for u, v in horizon:
+                add_face(u, v, p_idx)
+            normals_arr = np.array(normals)
+            offsets_arr = np.array(offsets)
 
     keep = np.flatnonzero(alive)
     return Hull3D(

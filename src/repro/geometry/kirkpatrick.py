@@ -31,6 +31,7 @@ from repro.core.model import STOP, SearchStructure
 from repro.geometry.primitives import orient2d, point_in_triangle, triangles_overlap
 from repro.geometry.triangulate import ear_clip
 from repro.geometry.independent import greedy_low_degree_independent_set
+from repro.mesh.trace import traced
 from repro.util.rng import make_rng
 
 __all__ = ["KirkpatrickHierarchy", "build_kirkpatrick", "kirkpatrick_structure"]
@@ -143,10 +144,22 @@ def build_kirkpatrick(
     max_degree: int = 8,
     bound_scale: float = 8.0,
 ) -> KirkpatrickHierarchy:
-    """Build the hierarchy over a Delaunay triangulation of ``points``."""
+    """Build the hierarchy over a Delaunay triangulation of ``points``.
+
+    Traced phases (host-side spans — see :func:`repro.mesh.trace.traced`):
+    ``kirkpatrick:build`` wrapping ``kirkpatrick:delaunay`` (the base
+    triangulation) and one ``kirkpatrick:round`` per removal round.
+    """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError(f"points must be (n, 2), got {points.shape}")
+    with traced(None, "kirkpatrick:build"):
+        return _build_kirkpatrick(points, seed, max_degree, bound_scale)
+
+
+def _build_kirkpatrick(
+    points: np.ndarray, seed, max_degree: int, bound_scale: float
+) -> KirkpatrickHierarchy:
     rng = make_rng(seed)
     lo, hi = points.min(axis=0), points.max(axis=0)
     center = (lo + hi) / 2
@@ -158,11 +171,12 @@ def build_kirkpatrick(
     n = points.shape[0]
     corner_ids = {n, n + 1, n + 2}
 
-    base = Delaunay(all_pts).simplices.astype(np.int64)
-    # normalize orientation CCW
-    a, b, c = all_pts[base[:, 0]], all_pts[base[:, 1]], all_pts[base[:, 2]]
-    flip = orient2d(a, b, c) < 0
-    base[flip] = base[flip][:, [0, 2, 1]]
+    with traced(None, "kirkpatrick:delaunay"):
+        base = Delaunay(all_pts).simplices.astype(np.int64)
+        # normalize orientation CCW
+        a, b, c = all_pts[base[:, 0]], all_pts[base[:, 1]], all_pts[base[:, 2]]
+        flip = orient2d(a, b, c) < 0
+        base[flip] = base[flip][:, [0, 2, 1]]
 
     levels = [_Level(triangles=base)]
     current = [tuple(int(x) for x in t) for t in base]
@@ -176,63 +190,66 @@ def build_kirkpatrick(
         if not removable:
             break
         round_no += 1
-        neighbors: dict[int, set[int]] = {v: set() for v in verts}
-        incident: dict[int, list[int]] = {v: [] for v in verts}
-        for ti, t in enumerate(current):
-            for x in t:
-                incident[x].append(ti)
-            for x in t:
-                for y in t:
-                    if x != y:
-                        neighbors[x].add(y)
-        chosen = greedy_low_degree_independent_set(
-            neighbors, removable, max_degree=max_degree, seed=rng
-        )
-        if not chosen:
-            raise RuntimeError("no removable vertex found")  # pragma: no cover
+        with traced(None, "kirkpatrick:round"):
+            neighbors: dict[int, set[int]] = {v: set() for v in verts}
+            incident: dict[int, list[int]] = {v: [] for v in verts}
+            for ti, t in enumerate(current):
+                for x in t:
+                    incident[x].append(ti)
+                for x in t:
+                    for y in t:
+                        if x != y:
+                            neighbors[x].add(y)
+            chosen = greedy_low_degree_independent_set(
+                neighbors, removable, max_degree=max_degree, seed=rng
+            )
+            if not chosen:
+                raise RuntimeError("no removable vertex found")  # pragma: no cover
 
-        removed_tris: set[int] = set()
-        new_tris: list[tuple[int, int, int]] = []
-        #: per new triangle, the list of old-level triangle indices it overlaps
-        links: list[list[int]] = []
-        for v in chosen:
-            hole_tris = incident[v]
-            removed_tris.update(hole_tris)
-            cycle = _hole_polygon(v, [current[ti] for ti in hole_tris])
-            poly = all_pts[cycle]
-            # ensure CCW for ear clipping
-            area2 = float(
-                np.sum(
-                    poly[:, 0] * np.roll(poly[:, 1], -1)
-                    - np.roll(poly[:, 0], -1) * poly[:, 1]
+            removed_tris: set[int] = set()
+            new_tris: list[tuple[int, int, int]] = []
+            #: per new triangle, the old-level triangle indices it overlaps
+            links: list[list[int]] = []
+            for v in chosen:
+                hole_tris = incident[v]
+                removed_tris.update(hole_tris)
+                cycle = _hole_polygon(v, [current[ti] for ti in hole_tris])
+                poly = all_pts[cycle]
+                # ensure CCW for ear clipping
+                area2 = float(
+                    np.sum(
+                        poly[:, 0] * np.roll(poly[:, 1], -1)
+                        - np.roll(poly[:, 0], -1) * poly[:, 1]
+                    )
+                )
+                if area2 < 0:
+                    cycle = cycle[::-1]
+                    poly = all_pts[cycle]
+                tri_idx = ear_clip(poly)
+                for ta, tb, tc in tri_idx:
+                    new_t = (cycle[ta], cycle[tb], cycle[tc])
+                    overlaps = [
+                        ti
+                        for ti in hole_tris
+                        if triangles_overlap(
+                            all_pts[list(new_t)], all_pts[list(current[ti])]
+                        )
+                    ]
+                    if not overlaps:
+                        raise RuntimeError("new triangle overlaps no old triangle")
+                    new_tris.append(new_t)
+                    links.append(overlaps)
+
+            survivors = [ti for ti in range(len(current)) if ti not in removed_tris]
+            next_tris = [current[ti] for ti in survivors] + new_tris
+            next_children = [[ti] for ti in survivors] + links
+            levels.append(
+                _Level(
+                    triangles=np.array(next_tris, dtype=np.int64),
+                    children=next_children,
                 )
             )
-            if area2 < 0:
-                cycle = cycle[::-1]
-                poly = all_pts[cycle]
-            tri_idx = ear_clip(poly)
-            for ta, tb, tc in tri_idx:
-                new_t = (cycle[ta], cycle[tb], cycle[tc])
-                overlaps = [
-                    ti
-                    for ti in hole_tris
-                    if triangles_overlap(all_pts[list(new_t)], all_pts[list(current[ti])])
-                ]
-                if not overlaps:
-                    raise RuntimeError("new triangle overlaps no old triangle")
-                new_tris.append(new_t)
-                links.append(overlaps)
-
-        survivors = [ti for ti in range(len(current)) if ti not in removed_tris]
-        next_tris = [current[ti] for ti in survivors] + new_tris
-        next_children = [[ti] for ti in survivors] + links
-        levels.append(
-            _Level(
-                triangles=np.array(next_tris, dtype=np.int64),
-                children=next_children,
-            )
-        )
-        current = next_tris
+            current = next_tris
         if round_no > 10 * (n + 4):
             raise RuntimeError("hierarchy construction did not converge")
 
@@ -258,26 +275,27 @@ def kirkpatrick_structure(hier: KirkpatrickHierarchy) -> tuple[SearchStructure, 
     level = np.zeros(V, dtype=np.int64)
     pts = hier.points
 
-    for d in range(L):
-        tl = L - 1 - d  # triangulation level
-        tris = levels[tl].triangles
-        base = int(starts[d])
-        level[base : base + tris.shape[0]] = d
-        coords = pts[tris].reshape(tris.shape[0], 6)
-        payload[base : base + tris.shape[0], :6] = coords
-        if d < L - 1:
-            child_base = int(starts[d + 1])
-            for ti, kids in enumerate(levels[tl].children):
-                if len(kids) > MAX_CHILDREN:
-                    raise RuntimeError(
-                        f"triangle has {len(kids)} children > {MAX_CHILDREN}"
-                    )
-                for slot, ch in enumerate(kids):
-                    adjacency[base + ti, slot] = child_base + ch
-                    ct = levels[tl - 1].triangles[ch]
-                    payload[base + ti, 6 + 6 * slot : 12 + 6 * slot] = pts[
-                        ct
-                    ].reshape(6)
+    with traced(None, "kirkpatrick:structure"):
+        for d in range(L):
+            tl = L - 1 - d  # triangulation level
+            tris = levels[tl].triangles
+            base = int(starts[d])
+            level[base : base + tris.shape[0]] = d
+            coords = pts[tris].reshape(tris.shape[0], 6)
+            payload[base : base + tris.shape[0], :6] = coords
+            if d < L - 1:
+                child_base = int(starts[d + 1])
+                for ti, kids in enumerate(levels[tl].children):
+                    if len(kids) > MAX_CHILDREN:
+                        raise RuntimeError(
+                            f"triangle has {len(kids)} children > {MAX_CHILDREN}"
+                        )
+                    for slot, ch in enumerate(kids):
+                        adjacency[base + ti, slot] = child_base + ch
+                        ct = levels[tl - 1].triangles[ch]
+                        payload[base + ti, 6 + 6 * slot : 12 + 6 * slot] = pts[
+                            ct
+                        ].reshape(6)
 
     h = L - 1
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.geometry.kirkpatrick import KirkpatrickHierarchy
 from repro.geometry.primitives import point_in_triangle
+from repro.mesh.trace import traced
 from repro.util.rng import make_rng
 
 __all__ = ["PlanarSubdivision", "merged_face_subdivision"]
@@ -95,33 +96,34 @@ def merged_face_subdivision(
     """
     if not (0.0 <= merge_fraction < 1.0):
         raise ValueError(f"merge_fraction must be in [0, 1), got {merge_fraction}")
-    rng = make_rng(seed)
-    triangles = hier.base_triangles
-    T = triangles.shape[0]
-    dual = _triangle_adjacency(triangles)
-    rng.shuffle(dual)
+    with traced(None, "subdivision:merge-faces"):
+        rng = make_rng(seed)
+        triangles = hier.base_triangles
+        T = triangles.shape[0]
+        dual = _triangle_adjacency(triangles)
+        rng.shuffle(dual)
 
-    parent = np.arange(T)
+        parent = np.arange(T)
 
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = int(parent[x])
-        return x
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = int(parent[x])
+            return x
 
-    n_merges = int(merge_fraction * max(T - 1, 0))
-    done = 0
-    for a, b in dual:
-        if done >= n_merges:
-            break
-        ra, rb = find(a), find(b)
-        if ra != rb:
-            parent[ra] = rb
-            done += 1
-    roots = np.array([find(t) for t in range(T)])
-    _, face = np.unique(roots, return_inverse=True)
-    return PlanarSubdivision(
-        points=hier.points,
-        triangles=triangles,
-        face_of_triangle=face.astype(np.int64),
-    )
+        n_merges = int(merge_fraction * max(T - 1, 0))
+        done = 0
+        for a, b in dual:
+            if done >= n_merges:
+                break
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+                done += 1
+        roots = np.array([find(t) for t in range(T)])
+        _, face = np.unique(roots, return_inverse=True)
+        return PlanarSubdivision(
+            points=hier.points,
+            triangles=triangles,
+            face_of_triangle=face.astype(np.int64),
+        )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.primitives import orient2d
+from repro.mesh.trace import traced
 
 __all__ = ["ear_clip"]
 
@@ -25,11 +26,18 @@ def ear_clip(polygon: np.ndarray, eps: float = 1e-12) -> np.ndarray:
 
     Returns ``(k-2, 3)`` vertex-index triples into ``polygon``.  Raises
     ``ValueError`` if the polygon is not simple/CCW enough to clip.
+
+    Traced as one ``triangulate:ear-clip`` host span per polygon.
     """
     polygon = np.asarray(polygon, dtype=np.float64)
     k = polygon.shape[0]
     if k < 3:
         raise ValueError(f"polygon needs >= 3 vertices, got {k}")
+    with traced(None, "triangulate:ear-clip"):
+        return _ear_clip(polygon, k, eps)
+
+
+def _ear_clip(polygon: np.ndarray, k: int, eps: float) -> np.ndarray:
     # ensure CCW
     area2 = float(
         np.sum(

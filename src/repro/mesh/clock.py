@@ -134,6 +134,10 @@ class StepClock:
             if popped.open_branches != 0:  # pragma: no cover - misuse guard
                 raise RuntimeError("parallel() closed with an open branch")
             self._accumulators[-1] += popped.max_branch
+            if self.tracer is not None:
+                # report the fold (max vs sum of branch totals) so span
+                # charges keep summing to clock.time exactly
+                self.tracer.on_parallel_fold(popped.branches, popped.max_branch)
 
     def _open_branch(self, frame: ParallelFrame) -> None:
         if not self._frames or self._frames[-1] is not frame:

@@ -24,18 +24,29 @@ Exporters:
 
 * :meth:`Tracer.to_chrome` — Chrome ``trace_event`` JSON (open the blob
   in ``chrome://tracing`` / Perfetto; span steps and counters ride in the
-  event ``args``);
+  event ``args``; the document also carries the structured span trees
+  under a ``spanTrees`` key, which viewers ignore but
+  ``repro.bench.report --diff`` consumes);
 * :meth:`Tracer.render` — a plain-text tree for terminals and review
-  artifacts.
+  artifacts;
+* :meth:`Tracer.collapsed` — flamegraph-compatible collapsed stacks, one
+  ``root;child;grandchild <steps>`` line per span (inverse:
+  :func:`parse_collapsed`).
 
-Parallel-fold caveat (same as :mod:`repro.mesh.profile`): span step
-totals are *raw charges*.  Inside a ``clock.parallel()`` section the
-clock folds branch totals by max, but the fold itself is not a charge, so
-``tracer.total_steps`` equals ``clock.time`` only for runs without
-parallel sections (true of Algorithm 1/2/3 as implemented — their
-parallelism is charged analytically) and otherwise bounds it from above.
-The tracer answers "what work happened where", not "what was the critical
-path".
+Parallel folding: inside a ``clock.parallel()`` section the clock folds
+branch totals by max.  The clock reports each section's fold to the
+tracer (:meth:`Tracer.on_parallel_fold`), which records the difference
+``max(branches) - sum(branches)`` on the innermost open span's ``fold``
+field.  ``Span.steps_total`` includes folds, so ``tracer.total_steps``
+equals ``clock.time`` *exactly*, parallel sections included — the tracer
+answers both "what work happened where" (raw ``steps``) and "what did
+the critical path cost" (``steps_total``).
+
+Host-side (clock-less) code — the geometry builders that run before any
+engine exists — opens spans through the same :func:`traced` helper with
+``clock=None``: the span lands on the *ambient* tracer, either one
+installed with :func:`ambient` or, under ``REPRO_TRACE``, a lazily
+created per-process host tracer drained alongside the clock tracers.
 
 The bench runner's ``--trace`` flag uses the ``REPRO_TRACE`` environment
 variable the same way ``--profile`` uses ``REPRO_PROFILE``: clocks
@@ -45,6 +56,7 @@ module-level list drained by :func:`drain_traced_tracers`.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
@@ -55,7 +67,10 @@ __all__ = [
     "Span",
     "Tracer",
     "traced",
+    "ambient",
+    "ambient_tracer",
     "chrome_doc",
+    "parse_collapsed",
     "register_traced_tracer",
     "drain_traced_tracers",
 ]
@@ -65,6 +80,15 @@ __all__ = [
 #: processes drain this after each traced run.
 _TRACED_TRACERS: list["Tracer"] = []
 
+#: explicitly installed ambient tracers (innermost last) — the fallback
+#: for ``traced(None, ...)`` spans opened by clock-less host code.
+_AMBIENT: list["Tracer"] = []
+
+#: lazily created host tracer for ``REPRO_TRACE`` runs (one per process
+#: per drain); collects construction-phase spans that happen before any
+#: engine/clock exists.
+_ENV_HOST_TRACER: "Tracer | None" = None
+
 
 def register_traced_tracer(tracer: "Tracer") -> None:
     _TRACED_TRACERS.append(tracer)
@@ -72,8 +96,10 @@ def register_traced_tracer(tracer: "Tracer") -> None:
 
 def drain_traced_tracers() -> list["Tracer"]:
     """Return and clear the tracers captured under ``REPRO_TRACE``."""
+    global _ENV_HOST_TRACER
     out = list(_TRACED_TRACERS)
     _TRACED_TRACERS.clear()
+    _ENV_HOST_TRACER = None
     return out
 
 
@@ -95,6 +121,11 @@ class Span:
     t1: float | None = None
     #: mesh steps charged while this span was innermost (self, not children)
     steps: float = 0.0
+    #: parallel-fold adjustment: for every ``clock.parallel()`` section
+    #: that closed while this span was innermost, the clock advanced by
+    #: ``max(branches)`` while the raw charges sum to ``sum(branches)``;
+    #: this accumulates ``max - sum`` (<= 0) so totals match the clock.
+    fold: float = 0.0
     counters: dict[str, PrimCounter] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
 
@@ -104,9 +135,18 @@ class Span:
         return (self.t1 - self.t0) if self.t1 is not None else 0.0
 
     @property
+    def steps_self(self) -> float:
+        """Net self charges: raw charges plus this span's parallel folds."""
+        return self.steps + self.fold
+
+    @property
     def steps_total(self) -> float:
-        """Self charges plus all descendants' (raw, no parallel fold)."""
-        return self.steps + sum(c.steps_total for c in self.children)
+        """Net charges of this span and all descendants (folds applied).
+
+        Equals the clock's advance across the span, parallel sections
+        included.
+        """
+        return self.steps + self.fold + sum(c.steps_total for c in self.children)
 
     @property
     def calls_total(self) -> int:
@@ -126,6 +166,7 @@ class Span:
             "name": self.name,
             "wall_s": self.wall_s,
             "steps": self.steps,
+            "fold": self.fold,
             "counters": {
                 label: {"calls": c.calls, "steps": c.steps, "volume": c.volume}
                 for label, c in self.counters.items()
@@ -140,6 +181,7 @@ class Span:
             t0=0.0,
             t1=float(data.get("wall_s", 0.0)),
             steps=float(data.get("steps", 0.0)),
+            fold=float(data.get("fold", 0.0)),
         )
         for label, c in data.get("counters", {}).items():
             span.counters[str(label)] = PrimCounter(
@@ -195,6 +237,17 @@ class Tracer:
         counter.steps += steps
         counter.volume += volume
 
+    def on_parallel_fold(self, branches: list[float], max_branch: float) -> None:
+        """Called by the clock when a ``parallel()`` section closes.
+
+        ``branches`` are the clock-measured branch totals (inner folds
+        already applied, because inner sections reported here first), so
+        charging ``max - sum`` to the innermost open span makes this
+        tracer's totals track the clock exactly through arbitrary
+        nesting.
+        """
+        self._stack[-1].fold += max_branch - sum(branches)
+
     def finish(self) -> "Tracer":
         """Close the root span's wall time (idempotent)."""
         if self.root.t1 is None:
@@ -203,7 +256,7 @@ class Tracer:
 
     @property
     def total_steps(self) -> float:
-        """Summed raw span charges (== ``clock.time`` absent parallel folds)."""
+        """Summed net span charges (== ``clock.time``, folds included)."""
         return self.root.steps_total
 
     # -- exporters ---------------------------------------------------------
@@ -227,6 +280,7 @@ class Tracer:
                     "args": {
                         "steps": span.steps_total,
                         "steps_self": span.steps,
+                        "fold": span.fold,
                         "calls": span.calls_total,
                         "volume": span.volume_total,
                         "counters": {
@@ -253,7 +307,7 @@ class Tracer:
     def render(self) -> str:
         """Plain-text tree: per-span steps, wall time, and top labels."""
         self.finish()
-        lines = ["span tree (steps are raw charges; parallel fold not applied)"]
+        lines = ["span tree (steps are net charges; parallel folds applied)"]
 
         def walk(span: Span, depth: int) -> None:
             top = sorted(
@@ -266,15 +320,38 @@ class Tracer:
                 if top
                 else ""
             )
+            fold_txt = f" fold={span.fold:.0f}" if span.fold else ""
             lines.append(
                 f"{'  ' * depth}{span.name:<{max(1, 28 - 2 * depth)}} "
-                f"steps={span.steps_total:>10.0f} (self={span.steps:.0f})  "
+                f"steps={span.steps_total:>10.0f} (self={span.steps:.0f}{fold_txt})  "
                 f"wall={span.wall_s * 1e3:.2f}ms{top_txt}"
             )
             for child in span.children:
                 walk(child, depth + 1)
 
         walk(self.root, 0)
+        return "\n".join(lines)
+
+    def collapsed(self) -> str:
+        """Flamegraph collapsed-stack export: ``root;child <steps>`` lines.
+
+        One line per span (pre-order), value = the span's *net self*
+        steps (raw charges plus its parallel folds), so the values sum to
+        ``total_steps`` == ``clock.time``.  Span names are sanitized
+        (``;`` and whitespace replaced) to keep the format parseable;
+        every span is emitted, zero-valued ones included, so the tree
+        shape survives the round trip (:func:`parse_collapsed`).
+        """
+        self.finish()
+        lines: list[str] = []
+
+        def walk(span: Span, prefix: str) -> None:
+            path = f"{prefix};{_collapsed_name(span.name)}" if prefix else _collapsed_name(span.name)
+            lines.append(f"{path} {_collapsed_value(span.steps_self)}")
+            for child in span.children:
+                walk(child, path)
+
+        walk(self.root, "")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -289,11 +366,87 @@ def traced(clock, name: str):
     "hierdag:phase2"):`` — when no tracer is attached (the default) this
     is one ``getattr`` plus a shared ``nullcontext``, preserving the
     zero-mesh-step / negligible-wall guarantee of untraced runs.
+
+    ``clock`` may be ``None`` for host-side phases that run before any
+    engine exists (geometry construction): the span then falls back to
+    the innermost :func:`ambient` tracer, or — under ``REPRO_TRACE`` — to
+    a lazily created per-process host tracer.  With no clock tracer, no
+    ambient tracer, and no ``REPRO_TRACE``, this stays a cheap no-op.
     """
-    tracer = getattr(clock, "tracer", None)
+    tracer = getattr(clock, "tracer", None) if clock is not None else None
     if tracer is None:
-        return nullcontext()
+        tracer = ambient_tracer()
+        if tracer is None:
+            return nullcontext()
     return tracer.span(name)
+
+
+@contextmanager
+def ambient(tracer: "Tracer") -> Iterator["Tracer"]:
+    """Install ``tracer`` as the fallback for clock-less ``traced`` spans."""
+    _AMBIENT.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _AMBIENT.pop()
+
+
+def ambient_tracer() -> "Tracer | None":
+    """The tracer clock-less spans attach to, or ``None`` (tracing off).
+
+    Resolution order: the innermost :func:`ambient` tracer, then — when
+    ``REPRO_TRACE`` is set — a per-process host tracer created on first
+    use and registered for :func:`drain_traced_tracers` like the clock
+    tracers.
+    """
+    global _ENV_HOST_TRACER
+    if _AMBIENT:
+        return _AMBIENT[-1]
+    if os.environ.get("REPRO_TRACE"):
+        if _ENV_HOST_TRACER is None:
+            _ENV_HOST_TRACER = Tracer(name="host")
+            register_traced_tracer(_ENV_HOST_TRACER)
+        return _ENV_HOST_TRACER
+    return None
+
+
+def _collapsed_name(name: str) -> str:
+    """Span name made safe for the collapsed format (no ``;``/whitespace)."""
+    return "".join(":" if ch == ";" else "_" if ch.isspace() else ch for ch in name)
+
+
+def _collapsed_value(value: float) -> str:
+    """Exact text form of a step value: int when integral, repr otherwise."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def parse_collapsed(text: str) -> dict[tuple[str, ...], float]:
+    """Parse collapsed-stack lines back into ``{path: summed steps}``.
+
+    The inverse of :meth:`Tracer.collapsed` up to aggregation: sibling
+    spans with the same name collapse onto one path, their values summed
+    (the flamegraph convention).  Blank lines are skipped; a malformed
+    line raises ``ValueError``.
+    """
+    out: dict[tuple[str, ...], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        path_txt, _, value_txt = line.rpartition(" ")
+        if not path_txt:
+            raise ValueError(f"collapsed line {lineno} has no value: {line!r}")
+        try:
+            value = float(value_txt)
+        except ValueError as exc:
+            raise ValueError(
+                f"collapsed line {lineno} has a non-numeric value: {line!r}"
+            ) from exc
+        path = tuple(path_txt.split(";"))
+        out[path] = out.get(path, 0.0) + value
+    return out
 
 
 def chrome_doc(tracers: list["Tracer"]) -> dict:
@@ -301,8 +454,15 @@ def chrome_doc(tracers: list["Tracer"]) -> dict:
 
     Each tracer becomes its own ``pid`` so a bench point that builds
     several engines (e.g. method sweeps) shows one track per engine.
+    The extra top-level ``spanTrees`` key (ignored by trace viewers)
+    carries the structured span trees so TRACE sidecars stay
+    self-contained inputs for ``repro.bench.report --diff``.
     """
     events: list[dict] = []
     for i, tracer in enumerate(tracers, start=1):
         events.extend(tracer.chrome_events(pid=i))
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "spanTrees": [tracer.to_dict() for tracer in tracers],
+    }

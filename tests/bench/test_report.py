@@ -115,6 +115,24 @@ class TestDiff:
         with pytest.raises(SystemExit):
             report.main(["--diff", _write(tmp_path, "a.json", BASE)])
 
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        old = _write(tmp_path, "old.json", BASE)
+        assert report.main(["--diff", old, str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_json_exits_two(self, capsys, tmp_path):
+        old = _write(tmp_path, "old.json", BASE)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert report.main(["--diff", old, str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_malformed_bench_doc_exits_two(self, capsys, tmp_path):
+        old = _write(tmp_path, "old.json", BASE)
+        hollow = _write(tmp_path, "hollow.json", {"bench": "demo"})
+        assert report.main(["--diff", old, hollow]) == 2
+        assert "malformed bench document" in capsys.readouterr().err
+
     def test_committed_bench_jsons_diff_clean_against_themselves(self):
         # the two BENCH blobs committed at the repo root are valid report
         # inputs and self-diff to exit 0 (acceptance criterion artifact)
@@ -124,3 +142,83 @@ class TestDiff:
             path = REPO_ROOT / name
             assert path.exists()
             assert report.main(["--diff", str(path), str(path)]) == 0
+
+
+def _trace_doc(bstar_steps=100.0, extra_span=False):
+    """A TRACE_* sidecar as the runner would write it, via real tracers."""
+    from repro.mesh.clock import StepClock
+    from repro.mesh.trace import Tracer, chrome_doc
+
+    clock = StepClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("search"):
+        clock.charge(40.0, "setup")
+        with tracer.span("search:bstar"):
+            clock.charge(bstar_steps, "bstar")
+        if extra_span:
+            with tracer.span("search:extra"):
+                clock.charge(5.0, "extra")
+    return chrome_doc([tracer])
+
+
+class TestTraceDiff:
+    def test_render_single_trace_doc(self, capsys, tmp_path):
+        path = _write(tmp_path, "TRACE_a.json", _trace_doc())
+        assert report.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "search:bstar" in out and "net steps" in out
+
+    def test_self_diff_exits_zero(self, capsys, tmp_path):
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc())
+        new = _write(tmp_path, "TRACE_new.json", _trace_doc())
+        assert report.main(["--diff", old, new]) == 0
+        assert "no per-span step regression" in capsys.readouterr().out
+
+    def test_identifies_regressed_phase(self, capsys, tmp_path):
+        # acceptance: an injected per-phase regression is named in the diff
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc(bstar_steps=100.0))
+        new = _write(tmp_path, "TRACE_new.json", _trace_doc(bstar_steps=150.0))
+        assert report.main(["--diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "search:bstar" in out  # the regressed phase is identified
+        assert "+50.0%" in out
+
+    def test_added_and_removed_spans_reported(self, capsys, tmp_path):
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc(extra_span=True))
+        new = _write(tmp_path, "TRACE_new.json", _trace_doc())
+        assert report.main(["--diff", old, new]) == 0  # removal is not a regression
+        out = capsys.readouterr().out
+        assert "search:extra: removed" in out
+        report.main(["--diff", new, old])
+        assert "search:extra: added" in capsys.readouterr().out
+
+    def test_tolerance_forwarded(self, tmp_path):
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc(bstar_steps=100.0))
+        new = _write(tmp_path, "TRACE_new.json", _trace_doc(bstar_steps=150.0))
+        assert report.main(["--diff", old, new, "--tolerance", "0.60"]) == 0
+
+    def test_missing_sidecar_exits_two(self, capsys, tmp_path):
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc())
+        assert report.main(["--diff", old, str(tmp_path / "TRACE_gone.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_sidecar_exits_two(self, capsys, tmp_path):
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc())
+        bad = tmp_path / "TRACE_bad.json"
+        bad.write_text("{]")
+        assert report.main(["--diff", old, str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_trace_doc_without_span_trees_exits_two(self, capsys, tmp_path):
+        old = _write(tmp_path, "TRACE_old.json", _trace_doc())
+        # a pre-spanTrees sidecar: raw Chrome events only
+        legacy = _write(tmp_path, "TRACE_legacy.json", {"traceEvents": []})
+        assert report.main(["--diff", old, legacy]) == 2
+        assert "no spanTrees" in capsys.readouterr().err
+
+    def test_mixed_doc_kinds_exit_two(self, capsys, tmp_path):
+        bench = _write(tmp_path, "bench.json", BASE)
+        trace = _write(tmp_path, "TRACE_a.json", _trace_doc())
+        assert report.main(["--diff", bench, trace]) == 2
+        assert "cannot diff" in capsys.readouterr().err

@@ -145,6 +145,14 @@ class TestRunPoint:
         # traced pass re-runs the same deterministic schedule
         assert record["trace_steps"] == record["fast"]["mesh_steps"]
         assert "hierdag" in record["trace_tree"]
+        # spanTrees ride in the sidecar for report --diff
+        assert record["trace"]["spanTrees"]
+        # collapsed-stack export: values sum to the traced steps
+        from repro.mesh.trace import parse_collapsed
+
+        parsed = parse_collapsed(record["trace_collapsed"])
+        assert sum(parsed.values()) == record["trace_steps"]
+        assert any("hierdag:bstar" in ";".join(p) for p in parsed)
 
     def test_profile_record(self):
         # e10 runs on the raw MeshVM (no StepClock), so profile an

@@ -5,14 +5,17 @@ import os
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.mesh.clock import StepClock
 from repro.mesh.engine import MeshEngine
 from repro.mesh.trace import (
     Span,
     Tracer,
+    _collapsed_name,
     chrome_doc,
     drain_traced_tracers,
+    parse_collapsed,
     traced,
 )
 
@@ -51,18 +54,39 @@ class TestSpanTree:
             eng.root.scan(np.arange(64))
         assert tracer.total_steps == eng.clock.time
 
-    def test_parallel_fold_caveat(self):
-        # inside clock.parallel the clock folds branch totals by max but
-        # the tracer keeps raw charges: total_steps >= clock.time
+    def test_parallel_fold_exact(self):
+        # inside clock.parallel the clock folds branch totals by max; the
+        # tracer applies the same fold to the innermost span so summed
+        # span charges equal clock.time exactly
         eng = MeshEngine(8)
         tracer = Tracer(clock=eng.clock)
         quads = eng.root.partition(2, 2)
-        with eng.parallel(quads[:2]) as par:
-            for q in quads[:2]:
-                with par.branch(q):
-                    q.scan(np.arange(16))
+        with tracer.span("par"):
+            with eng.parallel(quads[:2]) as par:
+                for q in quads[:2]:
+                    with par.branch(q):
+                        q.scan(np.arange(16))
         assert eng.clock.time == eng.clock.cost.scan * 4  # max over branches
-        assert tracer.total_steps == eng.clock.cost.scan * 4 * 2  # raw sum
+        span = tracer.root.children[0]
+        assert span.steps == eng.clock.cost.scan * 4 * 2  # raw sum
+        assert span.fold == -eng.clock.cost.scan * 4  # max - sum
+        assert tracer.total_steps == eng.clock.time  # exact
+
+    def test_nested_parallel_fold_exact(self):
+        # nested clock.parallel sections compose: branch totals already
+        # include inner folds, so the outer fold stays exact
+        eng = MeshEngine(16)
+        tracer = Tracer(clock=eng.clock)
+        quads = eng.root.partition(2, 2)
+        with eng.parallel(quads) as par:
+            for i, q in enumerate(quads):
+                with par.branch(q):
+                    subs = q.partition(2, 2)
+                    with eng.parallel(subs[:2]) as inner:
+                        for s in subs[:2]:
+                            with inner.branch(s):
+                                s.scan(np.arange(4 * (i + 1)))
+        assert tracer.total_steps == eng.clock.time
 
     def test_detach_stops_recording(self):
         eng = MeshEngine(8)
@@ -164,6 +188,81 @@ class TestExporters:
         assert not root_line.startswith(" ")
 
 
+class TestCollapsed:
+    def test_collapsed_values_sum_to_clock_time(self):
+        eng = MeshEngine(8)
+        tracer = Tracer(clock=eng.clock)
+        quads = eng.root.partition(2, 2)
+        with tracer.span("sort"):
+            eng.root.sort_by(np.arange(64))
+        with tracer.span("par"):
+            with eng.parallel(quads[:2]) as par:
+                for q in quads[:2]:
+                    with par.branch(q):
+                        q.scan(np.arange(16))
+        parsed = parse_collapsed(tracer.collapsed())
+        assert sum(parsed.values()) == eng.clock.time
+
+    def test_names_sanitized(self):
+        tracer = Tracer()
+        with tracer.span("odd name;with parts"):
+            pass
+        text = tracer.collapsed()
+        assert "run;odd_name:with_parts 0" in text.splitlines()
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_collapsed("lonetoken")
+        with pytest.raises(ValueError):
+            parse_collapsed("a;b notanumber")
+
+
+_names = st.text(alphabet="abXY0 ;.:-_", min_size=1, max_size=8)
+_steps = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(float),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+_folds = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=-100.0, max_value=0.0, allow_nan=False),
+)
+_trees = st.recursive(
+    st.tuples(_names, _steps, _folds, st.just(())),
+    lambda children: st.tuples(
+        _names, _steps, _folds, st.lists(children, max_size=3).map(tuple)
+    ),
+    max_leaves=10,
+)
+
+
+def _build_span(node) -> Span:
+    name, steps, fold, children = node
+    span = Span(name, t0=0.0, t1=0.0, steps=steps, fold=fold)
+    span.children = [_build_span(c) for c in children]
+    return span
+
+
+class TestCollapsedRoundTrip:
+    """Property: parsing the collapsed export reconstructs the same
+    (sanitized path -> summed net steps) multiset for any span tree."""
+
+    @given(_trees)
+    @settings(max_examples=75, deadline=None)
+    def test_round_trip(self, node):
+        tracer = Tracer()
+        tracer.root.children.append(_build_span(node))
+        expected: dict[tuple[str, ...], float] = {}
+
+        def walk(span: Span, prefix: tuple[str, ...]) -> None:
+            path = prefix + (_collapsed_name(span.name),)
+            expected[path] = expected.get(path, 0.0) + span.steps_self
+            for child in span.children:
+                walk(child, path)
+
+        walk(tracer.root, ())
+        assert parse_collapsed(tracer.collapsed()) == expected
+
+
 class TestEnvRegistry:
     def test_repro_trace_attaches_and_drains(self, monkeypatch):
         drain_traced_tracers()
@@ -184,8 +283,8 @@ class TestEnvRegistry:
 
 class TestEndToEndE1:
     """Acceptance: a span-traced E1 run exports valid Chrome JSON whose
-    summed span step-charges equal the StepClock total (Algorithm 1 has no
-    clock.parallel sections, so the parallel-fold caveat is moot here)."""
+    summed span step-charges equal the StepClock total (exact for any
+    driver — parallel folds are applied to the spans themselves)."""
 
     def _run(self, fast_path: bool):
         from repro.core.hierdag import hierdag_multisearch
