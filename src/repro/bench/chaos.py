@@ -1,0 +1,330 @@
+"""Chaos harness: seeded fault injection vs paranoid invariant checking.
+
+Runs the E1/E2 smoke problems and a synthetic primitive pipeline under a
+matrix of fault plans (kind x seed), once with paranoid mode on and once
+off ("bare"), and classifies what happened to every injected fault:
+
+* ``detected:paranoid`` — :class:`repro.mesh.faults.InvariantViolation`
+  raised (a primitive-boundary check or a phase-boundary validator fired);
+* ``detected:validator`` — an always-on assertion outside paranoid mode
+  caught it;
+* ``crash`` — the corruption surfaced as an ordinary exception (loud,
+  but not a diagnosis);
+* ``silent_corruption`` — the run completed with outputs differing from
+  the clean run's fingerprint (the failure mode paranoid mode exists to
+  prevent);
+* ``no_effect`` — the run completed byte-identical despite the
+  injection (e.g. the perturbed value was never read);
+* ``no_opportunity`` — the scenario never presented the plan's fault
+  kind (nothing was injected; excluded from the detection gate).
+
+The report is a pure function of the seed matrix: identical seeds give
+identical injection logs and identical classifications.  The CLI exits 1
+when a paranoid-mode cell with an injected fault went undetected
+(``silent_corruption`` / ``no_effect``) and is not documented in the
+committed blind-spot baseline (``FAULTS_baseline.json``)::
+
+    python -m repro.bench.chaos --seeds 1 2 3 --baseline FAULTS_baseline.json
+    python -m repro.bench.chaos --seeds 1 2 3 --write-baseline FAULTS_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import (
+    ADVERSARIAL_KINDS,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InvariantViolation,
+    apply_adversarial,
+)
+
+__all__ = ["SCENARIOS", "run_cell", "run_matrix", "gate", "main"]
+
+SCHEMA_VERSION = 1
+#: default seeds of the nightly chaos matrix
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+def _fingerprint(*parts) -> str:
+    """Order-sensitive digest of arrays/scalars (run-output identity)."""
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            h.update(np.ascontiguousarray(part).tobytes())
+        else:
+            h.update(repr(part).encode())
+        h.update(b"|")
+    return h.hexdigest()[:16]
+
+
+# -- scenarios -------------------------------------------------------------
+#
+# Each scenario builds its problem deterministically, runs it to
+# completion, and returns an output fingerprint.  ``injector=None`` with
+# ``paranoid=False`` is the clean reference run.
+
+
+def _scenario_e1(paranoid: bool, injector: FaultInjector | None) -> str:
+    """E1 smoke: hierarchical-DAG multisearch (adversarial-input surface)."""
+    from repro.core.hierdag import hierdag_multisearch
+    from repro.core.model import QuerySet
+    from repro.graphs.adapters import hierdag_search_structure
+    from repro.graphs.hierarchical import build_mu_ary_search_dag
+
+    dag, leaf_keys = build_mu_ary_search_dag(2, 8, seed=1)
+    st = hierdag_search_structure(dag)
+    rng = np.random.default_rng(2)
+    keys = rng.uniform(leaf_keys[0], leaf_keys[-1], 256)
+    eng = MeshEngine.for_problem(max(int(dag.size), 256), paranoid=paranoid)
+    qs = QuerySet.start(keys, 0)
+    if injector is not None:
+        injector.install(eng)
+        apply_adversarial(injector, st, qs)
+    res = hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+    return _fingerprint(qs.current, qs.steps, res.mesh_steps)
+
+
+def _scenario_e2(paranoid: bool, injector: FaultInjector | None) -> str:
+    """E2 smoke: Constrained-Multisearch (sort/rar/scan primitive surface)."""
+    from repro.core.constrained import constrained_multisearch
+    from repro.core.model import QuerySet
+    from repro.core.splitters import splitting_from_labels
+    from repro.graphs.adapters import ktree_directed_structure
+    from repro.graphs.ktree import build_balanced_search_tree
+
+    t = build_balanced_search_tree(2, 8, seed=1)
+    st = ktree_directed_structure(t)
+    sp = splitting_from_labels(t.alpha_splitter().comp, t.children, 0.5)
+    rng = np.random.default_rng(3)
+    keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 256)
+    eng = MeshEngine.for_problem(max(int(t.size), 256), paranoid=paranoid)
+    qs = QuerySet.start(keys, np.zeros(256, dtype=np.int64))
+    if injector is not None:
+        injector.install(eng)
+        apply_adversarial(injector, st, qs)
+    constrained_multisearch(eng, st, qs, sp)
+    return _fingerprint(qs.current, qs.steps, eng.clock.time)
+
+
+def _scenario_primitives(paranoid: bool, injector: FaultInjector | None) -> str:
+    """Synthetic pipeline over the primitives E1/E2 don't exercise:
+    ``sort_by`` -> ``route`` -> ``rar`` -> inter-region ``transfer``."""
+    eng = MeshEngine.for_problem(64, paranoid=paranoid)
+    if injector is not None:
+        injector.install(eng)
+    rng = np.random.default_rng(5)
+    keys = rng.integers(0, 1000, 64).astype(np.int64)
+    r = eng.root
+    (srt,) = r.sort_by(keys, label="chaos:sort")
+    perm = rng.permutation(64)
+    (routed,) = r.route(perm, srt, label="chaos:route")
+    addr = rng.integers(0, 64, 64)
+    (vals,) = r.rar(addr, routed, label="chaos:rar")
+    half = r.spec.rows // 2
+    top = r.subregion(0, 0, half, r.spec.cols)
+    bot = r.subregion(half, 0, r.spec.rows - half, r.spec.cols)
+    (moved,) = eng.transfer(top, bot, routed[:16], label="chaos:xfer")
+    return _fingerprint(srt, routed, vals, moved, eng.clock.time)
+
+
+SCENARIOS = {
+    "e1_smoke": _scenario_e1,
+    "e2_smoke": _scenario_e2,
+    "primitives": _scenario_primitives,
+}
+
+ALL_KINDS = FAULT_KINDS + ADVERSARIAL_KINDS
+
+
+# -- one cell --------------------------------------------------------------
+
+
+def run_cell(scenario: str, kind: str, seed: int, paranoid: bool, clean: str) -> dict:
+    """Run one (scenario, kind, seed, mode) cell and classify the outcome."""
+    fn = SCENARIOS[scenario]
+    injector = FaultInjector(FaultPlan(seed=seed, kind=kind))
+    error = None
+    try:
+        fp = fn(paranoid, injector)
+        if not injector.injected:
+            outcome = "no_opportunity"
+        elif fp == clean:
+            outcome = "no_effect"
+        else:
+            outcome = "silent_corruption"
+    except InvariantViolation as exc:
+        outcome = "detected:paranoid"
+        error = exc.to_dict()
+    except AssertionError as exc:
+        outcome = "detected:validator"
+        error = {"detail": str(exc)}
+    except Exception as exc:  # noqa: BLE001 - classification, not handling
+        outcome = "crash"
+        error = {"type": type(exc).__name__, "detail": str(exc)}
+    cell = {
+        "scenario": scenario,
+        "kind": kind,
+        "seed": seed,
+        "mode": "paranoid" if paranoid else "bare",
+        "outcome": outcome,
+        "injected": injector.log(),
+        "opportunities": int(injector.opportunities.get(kind, 0)),
+    }
+    if error is not None:
+        cell["error"] = error
+    return cell
+
+
+def run_matrix(seeds, scenarios=None, kinds=None) -> dict:
+    """The full deterministic chaos report (no timestamps: diffable)."""
+    scenarios = list(scenarios or SCENARIOS)
+    kinds = list(kinds or ALL_KINDS)
+    clean = {name: SCENARIOS[name](False, None) for name in scenarios}
+    results = []
+    for scenario in scenarios:
+        for kind in kinds:
+            for seed in seeds:
+                for paranoid in (True, False):
+                    results.append(
+                        run_cell(scenario, kind, seed, paranoid, clean[scenario])
+                    )
+    summary: dict[str, dict[str, int]] = {"paranoid": {}, "bare": {}}
+    injected_cells = {"paranoid": 0, "bare": 0}
+    detected_cells = {"paranoid": 0, "bare": 0}
+    for cell in results:
+        mode = cell["mode"]
+        summary[mode][cell["outcome"]] = summary[mode].get(cell["outcome"], 0) + 1
+        if cell["injected"] or cell["outcome"].startswith("detected"):
+            injected_cells[mode] += 1
+            if cell["outcome"].startswith("detected"):
+                detected_cells[mode] += 1
+    rates = {
+        mode: (detected_cells[mode] / injected_cells[mode] if injected_cells[mode] else None)
+        for mode in ("paranoid", "bare")
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "seeds": list(seeds),
+        "scenarios": scenarios,
+        "kinds": kinds,
+        "results": results,
+        "summary": summary,
+        "detection_rate": rates,
+    }
+
+
+def _blind_key(cell: dict) -> str:
+    return f"{cell['mode']}:{cell['scenario']}:{cell['kind']}"
+
+
+def gate(report: dict, baseline: dict | None) -> list[str]:
+    """Undetected paranoid-mode injections not documented as blind spots.
+
+    A paranoid cell whose fault was injected but neither detected nor
+    crashed must appear in the baseline's ``blind_spots`` map, else it is
+    a gate failure (the chaos CI job exits 1).
+    """
+    known = (baseline or {}).get("blind_spots", {})
+    failures = []
+    for cell in report["results"]:
+        if cell["mode"] != "paranoid" or not cell["injected"]:
+            continue
+        if cell["outcome"] in ("silent_corruption", "no_effect"):
+            key = _blind_key(cell)
+            if key not in known:
+                failures.append(
+                    f"{key} seed={cell['seed']}: injected fault went "
+                    f"{cell['outcome']} and is not in the blind-spot baseline"
+                )
+    return failures
+
+
+def blind_spots(report: dict) -> dict[str, str]:
+    """The report's undetected paranoid cells, as a baseline fragment."""
+    spots: dict[str, str] = {}
+    for cell in report["results"]:
+        if (
+            cell["mode"] == "paranoid"
+            and cell["injected"]
+            and cell["outcome"] in ("silent_corruption", "no_effect")
+        ):
+            spots.setdefault(
+                _blind_key(cell),
+                f"{cell['outcome']} (first seen seed={cell['seed']})",
+            )
+    return spots
+
+
+def _render(report: dict) -> str:
+    lines = ["chaos matrix:"]
+    for cell in report["results"]:
+        inj = len(cell["injected"])
+        lines.append(
+            f"  {cell['mode']:<8} {cell['scenario']:<12} "
+            f"{cell['kind']:<24} seed={cell['seed']} -> {cell['outcome']}"
+            + (f" ({inj} injected)" if inj else "")
+        )
+    for mode in ("paranoid", "bare"):
+        rate = report["detection_rate"][mode]
+        rate_txt = "n/a" if rate is None else f"{rate:.0%}"
+        lines.append(f"{mode}: {report['summary'][mode]}  detection={rate_txt}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.chaos", description=__doc__.split("\n", 1)[0]
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS))
+    parser.add_argument(
+        "--scenarios", nargs="+", choices=sorted(SCENARIOS), default=None
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the full JSON report here",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="blind-spot baseline (FAULTS_baseline.json); undetected "
+        "paranoid-mode injections not listed there exit 1",
+    )
+    parser.add_argument(
+        "--write-baseline", type=pathlib.Path, default=None, metavar="PATH",
+        help="record this run's blind spots to PATH and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_matrix(args.seeds, scenarios=args.scenarios)
+    print(_render(report), flush=True)
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}", flush=True)
+    if args.write_baseline is not None:
+        doc = {"schema": SCHEMA_VERSION, "blind_spots": blind_spots(report)}
+        args.write_baseline.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.write_baseline}", flush=True)
+        return 0
+    baseline = None
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+    failures = gate(report, baseline)
+    if failures:
+        print("\nUNDOCUMENTED BLIND SPOTS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

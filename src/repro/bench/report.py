@@ -119,7 +119,14 @@ def render_doc(doc: dict) -> str:
         f"bench {doc['bench']}  (created {doc.get('created', '?')}, "
         f"{len(doc['points'])} points, repeats={doc.get('repeats', '?')})"
     ]
+    errored = [p for p in doc["points"] if "error" in p]
     for point in doc["points"]:
+        if "error" in point:
+            lines.append(
+                f"  [{_params_txt(point)}] ERROR after "
+                f"{point.get('attempts', '?')} attempt(s): {point['error']}"
+            )
+            continue
         fast = point["fast"]
         slow = point["slow"]
         steps = fast.get("mesh_steps")
@@ -130,9 +137,16 @@ def render_doc(doc: dict) -> str:
             f"speedup={point['speedup']:.2f}x steps={steps_txt} "
             f"rss={point.get('peak_rss_kb', 0) / 1024:.0f}MB"
         )
+        for warning in point.get("warnings", ()):
+            lines.append(f"    WARNING {warning}")
         if "profile" in point:
             prof = CostProfile.from_dict(point["profile"])
             lines.extend("    " + ln for ln in prof.render().splitlines())
+    if errored:
+        lines.append(
+            f"ERRORS: {len(errored)} of {len(doc['points'])} points failed "
+            "(crash, exception, or timeout) — see lines above"
+        )
     if "profile" in doc:
         lines.append("merged per-label profile:")
         prof = CostProfile.from_dict(doc["profile"])
@@ -207,8 +221,17 @@ def render_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]
     old_by_params = {_params_key(p): p for p in old["points"]}
     for point in new["points"]:
         base = old_by_params.get(_params_key(point))
+        if "error" in point:
+            lines.append(f"  [{_params_txt(point)}] ERROR: {point['error']}")
+            continue
         if base is None:
             lines.append(f"  [{_params_txt(point)}] new point (no baseline)")
+            continue
+        if "error" in base:
+            lines.append(
+                f"  [{_params_txt(point)}] baseline point errored "
+                f"({base['error']}); no comparison"
+            )
             continue
         ow, nw = base["fast"]["wall_s_min"], point["fast"]["wall_s_min"]
         os_, ns = base["fast"].get("mesh_steps"), point["fast"].get("mesh_steps")

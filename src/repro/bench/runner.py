@@ -6,15 +6,24 @@ sweeps run sequentially inside one process; this module is the
 machine-readable, parallel alternative:
 
 * the :data:`REGISTRY` names each bench's entry point and sweep points;
-* every point runs in its own worker process (``ProcessPoolExecutor``
-  with ``max_tasks_per_child=1``, so ``getrusage`` peak RSS is per-point),
-  once with the engine fast path enabled and once with it disabled;
+* every point runs in its own spawned worker process (fresh process per
+  point, so ``getrusage`` peak RSS is per-point), once with the engine
+  fast path enabled and once with it disabled;
 * per point it records min-of-repeats wall time for both engine modes,
   the mesh-step count (the paper's cost measure — asserted identical
   between modes), peak RSS, and the fast/slow speedup;
+* the sweep is *crash-proof*: a worker that raises, segfaults, is
+  OOM-killed, or exceeds ``--timeout`` produces a point record with
+  ``{"error": ..., "traceback": ...}`` instead of killing the sweep;
+  crashed workers are retried up to ``--retries`` times with exponential
+  backoff before the error is recorded;
+* completed points stream to ``BENCH_<name>.partial.json`` (written
+  atomically after every point), and ``--resume`` skips points that
+  checkpoint already completed successfully — errored points rerun;
 * results land in ``BENCH_<name>.json`` at the repo root, and
   ``--compare`` re-runs a sweep and fails on >10% wall-clock regression
-  against a previously committed JSON.
+  against a previously committed JSON.  Errored points always surface as
+  failures (exit code 1), never as a silent pass.
 
 Usage::
 
@@ -24,6 +33,7 @@ Usage::
     python -m repro.bench.runner e1_hierdag --compare BENCH_e1_hierdag.json
     python -m repro.bench.runner e2_constrained --profile
     python -m repro.bench.runner e1_hierdag --trace   # Chrome trace blobs
+    python -m repro.bench.runner e3_alpha --timeout 120 --resume
 
 ``python -m repro.bench.report`` renders one BENCH JSON's per-phase
 breakdown and diffs two of them (same regression rule as ``--compare``).
@@ -42,9 +52,10 @@ import pathlib
 import resource
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import traceback
+from dataclasses import dataclass, field
 from multiprocessing import get_context
+from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
@@ -144,6 +155,9 @@ REGISTRY: dict[str, BenchSpec] = {
         _pts(handle_len=[16, 64, 192],
              strategy=["hypercube", "mesh-sync", "multisearch"]),
     ),
+    # runner self-test: only the trivially-fast "ok" mode is swept by
+    # default; the crash/hang/fail modes back tests of the resilient pool
+    "selftest": BenchSpec("bench_selftest", "run_once", _pts(mode=["ok"])),
 }
 
 
@@ -240,12 +254,22 @@ def run_point(
             best[mode] = min(best[mode], time.perf_counter() - t0)
     os.environ.pop("REPRO_FAST_PATH", None)
     steps_seen: dict[str, float | None] = {}
+    warnings: list[str] = []
     for mode, _ in modes:
         steps = _extract_steps(results[mode]) if spec.has_steps else None
         steps_seen[mode] = steps
+        if spec.has_steps and steps is None:
+            # distinguish "extractor found nothing" from a genuine zero:
+            # steps stays null and the record says why
+            warnings.append(
+                f"{mode}: no mesh-step count found in "
+                f"{spec.module}.{spec.entry} result; recording steps: null"
+            )
         record[mode] = {
             "wall_s_min": best[mode], "repeats": repeats, "mesh_steps": steps
         }
+    if warnings:
+        record["warnings"] = warnings
     if steps_seen["fast"] is not None and steps_seen["slow"] is not None:
         record["mesh_steps_equal"] = steps_seen["fast"] == steps_seen["slow"]
     record["speedup"] = record["slow"]["wall_s_min"] / record["fast"]["wall_s_min"]
@@ -283,7 +307,104 @@ def run_point(
     return record
 
 
+def _point_worker(conn, bench, point, repeats, warmup, profile, trace) -> None:
+    """Spawned-process entry: run one point, ship the record over ``conn``.
+
+    Any Python-level failure is reported as an ``("error", ...)`` message;
+    a process that dies without sending (segfault, OOM kill, ``os._exit``)
+    is detected by the parent via EOF on the pipe.
+    """
+    try:
+        record = run_point(bench, point, repeats, warmup, profile, trace)
+        conn.send(("ok", record))
+    except BaseException as exc:  # noqa: BLE001 - the whole point is isolation
+        conn.send(
+            (
+                "error",
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        )
+    finally:
+        conn.close()
+
+
 # -- parent side -----------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    """One sweep point's scheduling state in the resilient pool."""
+
+    index: int
+    point: dict
+    attempts: int = 0
+    not_before: float = 0.0
+    process: object = None
+    conn: object = None
+    deadline: float | None = None
+    #: notes accumulated across attempts (retry history)
+    notes: list = field(default_factory=list)
+
+
+def _params_key(params: dict) -> str:
+    return json.dumps(params, sort_keys=True)
+
+
+def _error_record(job: "_Job", error: str, tb: str | None = None, **extra) -> dict:
+    rec: dict = {
+        "params": dict(job.point),
+        "error": error,
+        "traceback": tb,
+        "attempts": job.attempts,
+    }
+    if job.notes:
+        rec["notes"] = list(job.notes)
+    rec.update(extra)
+    return rec
+
+
+def _write_checkpoint(path: pathlib.Path, config: dict, done: dict) -> None:
+    """Atomically persist the completed points (tmp file + rename)."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "partial": True,
+        "config": config,
+        "points": [done[i] for i in sorted(done)],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: pathlib.Path | None, config: dict) -> dict[str, dict]:
+    """Successfully completed records from a prior partial run, by params key.
+
+    Errored records are dropped (they rerun); a checkpoint whose recorded
+    config differs from this run's is ignored with a warning — its numbers
+    were measured under different settings.
+    """
+    if path is None or not path.exists():
+        return {}
+    try:
+        doc = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"  resume: ignoring unreadable checkpoint {path}: {exc}", flush=True)
+        return {}
+    if doc.get("config") != config:
+        print(
+            f"  resume: ignoring checkpoint {path} (config mismatch: "
+            f"{doc.get('config')} != {config})",
+            flush=True,
+        )
+        return {}
+    return {
+        _params_key(r["params"]): r
+        for r in doc.get("points", [])
+        if "error" not in r
+    }
 
 
 def _ensure_child_paths() -> None:
@@ -308,26 +429,141 @@ def run_bench(
     smoke: bool = False,
     profile: bool = False,
     trace: bool = False,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    checkpoint: pathlib.Path | None = None,
+    resume: bool = False,
 ) -> dict:
-    """Fan one bench's sweep points across worker processes."""
+    """Fan one bench's sweep points across crash-isolated worker processes.
+
+    Each point runs in its own spawned process.  A worker that raises
+    reports the exception; one that dies without reporting (segfault, OOM
+    kill) is retried up to ``retries`` times with exponential ``backoff``
+    before an error record is emitted; one that exceeds ``timeout``
+    seconds is terminated and recorded as timed out (no retry — a
+    deterministic hang would just hang again).  With ``checkpoint`` set,
+    completed points are persisted atomically after every point and
+    ``resume=True`` skips points the checkpoint already holds.
+    """
     spec = REGISTRY[bench]
     points = spec.points[:1] if smoke else spec.points
     if smoke:
         repeats, warmup = 1, 1
     _ensure_child_paths()
+    config = {
+        "bench": bench, "repeats": repeats, "warmup": warmup,
+        "smoke": smoke, "profile": profile, "trace": trace,
+    }
+    if checkpoint is not None:
+        checkpoint = pathlib.Path(checkpoint)
+    done: dict[int, dict] = {}
+    prior = _load_checkpoint(checkpoint, config) if resume else {}
+    pending: list[_Job] = []
+    resumed = 0
+    for i, p in enumerate(points):
+        rec = prior.get(_params_key(dict(p)))
+        if rec is not None:
+            done[i] = rec
+            resumed += 1
+        else:
+            pending.append(_Job(index=i, point=p))
+    if resumed:
+        print(f"  resume: {resumed}/{len(points)} points from {checkpoint}", flush=True)
+
     started = time.time()
-    records: list[dict | None] = [None] * len(points)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(points)),
-        mp_context=get_context("spawn"),
-        max_tasks_per_child=1,
-    ) as pool:
-        futures = {
-            pool.submit(run_point, bench, p, repeats, warmup, profile, trace): i
-            for i, p in enumerate(points)
-        }
-        for future in futures:
-            records[futures[future]] = future.result()
+    ctx = get_context("spawn")
+    running: dict = {}  # receiving conn -> _Job
+    max_workers = max(1, min(jobs, len(points)))
+
+    def finish(job: _Job, record: dict) -> None:
+        done[job.index] = record
+        if checkpoint is not None:
+            _write_checkpoint(checkpoint, config, done)
+
+    def reap(job: _Job, grace: float = 1.0) -> None:
+        job.process.terminate()
+        job.process.join(grace)
+        if job.process.is_alive():
+            job.process.kill()
+            job.process.join()
+
+    while pending or running:
+        now = time.monotonic()
+        # launch ready jobs into free slots (skipping backoff holds)
+        ready = [j for j in pending if j.not_before <= now]
+        for job in ready[: max_workers - len(running)]:
+            pending.remove(job)
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_point_worker,
+                args=(send_conn, bench, job.point, repeats, warmup, profile, trace),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()  # child's end; EOF on recv_conn means it died
+            job.attempts += 1
+            job.process, job.conn = proc, recv_conn
+            job.deadline = None if timeout is None else time.monotonic() + timeout
+            running[recv_conn] = job
+        # wait for a result, a death (EOF), a deadline, or a backoff expiry
+        poll = 0.25
+        deadlines = [j.deadline for j in running.values() if j.deadline is not None]
+        if deadlines:
+            poll = min(poll, max(0.01, min(deadlines) - time.monotonic()))
+        if pending and len(running) < max_workers:
+            holds = [j.not_before for j in pending]
+            poll = min(poll, max(0.01, min(holds) - time.monotonic()))
+        if running:
+            ready_conns = _conn_wait(list(running), timeout=poll)
+        else:
+            time.sleep(min(poll, 0.05))
+            ready_conns = []
+        for conn in ready_conns:
+            job = running.pop(conn)
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                status, payload = None, None
+            conn.close()
+            job.process.join()
+            if status == "ok":
+                finish(job, payload)
+            elif status == "error":
+                finish(
+                    job,
+                    _error_record(job, payload["error"], payload["traceback"]),
+                )
+            else:  # died without reporting: crash — retry with backoff
+                code = job.process.exitcode
+                crash = f"worker crashed (exit code {code})"
+                if job.attempts <= retries:
+                    hold = backoff * (2 ** (job.attempts - 1))
+                    job.notes.append(f"attempt {job.attempts}: {crash}; retrying")
+                    job.not_before = time.monotonic() + hold
+                    job.process = job.conn = None
+                    pending.append(job)
+                    print(
+                        f"  {bench} {job.point}: {crash}, retry in {hold:.1f}s",
+                        flush=True,
+                    )
+                else:
+                    finish(job, _error_record(job, crash))
+        # enforce per-point deadlines on whoever is still running
+        now = time.monotonic()
+        for conn, job in list(running.items()):
+            if job.deadline is not None and now >= job.deadline:
+                running.pop(conn)
+                reap(job)
+                conn.close()
+                finish(
+                    job,
+                    _error_record(
+                        job, f"timed out after {timeout:.1f}s", timed_out=True
+                    ),
+                )
+
+    records = [done[i] for i in sorted(done)]
     doc = {
         "schema": SCHEMA_VERSION,
         "bench": bench,
@@ -338,6 +574,11 @@ def run_bench(
         "wall_s_total": time.time() - started,
         "points": records,
     }
+    n_errors = sum(1 for r in records if "error" in r)
+    if n_errors:
+        doc["n_errors"] = n_errors
+    if resumed:
+        doc["resumed_points"] = resumed
     if profile:
         from repro.mesh.profile import CostProfile
 
@@ -349,13 +590,26 @@ def run_bench(
 
 
 def compare(doc: dict, baseline: dict, tolerance: float = REGRESSION_TOLERANCE) -> list[str]:
-    """Fast-path wall-clock regressions of ``doc`` vs ``baseline`` (>tolerance)."""
+    """Fast-path wall-clock regressions of ``doc`` vs ``baseline`` (>tolerance).
+
+    Errored points — in either document — surface as explicit failures:
+    a point that crashed or timed out must never read as a silent pass.
+    """
     failures: list[str] = []
-    base_by_params = {json.dumps(p["params"], sort_keys=True): p for p in baseline["points"]}
+    base_by_params = {_params_key(p["params"]): p for p in baseline["points"]}
     for point in doc["points"]:
-        key = json.dumps(point["params"], sort_keys=True)
+        key = _params_key(point["params"])
+        if "error" in point:
+            failures.append(f"{doc['bench']} {point['params']}: {point['error']}")
+            continue
         base = base_by_params.get(key)
         if base is None:
+            continue
+        if "error" in base:
+            failures.append(
+                f"{doc['bench']} {point['params']}: baseline point errored "
+                f"({base['error']}); no comparison possible"
+            )
             continue
         old = base["fast"]["wall_s_min"]
         new = point["fast"]["wall_s_min"]
@@ -371,6 +625,12 @@ def _render_bench(doc: dict) -> str:
     lines = [f"{doc['bench']}: {len(doc['points'])} points in {doc['wall_s_total']:.1f}s"]
     for point in doc["points"]:
         params = ", ".join(f"{k}={v}" for k, v in point["params"].items())
+        if "error" in point:
+            lines.append(
+                f"  [{params}] ERROR after {point.get('attempts', '?')} "
+                f"attempt(s): {point['error']}"
+            )
+            continue
         steps = point["fast"]["mesh_steps"]
         steps_txt = "-" if steps is None else f"{steps:.0f}"
         eq = point.get("mesh_steps_equal")
@@ -381,6 +641,8 @@ def _render_bench(doc: dict) -> str:
             f"speedup={point['speedup']:.2f}x steps={steps_txt} "
             f"rss={point['peak_rss_kb'] / 1024:.0f}MB{eq_txt}"
         )
+        for warning in point.get("warnings", ()):
+            lines.append(f"    WARNING {warning}")
     return "\n".join(lines)
 
 
@@ -407,6 +669,26 @@ def main(argv: list[str] | None = None) -> int:
         help="also record one span-traced pass per point; Chrome trace_event "
         "blobs land next to BENCH_<name>.json as TRACE_<name>__<params>.json "
         "(plus a .txt tree render and a flamegraph .collapsed export)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock limit; exceeded points are terminated "
+        "and recorded as errors",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="retry a crashed (not raised, not timed-out) point this many "
+        "times before recording the error (default: 1)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base delay before a crash retry, doubled per attempt",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip points already completed in BENCH_<name>.partial.json "
+        "(errored points rerun); partial results stream there after every "
+        "point regardless",
     )
     parser.add_argument(
         "--out-dir", type=pathlib.Path, default=REPO_ROOT,
@@ -436,10 +718,19 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     for bench in selected:
+        checkpoint = None
+        if not args.no_write:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            checkpoint = args.out_dir / f"BENCH_{bench}.partial.json"
         doc = run_bench(
             bench, jobs=args.jobs, repeats=args.repeats, warmup=args.warmup,
             smoke=args.smoke, profile=args.profile, trace=args.trace,
+            timeout=args.timeout, retries=args.retries, backoff=args.backoff,
+            checkpoint=checkpoint, resume=args.resume,
         )
+        bench_errors = [p for p in doc["points"] if "error" in p]
+        for point in bench_errors:
+            failures.append(f"{bench} {point['params']}: {point['error']}")
         if args.trace:
             # trace blobs ride back in the point records; peel them off into
             # sidecar files so BENCH_<name>.json stays diff-sized
@@ -478,6 +769,17 @@ def main(argv: list[str] | None = None) -> int:
             out = args.out_dir / f"BENCH_{bench}.json"
             out.write_text(json.dumps(doc, indent=2) + "\n")
             print(f"  wrote {out}", flush=True)
+        if checkpoint is not None and checkpoint.exists():
+            if bench_errors:
+                # keep the checkpoint so --resume can rerun just the
+                # errored points
+                print(
+                    f"  kept {checkpoint} ({len(bench_errors)} errored "
+                    f"point(s); rerun with --resume)",
+                    flush=True,
+                )
+            else:
+                checkpoint.unlink()
         if args.profile and "profile" in doc:
             from repro.mesh.profile import CostProfile
 

@@ -31,6 +31,7 @@ from repro.core.model import (
 )
 from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import paranoid_boundary
 from repro.mesh.trace import traced
 
 __all__ = ["alpha_multisearch", "run_log_phase", "LogPhaseStats"]
@@ -74,6 +75,9 @@ def run_log_phase(
         stats.cm_stats.append(
             constrained_multisearch(engine, structure, qs, splittings[1])
         )
+        # Paranoid re-check at the phase boundary: the log-phase hands a
+        # consistent (structure, qs) pair back to the driver.
+        paranoid_boundary(engine, f"logphase{phase}:exit", structure=structure, qs=qs)
     return stats
 
 
@@ -95,6 +99,9 @@ def alpha_multisearch(
     log-phase.  Returns per-phase diagnostics in ``detail``.
     """
     with traced(engine.clock, "alpha"):
+        paranoid_boundary(
+            engine, "alpha:entry", structure=structure, qs=qs, splitting=splitting
+        )
         store = GraphStore.load(engine.root, structure)
         start = engine.clock.current
         phases: list[LogPhaseStats] = []
@@ -107,6 +114,7 @@ def alpha_multisearch(
                 run_log_phase(engine, structure, store, qs, (splitting, splitting), phase)
             )
             phase += 1
+        paranoid_boundary(engine, "alpha:exit", structure=structure, qs=qs)
         total_advanced = int(qs.steps.sum())
     return MultisearchResult(
         queries=qs,

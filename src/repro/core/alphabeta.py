@@ -18,6 +18,7 @@ from repro.core.alpha import LogPhaseStats, run_log_phase
 from repro.core.model import GraphStore, MultisearchResult, QuerySet, SearchStructure
 from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import paranoid_boundary
 from repro.mesh.trace import traced
 
 __all__ = ["alphabeta_multisearch"]
@@ -40,6 +41,11 @@ def alphabeta_multisearch(
     steps that phase and the driver runs more phases).
     """
     with traced(engine.clock, "alphabeta"):
+        paranoid_boundary(
+            engine, "alphabeta:entry", structure=structure, qs=qs,
+            splitting=splitting1,
+        )
+        paranoid_boundary(engine, "alphabeta:entry2", splitting=splitting2)
         store = GraphStore.load(engine.root, structure)
         start = engine.clock.current
         phases: list[LogPhaseStats] = []
@@ -54,6 +60,7 @@ def alphabeta_multisearch(
                 )
             )
             phase += 1
+        paranoid_boundary(engine, "alphabeta:exit", structure=structure, qs=qs)
     return MultisearchResult(
         queries=qs,
         mesh_steps=engine.clock.current - start,

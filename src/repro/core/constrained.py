@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.model import STOP, QuerySet, SearchStructure
 from repro.core.splitters import Splitting
 from repro.mesh.engine import MeshEngine, Region
+from repro.mesh.faults import paranoid_boundary
 from repro.mesh.records import fused_view, should_fuse
 from repro.mesh.topology import block_spec
 from repro.mesh.trace import traced
@@ -101,7 +102,14 @@ def constrained_multisearch(
     where ``n = structure.size`` — the paper's ``x = log2 n``.
     """
     with traced(engine.clock, "cm"):
-        return _constrained_multisearch(engine, structure, qs, splitting, rounds, stats)
+        paranoid_boundary(
+            engine, "cm:entry", structure=structure, qs=qs, splitting=splitting
+        )
+        result = _constrained_multisearch(
+            engine, structure, qs, splitting, rounds, stats
+        )
+        paranoid_boundary(engine, "cm:exit", structure=structure, qs=qs)
+        return result
 
 
 def _constrained_multisearch(

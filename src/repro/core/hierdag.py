@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.bands import Band, BandDecomposition, compute_bands
 from repro.core.model import STOP, MultisearchResult, QuerySet, SearchStructure
 from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import paranoid_boundary
 from repro.mesh.records import fused_view, should_fuse
 from repro.mesh.trace import traced
 from repro.util.mathx import iterated_log
@@ -420,6 +421,10 @@ def hierdag_multisearch(
     )
 
     with traced(clock, "hierdag"):
+        # paranoid: the Lemma 1 proofs assume well-formed inputs; check them
+        # once at entry (adversarial pointers/keys/levels are caught here,
+        # before any primitive can crash on them)
+        paranoid_boundary(engine, "hierdag:entry", structure=structure, qs=qs)
         # Steps 1-2: labelling and band distribution.  Step 1 is t local
         # passes; Step 2 per band i is a constant number of standard ops per
         # B_{i+1}-submesh (distribute B_i among label-i processors, replicate
@@ -447,6 +452,9 @@ def hierdag_multisearch(
                 for k, v in d.items():
                     detail[f"band{j}:{k}"] = v
                 multisteps += bp.band.n_levels
+                # paranoid: re-check the structure at each band boundary
+                # (the queries' live state is flushed only at the end)
+                paranoid_boundary(engine, f"hierdag:band{j}", structure=structure)
 
         # Step 4: B* level by level on the whole mesh (O(1) levels).
         bstar = 0.0
@@ -464,6 +472,7 @@ def hierdag_multisearch(
 
         if advancer is not None:
             advancer.flush()
+        paranoid_boundary(engine, "hierdag:exit", structure=structure, qs=qs)
     return MultisearchResult(
         queries=qs,
         mesh_steps=clock.current - start_time,

@@ -18,6 +18,9 @@ __all__ = [
     "check_splitter",
     "check_alpha_partition",
     "check_splitter_distance",
+    "check_search_structure",
+    "check_query_state",
+    "check_splitting_labels",
 ]
 
 
@@ -96,6 +99,84 @@ def check_alpha_partition(labeling: SplitterLabeling, cut_edges_endpoints: bool 
         kinds = np.unique(kind[comp == c])
         if kinds.size > 1:
             raise ValidationError(f"component {c} mixes H and T vertices")
+
+
+def check_search_structure(structure) -> None:
+    """Well-formedness of a :class:`repro.core.model.SearchStructure`.
+
+    Checks the storage laws every mesh algorithm silently assumes:
+    adjacency targets in ``[-1, V)`` and level values in ``[0, V]``
+    (levels index the DAG/tree depth, so a value past ``V`` — or a
+    negative one — can only come from corruption).  Paranoid mode re-runs
+    this at every algorithm phase boundary.
+    """
+    V = structure.n_vertices
+    adj = structure.adjacency
+    if adj.size:
+        lo, hi = int(adj.min()), int(adj.max())
+        if lo < -1 or hi >= V:
+            flat = adj.ravel()
+            bad = int(np.argmax((flat < -1) | (flat >= V)))
+            v, slot = divmod(bad, adj.shape[1])
+            raise ValidationError(
+                f"adjacency[{v}][{slot}] = {int(flat[bad])} outside [-1, {V})"
+            )
+    lvl = structure.level
+    if lvl.size:
+        lo, hi = int(lvl.min()), int(lvl.max())
+        if lo < 0 or hi > V:
+            bad = int(np.argmax((lvl < 0) | (lvl > V)))
+            raise ValidationError(
+                f"level[{bad}] = {int(lvl[bad])} outside [0, {V}]"
+            )
+
+
+def check_query_state(qs, structure=None) -> None:
+    """Well-formedness of a :class:`repro.core.model.QuerySet`.
+
+    Current pointers must be ``STOP`` (-1) or a real vertex id, step
+    counts nonnegative, and keys finite — the O(1)-information contract
+    of the Section 2 query records.
+    """
+    cur = qs.current
+    lo = -1 if not cur.size else int(cur.min())
+    if lo < -1:
+        bad = int(np.argmax(cur < -1))
+        raise ValidationError(f"query {bad} current pointer {int(cur[bad])} < STOP")
+    if structure is not None and cur.size:
+        V = structure.n_vertices
+        if int(cur.max()) >= V:
+            bad = int(np.argmax(cur >= V))
+            raise ValidationError(
+                f"query {bad} points at vertex {int(cur[bad])} >= V = {V}"
+            )
+    if qs.steps.size and int(qs.steps.min()) < 0:
+        bad = int(np.argmax(qs.steps < 0))
+        raise ValidationError(f"query {bad} has negative step count")
+    key = np.asarray(qs.key)
+    if key.size and not np.isfinite(key).all():
+        bad = int(np.argmax(~np.isfinite(key).reshape(key.shape[0], -1).all(axis=1)))
+        raise ValidationError(f"query {bad} has a non-finite key")
+
+
+def check_splitting_labels(splitting) -> None:
+    """Label sanity of a :class:`repro.core.splitters.Splitting`.
+
+    Component labels must be ``-1`` or in ``[0, k)`` and the recorded
+    sizes nonnegative — the storage convention Constrained-Multisearch
+    reads on every call.
+    """
+    comp = splitting.comp
+    k = splitting.n_components
+    if comp.size:
+        lo, hi = int(comp.min()), int(comp.max())
+        if lo < -1 or hi >= k:
+            bad = int(np.argmax((comp < -1) | (comp >= k)))
+            raise ValidationError(
+                f"comp[{bad}] = {int(comp[bad])} outside [-1, {k})"
+            )
+    if splitting.sizes.size and int(splitting.sizes.min()) < 0:
+        raise ValidationError("splitting has a negative component size")
 
 
 def check_splitter_distance(

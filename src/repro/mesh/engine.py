@@ -41,6 +41,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.mesh.clock import CostModel, StepClock
+from repro.mesh.faults import invariant, paranoid_default
 from repro.mesh.records import ArgsortMemo, BufferPool, RecordSet
 from repro.mesh.topology import MeshShape, RegionSpec
 
@@ -74,14 +75,26 @@ def _check_route_targets(targets: np.ndarray, out_size: int) -> None:
 
     The duplicate check is a bincount over the (already range-checked)
     targets — O(n + out_size) instead of the O(n log n) ``np.unique`` sort,
-    on the hottest primitive's validation path.
+    on the hottest primitive's validation path.  Error messages name the
+    first offending routed record and its destination, so a failing call
+    is debuggable without re-running under a breakpoint.
     """
     if not targets.size:
         return
     if int(targets.max()) >= out_size:
-        raise ValueError("route destination out of range")
-    if int(np.bincount(targets, minlength=1).max()) > 1:
-        raise ValueError("route with duplicate destinations (use raw)")
+        bad = int(np.argmax(targets >= out_size))
+        raise ValueError(
+            f"route destination out of range: record {bad} targets "
+            f"{int(targets[bad])} >= output size {out_size}"
+        )
+    counts = np.bincount(targets, minlength=1)
+    if int(counts.max()) > 1:
+        dup = int(np.argmax(counts > 1))
+        first, second = (int(i) for i in np.flatnonzero(targets == dup)[:2])
+        raise ValueError(
+            f"route with duplicate destinations: records {first} and {second} "
+            f"both target {dup} (use raw for combining writes)"
+        )
 
 
 class MeshEngine:
@@ -93,6 +106,7 @@ class MeshEngine:
         cost_model: CostModel | None = None,
         capacity: int = 16,
         fast_path: bool | None = None,
+        paranoid: bool | None = None,
     ) -> None:
         if isinstance(shape, int):
             shape = MeshShape.square(shape)
@@ -106,6 +120,16 @@ class MeshEngine:
         #: host-side fast path: fused record blocks, argsort memoization,
         #: buffer reuse.  Byte-identical outputs and charges either way.
         self.fast_path = fast_path_default() if fast_path is None else bool(fast_path)
+        #: paranoid mode: invariant assertions at every primitive boundary
+        #: (post-sort sortedness, route scatter integrity, transfer batch
+        #: integrity) raising :class:`repro.mesh.faults.InvariantViolation`.
+        #: Host-side reads only — zero mesh steps, byte-identical outputs.
+        self.paranoid = paranoid_default() if paranoid is None else bool(paranoid)
+        #: installed :class:`repro.mesh.faults.FaultInjector` (None = off);
+        #: consulted after each primitive computes its outputs, before the
+        #: paranoid checks, so injected faults are caught at the earliest
+        #: boundary a validator covers.
+        self.faults = None
         self.argsort_memo = ArgsortMemo()
         self.pool = BufferPool()
         self.root = Region(self, RegionSpec(0, 0, shape.rows, shape.cols))
@@ -113,10 +137,19 @@ class MeshEngine:
 
     @classmethod
     def for_problem(
-        cls, n: int, capacity: int = 16, fast_path: bool | None = None
+        cls,
+        n: int,
+        capacity: int = 16,
+        fast_path: bool | None = None,
+        paranoid: bool | None = None,
     ) -> "MeshEngine":
         """Smallest square engine whose mesh holds an ``n``-record problem."""
-        return cls(MeshShape.for_size(n).side, capacity=capacity, fast_path=fast_path)
+        return cls(
+            MeshShape.for_size(n).side,
+            capacity=capacity,
+            fast_path=fast_path,
+            paranoid=paranoid,
+        )
 
     @property
     def side(self) -> int:
@@ -180,7 +213,20 @@ class MeshEngine:
         span = src.spec.distance_to(dst.spec)
         volume = int(out[0].shape[0]) if out else 0
         self.clock.charge(self.clock.cost.transfer * span, label, volume=volume)
-        return tuple(out)
+        result = tuple(out)
+        if self.faults is not None:
+            result = self.faults.on_transfer(result, label)
+        if self.paranoid:
+            for i, (a, arr) in enumerate(zip(result, arrays)):
+                n_in = int(np.asarray(arr).shape[0])
+                if int(a.shape[0]) != n_in:
+                    raise invariant(
+                        "transfer:batch",
+                        f"array {i} arrived with {int(a.shape[0])} of "
+                        f"{n_in} records ({src.spec} -> {dst.spec})",
+                        clock=self.clock,
+                    )
+        return result
 
     def _check_scope(self, spec: RegionSpec) -> None:
         if self._branch_region is not None and not self._branch_region.contains(spec):
@@ -278,6 +324,53 @@ class Region:
             )
         return length
 
+    # -- paranoid checks (host-side reads: zero mesh steps, no outputs) ------
+
+    def _paranoid_sorted(self, keys: np.ndarray, label: str) -> None:
+        """Post-``sort`` sortedness: keys must arrive nondecreasing."""
+        keys = np.asarray(keys)
+        if keys.ndim != 1 or keys.shape[0] < 2:
+            return
+        bad = keys[1:] < keys[:-1]
+        if bad.any():
+            j = int(np.argmax(bad))
+            raise invariant(
+                "sort:sorted",
+                f"{label!r} output not sorted at position {j}: "
+                f"{keys[j]!r} > {keys[j + 1]!r} (region {self.spec})",
+                clock=self.engine.clock,
+            )
+
+    def _paranoid_routed(
+        self,
+        outs: Sequence[np.ndarray],
+        ins: Sequence[np.ndarray],
+        targets: np.ndarray,
+        live: np.ndarray,
+        label: str,
+    ) -> None:
+        """Route scatter integrity: every live record lands intact at its
+        destination (targets are a partial permutation by construction)."""
+        for out, arr in zip(outs, ins):
+            sent = np.asarray(arr)[live]
+            arrived = out[targets]
+            if not (
+                arrived.shape == sent.shape
+                and arrived.dtype == sent.dtype
+                and np.array_equal(arrived, sent)
+            ):
+                diff = (
+                    arrived.reshape(arrived.shape[0], -1)
+                    != sent.reshape(sent.shape[0], -1)
+                ).any(axis=1)
+                j = int(np.argmax(diff))
+                raise invariant(
+                    "route:payload",
+                    f"{label!r} record {j} arrived corrupted at slot "
+                    f"{int(targets[j])} (region {self.spec})",
+                    clock=self.engine.clock,
+                )
+
     # -- primitives ----------------------------------------------------------
 
     def _stable_order(self, keys: np.ndarray) -> np.ndarray:
@@ -295,7 +388,12 @@ class Region:
         """Stable sort permutation of the records by key (cost: optimal sort)."""
         n = self._check_records(keys)
         self._charge(self.engine.clock.cost.sort, label, volume=n)
-        return self._stable_order(keys)
+        order = self._stable_order(keys)
+        if self.engine.faults is not None:
+            order = self.engine.faults.on_sort_order(order, label)
+        if self.engine.paranoid and np.asarray(keys).ndim == 1:
+            self._paranoid_sorted(np.asarray(keys)[order], label)
+        return order
 
     def sort_by(
         self, keys: np.ndarray, *arrays: np.ndarray, label: str = "sort"
@@ -306,6 +404,10 @@ class Region:
         order = self._stable_order(keys)
         out = [np.asarray(keys)[order]]
         out.extend(np.asarray(a)[order] for a in arrays)
+        if self.engine.faults is not None:
+            out[0] = self.engine.faults.on_sort_keys(out[0], label)
+        if self.engine.paranoid:
+            self._paranoid_sorted(out[0], label)
         return tuple(out)
 
     def sort_records(self, rs: RecordSet, key: str, label: str = "sort") -> RecordSet:
@@ -314,7 +416,15 @@ class Region:
         n = self._check_records(*rs.arrays())
         self._charge(self.engine.clock.cost.sort, label, volume=n)
         memo = self.engine.argsort_memo if self.engine.fast_path else None
-        return rs.permute(rs.argsort(key, memo=memo))
+        sorted_rs = rs.permute(rs.argsort(key, memo=memo))
+        if self.engine.faults is not None:
+            keys_view = np.asarray(sorted_rs.field(key))
+            perturbed = self.engine.faults.on_sort_keys(keys_view, label)
+            if perturbed is not keys_view:
+                sorted_rs.set_field(key, perturbed)
+        if self.engine.paranoid:
+            self._paranoid_sorted(np.asarray(sorted_rs.field(key)), label)
+        return sorted_rs
 
     def route(
         self,
@@ -344,6 +454,10 @@ class Region:
             out = np.full((out_size,) + a.shape[1:], fill, dtype=a.dtype)
             out[targets] = a[live]
             outs.append(out)
+        if self.engine.faults is not None:
+            self.engine.faults.on_route_payload(outs, targets, label)
+        if self.engine.paranoid:
+            self._paranoid_routed(outs, arrays, targets, live, label)
         return tuple(outs)
 
     def route_records(
@@ -360,9 +474,26 @@ class Region:
         out_size = self.size if size is None else size
         if out_size > self.size * self.engine.capacity:
             raise CapacityError(f"route output {out_size} exceeds region capacity")
-        _check_route_targets(dest[dest >= 0], out_size)
+        live = dest >= 0
+        targets = dest[live]
+        _check_route_targets(targets, out_size)
         self._charge(self.engine.clock.cost.route, label, volume=n)
-        return rs.scatter(dest, out_size, fill=fill)
+        routed = rs.scatter(dest, out_size, fill=fill)
+        if self.engine.faults is not None:
+            self.engine.faults.on_route_payload(
+                [np.asarray(routed.field(name)) for name in routed.names],
+                targets,
+                label,
+            )
+        if self.engine.paranoid:
+            self._paranoid_routed(
+                [np.asarray(routed.field(name)) for name in routed.names],
+                [np.asarray(rs.field(name)) for name in rs.names],
+                targets,
+                live,
+                label,
+            )
+        return routed
 
     def rar(
         self,

@@ -255,6 +255,15 @@ class Tracer:
         return self
 
     @property
+    def current_path(self) -> tuple[str, ...]:
+        """Names of the open spans, outermost first (root included).
+
+        Consumed by :class:`repro.mesh.faults.InvariantViolation` so a
+        paranoid-mode failure names the phase it fired in.
+        """
+        return tuple(span.name for span in self._stack)
+
+    @property
     def total_steps(self) -> float:
         """Summed net span charges (== ``clock.time``, folds included)."""
         return self.root.steps_total

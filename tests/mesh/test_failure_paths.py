@@ -1,0 +1,112 @@
+"""Property tests for the engine's failure paths.
+
+The paper's O(1)-records-per-processor discipline is enforced by
+:class:`CapacityError`, and parallel-section isolation by a
+``RuntimeError`` on out-of-scope region use.  These must fire for *any*
+over-capacity count or out-of-branch region, not just the examples the
+unit tests happen to use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.engine import CapacityError, MeshEngine
+
+
+def _engine(side: int = 4) -> MeshEngine:
+    return MeshEngine(side)
+
+
+class TestCapacityProperties:
+    @given(excess=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_route_over_capacity(self, excess):
+        eng = _engine()
+        limit = eng.size * eng.capacity
+        n = limit + excess
+        dest = np.arange(n, dtype=np.int64)
+        with pytest.raises(CapacityError):
+            eng.root.route(dest, np.zeros(n), size=n)
+
+    @given(excess=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_transfer_over_capacity(self, excess):
+        eng = _engine()
+        top = eng.root.subregion(0, 0, 2, 4)
+        bot = eng.root.subregion(2, 0, 2, 4)
+        n = bot.size * eng.capacity + excess
+        with pytest.raises(CapacityError):
+            eng.transfer(top, bot, np.zeros(n))
+
+    @given(
+        count=st.integers(min_value=0, max_value=10_000),
+        per_proc=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_check_capacity_law(self, count, per_proc):
+        eng = _engine()
+        region = eng.root
+        limit = region.size * min(per_proc, eng.capacity)
+        if count > limit:
+            with pytest.raises(CapacityError):
+                region.check_capacity(count, per_proc=per_proc)
+        else:
+            region.check_capacity(count, per_proc=per_proc)
+
+    @given(excess=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_sort_over_capacity(self, excess):
+        eng = _engine()
+        n = eng.size * eng.capacity + excess
+        with pytest.raises(CapacityError):
+            eng.root.sort_by(np.zeros(n))
+
+
+class TestParallelScope:
+    def _halves(self, eng):
+        top = eng.root.subregion(0, 0, 2, 4)
+        bot = eng.root.subregion(2, 0, 2, 4)
+        return top, bot
+
+    def test_out_of_scope_primitive_raises(self):
+        eng = _engine()
+        top, bot = self._halves(eng)
+        with eng.parallel([top, bot]) as par:
+            with par.branch(top):
+                with pytest.raises(RuntimeError, match="outside active parallel branch"):
+                    bot.sort_by(np.arange(bot.size))
+
+    def test_out_of_scope_transfer_raises(self):
+        eng = _engine()
+        top, bot = self._halves(eng)
+        with eng.parallel([top, bot]) as par:
+            with par.branch(top):
+                with pytest.raises(RuntimeError, match="outside active parallel branch"):
+                    eng.transfer(bot, top, np.zeros(2))
+
+    def test_in_scope_allowed(self):
+        eng = _engine()
+        top, bot = self._halves(eng)
+        with eng.parallel([top, bot]) as par:
+            with par.branch(top):
+                top.sort_by(np.arange(top.size))
+            with par.branch(bot):
+                bot.sort_by(np.arange(bot.size))
+
+    def test_subregion_of_branch_allowed(self):
+        eng = _engine()
+        top, bot = self._halves(eng)
+        with eng.parallel([top, bot]) as par:
+            with par.branch(top):
+                sub = top.subregion(0, 0, 1, 2)
+                sub.sort_by(np.arange(sub.size))
+
+    def test_scope_restored_after_section(self):
+        eng = _engine()
+        top, bot = self._halves(eng)
+        with eng.parallel([top, bot]) as par:
+            with par.branch(top):
+                pass
+        # outside the section, any region is fair game again
+        bot.sort_by(np.arange(bot.size))

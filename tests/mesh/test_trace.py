@@ -242,9 +242,12 @@ def _build_span(node) -> Span:
     return span
 
 
+@pytest.mark.slow
 class TestCollapsedRoundTrip:
     """Property: parsing the collapsed export reconstructs the same
-    (sanitized path -> summed net steps) multiset for any span tree."""
+    (sanitized path -> summed net steps) multiset for any span tree.
+
+    Long hypothesis suite — nightly tier (``pytest -m slow``)."""
 
     @given(_trees)
     @settings(max_examples=75, deadline=None)

@@ -10,6 +10,7 @@ per-field originals, and end-to-end for the E1/E2 algorithms.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.constrained import constrained_multisearch
@@ -21,6 +22,10 @@ from repro.graphs.hierarchical import build_mu_ary_search_dag
 from repro.graphs.ktree import build_balanced_search_tree
 from repro.mesh.engine import MeshEngine
 from repro.mesh.records import RecordSet
+
+# long property suite: excluded from tier-1, run nightly (`pytest -m slow`);
+# the fast path stays covered in tier-1 by the bench and engine unit tests
+pytestmark = pytest.mark.slow
 
 
 @st.composite

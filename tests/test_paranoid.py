@@ -1,0 +1,95 @@
+"""Paranoid mode is free: byte-identical outputs, identical step counts.
+
+Paranoid invariant checks are host-side reads at primitive and phase
+boundaries — they must never charge the clock or perturb an output.
+These tests run the E1/E2 smoke problems (and a primitive pipeline) with
+``paranoid=True`` and ``False`` and require *exact* equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hierdag import hierdag_multisearch
+from repro.core.model import QuerySet
+from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import paranoid_default
+
+
+def _e1(paranoid: bool):
+    from repro.graphs.adapters import hierdag_search_structure
+    from repro.graphs.hierarchical import build_mu_ary_search_dag
+
+    dag, leaf_keys = build_mu_ary_search_dag(2, 7, seed=1)
+    st = hierdag_search_structure(dag)
+    rng = np.random.default_rng(2)
+    keys = rng.uniform(leaf_keys[0], leaf_keys[-1], 128)
+    eng = MeshEngine.for_problem(max(int(dag.size), 128), paranoid=paranoid)
+    qs = QuerySet.start(keys, 0)
+    res = hierdag_multisearch(eng, st, qs, mu=2.0, c=2)
+    return qs, res.mesh_steps, eng.clock.time
+
+
+def _e2(paranoid: bool):
+    from repro.core.constrained import constrained_multisearch
+    from repro.core.splitters import splitting_from_labels
+    from repro.graphs.adapters import ktree_directed_structure
+    from repro.graphs.ktree import build_balanced_search_tree
+
+    t = build_balanced_search_tree(2, 8, seed=1)
+    st = ktree_directed_structure(t)
+    sp = splitting_from_labels(t.alpha_splitter().comp, t.children, 0.5)
+    rng = np.random.default_rng(3)
+    keys = rng.uniform(t.leaf_keys[0], t.leaf_keys[-1], 256)
+    eng = MeshEngine.for_problem(max(int(t.size), 256), paranoid=paranoid)
+    qs = QuerySet.start(keys, np.zeros(256, dtype=np.int64))
+    constrained_multisearch(eng, st, qs, sp)
+    return qs, eng.clock.time
+
+
+class TestParanoidEquivalence:
+    def test_e1_identical(self):
+        qs_on, steps_on, clock_on = _e1(True)
+        qs_off, steps_off, clock_off = _e1(False)
+        assert steps_on == steps_off
+        assert clock_on == clock_off
+        np.testing.assert_array_equal(qs_on.current, qs_off.current)
+        np.testing.assert_array_equal(qs_on.steps, qs_off.steps)
+
+    def test_e2_identical(self):
+        qs_on, clock_on = _e2(True)
+        qs_off, clock_off = _e2(False)
+        assert clock_on == clock_off
+        np.testing.assert_array_equal(qs_on.current, qs_off.current)
+        np.testing.assert_array_equal(qs_on.steps, qs_off.steps)
+
+    def test_primitives_identical(self):
+        outs = {}
+        for paranoid in (True, False):
+            eng = MeshEngine.for_problem(64, paranoid=paranoid)
+            rng = np.random.default_rng(0)
+            keys = rng.integers(0, 1000, 64).astype(np.int64)
+            (srt,) = eng.root.sort_by(keys, label="t:sort")
+            (routed,) = eng.root.route(rng.permutation(64), srt, label="t:route")
+            outs[paranoid] = (srt, routed, eng.clock.time)
+        np.testing.assert_array_equal(outs[True][0], outs[False][0])
+        np.testing.assert_array_equal(outs[True][1], outs[False][1])
+        assert outs[True][2] == outs[False][2]
+
+
+class TestParanoidDefault:
+    def test_env_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARANOID", raising=False)
+        assert paranoid_default() is False
+        assert MeshEngine.for_problem(4).paranoid is False
+
+    @pytest.mark.parametrize("val,expect", [
+        ("1", True), ("true", True), ("on", True),
+        ("0", False), ("false", False), ("off", False), ("", False),
+    ])
+    def test_env_values(self, monkeypatch, val, expect):
+        monkeypatch.setenv("REPRO_PARANOID", val)
+        assert paranoid_default() is expect
+
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARANOID", "1")
+        assert MeshEngine.for_problem(4, paranoid=False).paranoid is False
