@@ -137,10 +137,37 @@ def _scenario_primitives(paranoid: bool, injector: FaultInjector | None) -> str:
     return _fingerprint(srt, routed, vals, moved, eng.clock.time)
 
 
+def _scenario_construct(paranoid: bool, injector: FaultInjector | None) -> str:
+    """Structure construction: the ``construct:*`` charge sites.
+
+    Builds a small Kirkpatrick hierarchy through
+    :class:`~repro.mesh.construct.Construction`, so the sort / scan /
+    route / independent-set charges of the build pipeline are the fault
+    surface.  The tied-key permutation swap lives here too: the
+    independent-set degree sort is almost all ties, which is exactly the
+    case the ``sort:stable`` invariant closes.
+    """
+    from repro.geometry.kirkpatrick import build_kirkpatrick, kirkpatrick_structure
+    from repro.mesh.construct import Construction
+
+    rng = np.random.default_rng(7)
+    pts = rng.uniform(0.0, 1.0, (48, 2))
+    construct = Construction(48 + 3, paranoid=paranoid)
+    if injector is not None:
+        injector.install(construct.engine)
+    hier = build_kirkpatrick(pts, seed=3, construct=construct)
+    st, mu = kirkpatrick_structure(hier, construct=construct)
+    return _fingerprint(
+        *(lv.triangles for lv in hier.levels),
+        st.adjacency, st.level, mu, construct.clock.time,
+    )
+
+
 SCENARIOS = {
     "e1_smoke": _scenario_e1,
     "e2_smoke": _scenario_e2,
     "primitives": _scenario_primitives,
+    "construct": _scenario_construct,
 }
 
 ALL_KINDS = FAULT_KINDS + ADVERSARIAL_KINDS

@@ -139,6 +139,14 @@ REGISTRY: dict[str, BenchSpec] = {
         "bench_e9_hull3d", "run_hull", _pts(n=[200, 400, 800]), has_steps=False
     ),
     "e10_vm": BenchSpec("bench_e10_vm", "vm_costs", _pts(side=[8, 16, 32, 64])),
+    # E11 sweeps each pipeline over its own 64x size range (dk3d's host
+    # stand-in is O(n^2), so it gets the smaller window); concatenated in
+    # ascending key order, so --smoke runs the cheap dk3d n=32 point
+    "e11_construct": BenchSpec(
+        "bench_e11_construct", "run_once",
+        _pts(pipeline=["dk3d"], n=[32, 128, 512, 2048])
+        + _pts(pipeline=["kirkpatrick"], n=[64, 256, 1024, 4096]),
+    ),
     "a4_twothree": BenchSpec(
         "bench_a4_twothree", "run_once",
         _pts(n=[256, 1024, 4096], variant=["complete", "twothree"]),
@@ -382,9 +390,12 @@ def _write_checkpoint(path: pathlib.Path, config: dict, done: dict) -> None:
 def _load_checkpoint(path: pathlib.Path | None, config: dict) -> dict[str, dict]:
     """Successfully completed records from a prior partial run, by params key.
 
-    Errored records are dropped (they rerun); a checkpoint whose recorded
-    config differs from this run's is ignored with a warning — its numbers
-    were measured under different settings.
+    Only records carrying real measurements (both ``fast`` and ``slow``
+    result dicts) are resumed; errored records — and any malformed record
+    missing its results, e.g. from a checkpoint truncated mid-write — are
+    dropped so they rerun (with the full ``--retries`` budget).  A
+    checkpoint whose recorded config differs from this run's is ignored
+    with a warning — its numbers were measured under different settings.
     """
     if path is None or not path.exists():
         return {}
@@ -404,6 +415,8 @@ def _load_checkpoint(path: pathlib.Path | None, config: dict) -> dict[str, dict]
         _params_key(r["params"]): r
         for r in doc.get("points", [])
         if "error" not in r
+        and isinstance(r.get("fast"), dict)
+        and isinstance(r.get("slow"), dict)
     }
 
 

@@ -37,8 +37,7 @@ import numpy as np
 
 from repro.core.model import STOP, SearchStructure
 from repro.geometry.hull3d import Hull3D, convex_hull_3d
-from repro.geometry.independent import greedy_low_degree_independent_set
-from repro.mesh.trace import traced
+from repro.mesh.construct import Construction
 from repro.util.rng import make_rng
 
 __all__ = ["DKHierarchy", "build_dk_hierarchy", "dk_support_structure", "dk_tangent_structure"]
@@ -86,31 +85,47 @@ def build_dk_hierarchy(
     max_degree: int = 8,
     stop_size: int = 8,
     max_rounds: int = 64,
+    construct: Construction | None = None,
 ) -> DKHierarchy:
     """Build the hierarchy over the hull of ``points``.
 
-    Traced phases (host-side spans): ``dk3d:build`` wrapping
-    ``dk3d:base-hull`` and one ``dk3d:level`` per coarsening round.
+    Traced phases: ``dk3d:build`` wrapping ``dk3d:base-hull`` and one
+    ``dk3d:level`` per coarsening round.  The spans carry modelled mesh
+    steps charged to ``construct`` (a fresh
+    :class:`~repro.mesh.construct.Construction` when None): every level's
+    independent-set selection and hull rebuild run on a submesh sized for
+    that level, so the geometrically shrinking rounds sum to O(sqrt(n)).
+    Outputs are byte-identical with or without a construction attached.
     """
     points = np.asarray(points, dtype=np.float64)
     rng = make_rng(seed)
-    with traced(None, "dk3d:build"):
-        with traced(None, "dk3d:base-hull"):
-            hull = convex_hull_3d(points, seed=rng.integers(2**31))
+    if construct is None:
+        construct = Construction(max(points.shape[0], 1))
+    with construct.span("dk3d:build"):
+        with construct.span("dk3d:base-hull"):
+            hull = convex_hull_3d(
+                points, seed=rng.integers(2**31), construct=construct
+            )
         hulls = [hull]
         adjacency = [_hull_adjacency(hull)]
         while hulls[-1].vertices.size > stop_size and len(hulls) < max_rounds:
-            with traced(None, "dk3d:level"):
+            with construct.span("dk3d:level"):
                 cur = hulls[-1]
                 adj = adjacency[-1]
                 neighbors = {v: set(int(x) for x in nb) for v, nb in adj.items()}
-                chosen = greedy_low_degree_independent_set(
-                    neighbors, set(neighbors.keys()), max_degree=max_degree, seed=rng
+                chosen = construct.independent_set(
+                    neighbors,
+                    set(neighbors.keys()),
+                    max_degree=max_degree,
+                    seed=rng,
+                    n=cur.vertices.size,
                 )
                 keep = np.array(sorted(set(int(v) for v in cur.vertices) - set(chosen)))
                 if keep.size < 4 or not chosen:
                     break
-                nxt = convex_hull_3d(points[keep], seed=rng.integers(2**31))
+                nxt = convex_hull_3d(
+                    points[keep], seed=rng.integers(2**31), construct=construct
+                )
                 # re-index faces back to original point ids
                 remapped = Hull3D(
                     points=points,
@@ -128,17 +143,26 @@ def build_dk_hierarchy(
 # ---------------------------------------------------------------------------
 
 
-def _dag_arrays(hier: DKHierarchy, max_candidates: int):
+def _dag_arrays(hier: DKHierarchy, max_candidates: int, construct=None):
     """Flat DAG arrays shared by the support and tangent structures.
 
     DAG level 0: virtual root (children = coarsest hull's vertices).
     DAG level d (1..L): vertices of hull ``L - d`` (coarsest at d=1).
     Node payload: candidate coordinates aligned with adjacency slots;
     slot 0 of a non-root node is "stay on this vertex" (the child copy of
-    itself one level finer).
+    itself one level finer).  The ``dk3d:dag-arrays`` span charges the
+    modelled flattening cost: sort the V DAG nodes by level, route each
+    node's candidate record to its slot.
     """
-    with traced(None, "dk3d:dag-arrays"):
-        return _dag_arrays_body(hier, max_candidates)
+    V = 1 + sum(int(h.vertices.size) for h in hier.hulls)
+    if construct is None:
+        construct = Construction(V)
+    with construct.span("dk3d:dag-arrays"):
+        out = _dag_arrays_body(hier, max_candidates)
+        level = out[2]
+        construct.sort(level, n=V)
+        construct.route(np.arange(V), level, n=V)
+        return out
 
 
 def _dag_arrays_body(hier: DKHierarchy, max_candidates: int):
@@ -189,7 +213,7 @@ def _dag_arrays_body(hier: DKHierarchy, max_candidates: int):
 
 
 def dk_support_structure(
-    hier: DKHierarchy, max_candidates: int = 32
+    hier: DKHierarchy, max_candidates: int = 32, construct=None
 ) -> tuple[SearchStructure, np.ndarray]:
     """Extreme-vertex (support) queries as a hierarchical-DAG multisearch.
 
@@ -197,7 +221,9 @@ def dk_support_structure(
     level's node for the extreme vertex; ``original`` maps DAG node ids
     back to point ids.
     """
-    adjacency, payload, level, original, L = _dag_arrays(hier, max_candidates)
+    adjacency, payload, level, original, L = _dag_arrays(
+        hier, max_candidates, construct=construct
+    )
     D = max_candidates
 
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
@@ -225,7 +251,7 @@ def dk_support_structure(
 
 
 def dk_tangent_structure(
-    hier: DKHierarchy, max_candidates: int = 32
+    hier: DKHierarchy, max_candidates: int = 32, construct=None
 ) -> tuple[SearchStructure, np.ndarray]:
     """2-d tangent queries on the projection of ``P`` along a line.
 
@@ -241,7 +267,9 @@ def dk_tangent_structure(
     the application layer detects by the local neighbour test (see
     :mod:`repro.apps.linepoly`).
     """
-    adjacency, payload, level, original, L = _dag_arrays(hier, max_candidates)
+    adjacency, payload, level, original, L = _dag_arrays(
+        hier, max_candidates, construct=construct
+    )
     D = max_candidates
 
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):

@@ -25,8 +25,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mesh.trace import traced
-
 __all__ = ["Hull3D", "convex_hull_3d"]
 
 _EPS = 1e-9
@@ -107,15 +105,20 @@ def _initial_simplex(points: np.ndarray, eps: float) -> list[int]:
     return [i0, i1, i2, i3]
 
 
-def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS) -> Hull3D:
+def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS, construct=None) -> Hull3D:
     """Compute the convex hull of ``points`` ((n, 3), n >= 4).
 
     ``seed`` randomizes the insertion order (recommended; ``None`` keeps
     the input order after the initial simplex).
 
-    Traced phases (host-side spans): ``hull3d:build`` wrapping
-    ``hull3d:simplex`` (initial-simplex search) and ``hull3d:insert``
-    (the incremental insertion loop).
+    Traced phases: ``hull3d:build`` wrapping ``hull3d:simplex``
+    (initial-simplex search) and ``hull3d:insert`` (the incremental
+    insertion loop).  With a :class:`repro.mesh.construct.Construction`
+    attached, the spans charge the modelled mesh cost of the
+    divide-and-conquer hull on a submesh sized for ``n`` — a constant
+    number of extreme-point reductions, one sort of the points, scans,
+    and a route of the final faces; the host-side insertion loop itself
+    is the sequential stand-in and stays wall-time-only.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:
@@ -123,14 +126,21 @@ def convex_hull_3d(points: np.ndarray, seed=None, eps: float = _EPS) -> Hull3D:
     n = points.shape[0]
     if n < 4:
         raise ValueError(f"need >= 4 points, got {n}")
-    with traced(None, "hull3d:build"):
-        return _convex_hull_3d(points, seed, eps)
+    if construct is None:
+        from repro.mesh.construct import Construction
+
+        construct = Construction(n)
+    with construct.span("hull3d:build"):
+        return _convex_hull_3d(points, seed, eps, construct)
 
 
-def _convex_hull_3d(points: np.ndarray, seed, eps: float) -> Hull3D:
+def _convex_hull_3d(points: np.ndarray, seed, eps: float, construct) -> Hull3D:
     n = points.shape[0]
-    with traced(None, "hull3d:simplex"):
+    with construct.span("hull3d:simplex"):
         simplex = _initial_simplex(points, eps)
+        # modelled: the four farthest-point selections are global reduces
+        for _ in range(4):
+            construct.reduce(points[:, 0], op="max", n=n)
     centroid = points[simplex].mean(axis=0)
 
     faces: list[tuple[int, int, int]] = []
@@ -172,7 +182,11 @@ def _convex_hull_3d(points: np.ndarray, seed, eps: float) -> Hull3D:
     normals_arr = np.array(normals)
     offsets_arr = np.array(offsets)
 
-    with traced(None, "hull3d:insert"):
+    with construct.span("hull3d:insert"):
+        # modelled: one sort of the points into mesh order, a scan to rank
+        # them, and (after the loop) a route of the final face records
+        construct.sort(points[:, 0], n=n)
+        construct.scan(np.ones(n, dtype=np.int64), n=n)
         for p_idx in order:
             p = points[p_idx]
             alive_arr = np.array(alive)
@@ -201,10 +215,17 @@ def _convex_hull_3d(points: np.ndarray, seed, eps: float) -> Hull3D:
             normals_arr = np.array(normals)
             offsets_arr = np.array(offsets)
 
-    keep = np.flatnonzero(alive)
+        keep = np.flatnonzero(alive)
+        faces_arr = np.array([faces[i] for i in keep], dtype=np.int64)
+        if faces_arr.shape[0]:
+            construct.route(
+                np.arange(faces_arr.shape[0]),
+                faces_arr[:, 0],
+                n=faces_arr.shape[0],
+            )
     return Hull3D(
         points=points,
-        faces=np.array([faces[i] for i in keep], dtype=np.int64),
+        faces=faces_arr,
         normals=normals_arr[keep],
         offsets=offsets_arr[keep],
     )

@@ -30,8 +30,7 @@ from scipy.spatial import Delaunay
 from repro.core.model import STOP, SearchStructure
 from repro.geometry.primitives import orient2d, point_in_triangle, triangles_overlap
 from repro.geometry.triangulate import ear_clip
-from repro.geometry.independent import greedy_low_degree_independent_set
-from repro.mesh.trace import traced
+from repro.mesh.construct import Construction
 from repro.util.rng import make_rng
 
 __all__ = ["KirkpatrickHierarchy", "build_kirkpatrick", "kirkpatrick_structure"]
@@ -143,22 +142,35 @@ def build_kirkpatrick(
     seed=0,
     max_degree: int = 8,
     bound_scale: float = 8.0,
+    construct: Construction | None = None,
 ) -> KirkpatrickHierarchy:
     """Build the hierarchy over a Delaunay triangulation of ``points``.
 
-    Traced phases (host-side spans — see :func:`repro.mesh.trace.traced`):
-    ``kirkpatrick:build`` wrapping ``kirkpatrick:delaunay`` (the base
-    triangulation) and one ``kirkpatrick:round`` per removal round.
+    Traced phases: ``kirkpatrick:build`` wrapping ``kirkpatrick:delaunay``
+    (the base triangulation) and one ``kirkpatrick:round`` per removal
+    round.  The spans carry *modelled mesh steps* charged to
+    ``construct`` (a fresh :class:`Construction` when None): each round
+    sorts its incidence records, selects the independent set, and
+    retriangulates the holes in parallel on a submesh sized for that
+    round, so the total construction cost is O(sqrt(n)) — wall time stays
+    recorded alongside.  Outputs are byte-identical with or without a
+    construction attached.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError(f"points must be (n, 2), got {points.shape}")
-    with traced(None, "kirkpatrick:build"):
-        return _build_kirkpatrick(points, seed, max_degree, bound_scale)
+    if construct is None:
+        construct = Construction(points.shape[0] + 3)
+    with construct.span("kirkpatrick:build"):
+        return _build_kirkpatrick(points, seed, max_degree, bound_scale, construct)
 
 
 def _build_kirkpatrick(
-    points: np.ndarray, seed, max_degree: int, bound_scale: float
+    points: np.ndarray,
+    seed,
+    max_degree: int,
+    bound_scale: float,
+    construct: Construction,
 ) -> KirkpatrickHierarchy:
     rng = make_rng(seed)
     lo, hi = points.min(axis=0), points.max(axis=0)
@@ -171,12 +183,18 @@ def _build_kirkpatrick(
     n = points.shape[0]
     corner_ids = {n, n + 1, n + 2}
 
-    with traced(None, "kirkpatrick:delaunay"):
+    with construct.span("kirkpatrick:delaunay"):
         base = Delaunay(all_pts).simplices.astype(np.int64)
         # normalize orientation CCW
         a, b, c = all_pts[base[:, 0]], all_pts[base[:, 1]], all_pts[base[:, 2]]
         flip = orient2d(a, b, c) < 0
         base[flip] = base[flip][:, [0, 2, 1]]
+        # modelled mesh cost: sort the points into mesh order, then route
+        # the triangle records of the base triangulation to their slots
+        construct.sort(all_pts[:, 0], n=all_pts.shape[0])
+        construct.route(
+            np.arange(base.shape[0]), base[:, 0], n=base.shape[0]
+        )
 
     levels = [_Level(triangles=base)]
     current = [tuple(int(x) for x in t) for t in base]
@@ -190,7 +208,13 @@ def _build_kirkpatrick(
         if not removable:
             break
         round_no += 1
-        with traced(None, "kirkpatrick:round"):
+        with construct.span("kirkpatrick:round"):
+            T = len(current)
+            # modelled mesh cost of the round's graph bookkeeping: sort the
+            # 3T (vertex, triangle) incidence records, scan for run starts
+            tri_arr = np.array(current, dtype=np.int64)
+            construct.sort(tri_arr.ravel(), n=3 * T)
+            construct.scan(np.ones(3 * T, dtype=np.int64), n=3 * T)
             neighbors: dict[int, set[int]] = {v: set() for v in verts}
             incident: dict[int, list[int]] = {v: [] for v in verts}
             for ti, t in enumerate(current):
@@ -200,8 +224,8 @@ def _build_kirkpatrick(
                     for y in t:
                         if x != y:
                             neighbors[x].add(y)
-            chosen = greedy_low_degree_independent_set(
-                neighbors, removable, max_degree=max_degree, seed=rng
+            chosen = construct.independent_set(
+                neighbors, removable, max_degree=max_degree, seed=rng, n=len(verts)
             )
             if not chosen:
                 raise RuntimeError("no removable vertex found")  # pragma: no cover
@@ -210,42 +234,54 @@ def _build_kirkpatrick(
             new_tris: list[tuple[int, int, int]] = []
             #: per new triangle, the old-level triangle indices it overlaps
             links: list[list[int]] = []
-            for v in chosen:
-                hole_tris = incident[v]
-                removed_tris.update(hole_tris)
-                cycle = _hole_polygon(v, [current[ti] for ti in hole_tris])
-                poly = all_pts[cycle]
-                # ensure CCW for ear clipping
-                area2 = float(
-                    np.sum(
-                        poly[:, 0] * np.roll(poly[:, 1], -1)
-                        - np.roll(poly[:, 0], -1) * poly[:, 1]
-                    )
-                )
-                if area2 < 0:
-                    cycle = cycle[::-1]
-                    poly = all_pts[cycle]
-                tri_idx = ear_clip(poly)
-                for ta, tb, tc in tri_idx:
-                    new_t = (cycle[ta], cycle[tb], cycle[tc])
-                    overlaps = [
-                        ti
-                        for ti in hole_tris
-                        if triangles_overlap(
-                            all_pts[list(new_t)], all_pts[list(current[ti])]
+            # holes of one independent set are disjoint: retriangulate them
+            # in parallel, the round pays the costliest hole
+            with construct.parallel() as par:
+                for v in chosen:
+                    with par.branch():
+                        hole_tris = incident[v]
+                        removed_tris.update(hole_tris)
+                        cycle = _hole_polygon(v, [current[ti] for ti in hole_tris])
+                        poly = all_pts[cycle]
+                        # ensure CCW for ear clipping
+                        area2 = float(
+                            np.sum(
+                                poly[:, 0] * np.roll(poly[:, 1], -1)
+                                - np.roll(poly[:, 0], -1) * poly[:, 1]
+                            )
                         )
-                    ]
-                    if not overlaps:
-                        raise RuntimeError("new triangle overlaps no old triangle")
-                    new_tris.append(new_t)
-                    links.append(overlaps)
+                        if area2 < 0:
+                            cycle = cycle[::-1]
+                            poly = all_pts[cycle]
+                        tri_idx = ear_clip(poly, construct=construct)
+                        for ta, tb, tc in tri_idx:
+                            new_t = (cycle[ta], cycle[tb], cycle[tc])
+                            overlaps = [
+                                ti
+                                for ti in hole_tris
+                                if triangles_overlap(
+                                    all_pts[list(new_t)], all_pts[list(current[ti])]
+                                )
+                            ]
+                            if not overlaps:
+                                raise RuntimeError(
+                                    "new triangle overlaps no old triangle"
+                                )
+                            new_tris.append(new_t)
+                            links.append(overlaps)
 
             survivors = [ti for ti in range(len(current)) if ti not in removed_tris]
             next_tris = [current[ti] for ti in survivors] + new_tris
             next_children = [[ti] for ti in survivors] + links
+            next_arr = np.array(next_tris, dtype=np.int64)
+            # compress the survivors and route the next level into place
+            construct.scan(np.ones(T, dtype=np.int64), n=T)
+            construct.route(
+                np.arange(next_arr.shape[0]), next_arr[:, 0], n=next_arr.shape[0]
+            )
             levels.append(
                 _Level(
-                    triangles=np.array(next_tris, dtype=np.int64),
+                    triangles=next_arr,
                     children=next_children,
                 )
             )
@@ -256,13 +292,17 @@ def _build_kirkpatrick(
     return KirkpatrickHierarchy(points=all_pts, levels=levels)
 
 
-def kirkpatrick_structure(hier: KirkpatrickHierarchy) -> tuple[SearchStructure, float]:
+def kirkpatrick_structure(
+    hier: KirkpatrickHierarchy, construct: Construction | None = None
+) -> tuple[SearchStructure, float]:
     """The hierarchy as a hierarchical-DAG SearchStructure.
 
     DAG level 0 = the single coarsest triangle; level ``i+1`` = the next
     finer triangulation.  Node payload: ``[own 6 coords, child coords
     (MAX_CHILDREN * 6)]``; adjacency: child DAG-vertex ids.  Returns the
-    structure and the measured level growth factor ``mu``.
+    structure and the measured level growth factor ``mu``.  The
+    ``kirkpatrick:structure`` span charges the modelled cost of the DAG
+    flattening (sort nodes by level, route them to their slots).
     """
     levels = hier.levels  # finest first
     L = len(levels)
@@ -274,8 +314,10 @@ def kirkpatrick_structure(hier: KirkpatrickHierarchy) -> tuple[SearchStructure, 
     payload = np.zeros((V, 6 + 6 * MAX_CHILDREN))
     level = np.zeros(V, dtype=np.int64)
     pts = hier.points
+    if construct is None:
+        construct = Construction(V)
 
-    with traced(None, "kirkpatrick:structure"):
+    with construct.span("kirkpatrick:structure"):
         for d in range(L):
             tl = L - 1 - d  # triangulation level
             tris = levels[tl].triangles
@@ -296,6 +338,10 @@ def kirkpatrick_structure(hier: KirkpatrickHierarchy) -> tuple[SearchStructure, 
                         payload[base + ti, 6 + 6 * slot : 12 + 6 * slot] = pts[
                             ct
                         ].reshape(6)
+        # modelled mesh cost: sort nodes by DAG level, route each node's
+        # record (adjacency + payload ride as O(1) words) to its slot
+        construct.sort(level, n=V)
+        construct.route(np.arange(V), level, n=V)
 
     h = L - 1
 

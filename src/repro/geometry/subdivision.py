@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.geometry.kirkpatrick import KirkpatrickHierarchy
 from repro.geometry.primitives import point_in_triangle
-from repro.mesh.trace import traced
+from repro.mesh.construct import Construction
 from repro.util.rng import make_rng
 
 __all__ = ["PlanarSubdivision", "merged_face_subdivision"]
@@ -83,7 +83,10 @@ def _triangle_adjacency(triangles: np.ndarray) -> list[tuple[int, int]]:
 
 
 def merged_face_subdivision(
-    hier: KirkpatrickHierarchy, merge_fraction: float = 0.6, seed=0
+    hier: KirkpatrickHierarchy,
+    merge_fraction: float = 0.6,
+    seed=0,
+    construct: Construction | None = None,
 ) -> PlanarSubdivision:
     """A random polygonal subdivision over ``hier``'s base triangulation.
 
@@ -93,15 +96,28 @@ def merged_face_subdivision(
     ``~(1 - merge_fraction) * T``.  Faces stay edge-connected by
     construction; with fraction 0 every face is a triangle, with
     fraction near 1 a few large polygons remain.
+
+    The ``subdivision:merge-faces`` span charges the modelled mesh cost
+    of the merge (sort the 3T dual-edge records, a logarithmic number of
+    pointer-jumping label scans, one route of the face labels) to
+    ``construct`` (a fresh :class:`Construction` when None).
     """
     if not (0.0 <= merge_fraction < 1.0):
         raise ValueError(f"merge_fraction must be in [0, 1), got {merge_fraction}")
-    with traced(None, "subdivision:merge-faces"):
+    if construct is None:
+        construct = Construction(max(int(hier.base_triangles.shape[0]), 1))
+    with construct.span("subdivision:merge-faces"):
         rng = make_rng(seed)
         triangles = hier.base_triangles
         T = triangles.shape[0]
         dual = _triangle_adjacency(triangles)
         rng.shuffle(dual)
+        # modelled: sort the 3T (edge, triangle) records to find shared
+        # edges, then pointer-jump component labels to a fixed point
+        construct.sort(triangles.ravel(), n=3 * T)
+        jump_rounds = max(1, int(np.ceil(np.log2(max(T, 2)))))
+        for _ in range(jump_rounds):
+            construct.scan(np.ones(T, dtype=np.int64), n=T)
 
         parent = np.arange(T)
 
@@ -122,8 +138,11 @@ def merged_face_subdivision(
                 done += 1
         roots = np.array([find(t) for t in range(T)])
         _, face = np.unique(roots, return_inverse=True)
+        face = face.astype(np.int64)
+        # modelled: route the final face label back to each triangle
+        construct.route(np.arange(T), face, n=T)
         return PlanarSubdivision(
             points=hier.points,
             triangles=triangles,
-            face_of_triangle=face.astype(np.int64),
+            face_of_triangle=face,
         )

@@ -21,19 +21,27 @@ def _strict_inside(p, a, b, c, eps: float) -> bool:
     return bool((d1 > eps) and (d2 > eps) and (d3 > eps))
 
 
-def ear_clip(polygon: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+def ear_clip(polygon: np.ndarray, eps: float = 1e-12, construct=None) -> np.ndarray:
     """Triangulate a simple polygon given in counter-clockwise order.
 
     Returns ``(k-2, 3)`` vertex-index triples into ``polygon``.  Raises
     ``ValueError`` if the polygon is not simple/CCW enough to clip.
 
-    Traced as one ``triangulate:ear-clip`` host span per polygon.
+    Traced as one ``triangulate:ear-clip`` span per polygon.  With a
+    :class:`repro.mesh.construct.Construction` attached the span charges
+    ``k`` modelled local steps — clipping a constant-size star-shaped
+    hole is O(1) local work per incident processor; standalone calls
+    (``construct=None``) stay host-only ambient spans.
     """
     polygon = np.asarray(polygon, dtype=np.float64)
     k = polygon.shape[0]
     if k < 3:
         raise ValueError(f"polygon needs >= 3 vertices, got {k}")
-    with traced(None, "triangulate:ear-clip"):
+    if construct is None:
+        with traced(None, "triangulate:ear-clip"):
+            return _ear_clip(polygon, k, eps)
+    with construct.span("triangulate:ear-clip"):
+        construct.local(k)
         return _ear_clip(polygon, k, eps)
 
 

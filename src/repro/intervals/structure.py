@@ -48,6 +48,7 @@ import numpy as np
 from repro.core.model import STOP, SearchStructure
 from repro.core.splitters import Splitting, splitting_from_labels
 from repro.intervals.interval_tree import IntervalTree
+from repro.mesh.construct import Construction
 
 __all__ = ["IntervalStructure", "build_interval_structure"]
 
@@ -71,12 +72,36 @@ class IntervalStructure:
         return self.structure.size
 
 
-def build_interval_structure(itree: IntervalTree) -> IntervalStructure:
-    """Flatten ``itree`` into an :class:`IntervalStructure`."""
+def build_interval_structure(
+    itree: IntervalTree, construct: Construction | None = None
+) -> IntervalStructure:
+    """Flatten ``itree`` into an :class:`IntervalStructure`.
+
+    The ``intervals:structure-build`` span charges the modelled mesh cost
+    of the flattening to ``construct`` (a fresh
+    :class:`~repro.mesh.construct.Construction` when None): two sorts of
+    the intervals (ascending-left and descending-right chain orders), a
+    route of the V vertex records to their slots, and scans for the
+    splitter component labelling.  Outputs are byte-identical with or
+    without a construction attached.
+    """
     n_nodes = len(itree.nodes)
     n_int = itree.lefts.size
     chain_lens = [nd.by_left.size for nd in itree.nodes]
     V = n_nodes + 2 * sum(chain_lens)
+    if construct is None:
+        construct = Construction(max(V, 1))
+    with construct.span("intervals:structure-build"):
+        return _build_interval_structure(itree, construct, n_nodes, n_int, V)
+
+
+def _build_interval_structure(
+    itree: IntervalTree,
+    construct: Construction,
+    n_nodes: int,
+    n_int: int,
+    V: int,
+) -> IntervalStructure:
 
     adjacency = np.full((V, 4), -1, dtype=np.int64)
     payload = np.zeros((V, 4))
@@ -138,6 +163,14 @@ def build_interval_structure(itree: IntervalTree) -> IntervalStructure:
         level[u] = nd.depth
         owner[u] = u
 
+    # modelled mesh cost: the two chain orders are global sorts of the
+    # intervals; the V flattened vertex records then route to their slots
+    if n_int:
+        construct.sort(itree.lefts, n=n_int)
+        construct.sort(-itree.rights, n=n_int)
+    if V:
+        construct.route(np.arange(V), level, n=V)
+
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
         m = vid.shape[0]
         q = np.asarray(qkey).reshape(m)
@@ -192,6 +225,10 @@ def build_interval_structure(itree: IntervalTree) -> IntervalStructure:
     d2a, d2b = max(1, height // 3), max(2, (2 * height) // 3)
 
     def make_comp(tree_cuts: list[int], chain_offset: int) -> np.ndarray:
+        # modelled: component labelling is a segmented scan over the
+        # chain records plus a scan over the primary tree by depth
+        if V:
+            construct.scan(np.ones(V, dtype=np.int64), n=V)
         comp = np.full(V, -1, dtype=np.int64)
         # primary components: highest uncut ancestor (walk by depth)
         cutset = set(tree_cuts)

@@ -16,12 +16,14 @@ Two levels of fidelity (see DESIGN.md, substitution table):
 """
 
 from repro.mesh.clock import CostModel, StepClock
+from repro.mesh.construct import Construction
 from repro.mesh.engine import MeshEngine, Region
 from repro.mesh.machine import MeshVM
 from repro.mesh.topology import MeshShape, RegionSpec, block_partition, snake_index
 from repro.mesh.trace import Tracer, traced
 
 __all__ = [
+    "Construction",
     "CostModel",
     "StepClock",
     "MeshEngine",

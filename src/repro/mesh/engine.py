@@ -341,6 +341,30 @@ class Region:
                 clock=self.engine.clock,
             )
 
+    def _paranoid_stable(self, keys: np.ndarray, order: np.ndarray, label: str) -> None:
+        """Post-``argsort`` stability: among equal keys the permutation must
+        preserve input order.  This is the payload-permutation check the
+        plain sortedness invariant cannot make — swapping two *tied* keys
+        leaves ``keys[order]`` nondecreasing but scrambles the records."""
+        keys = np.asarray(keys)
+        order = np.asarray(order)
+        if keys.ndim != 1 or order.shape[0] < 2:
+            return
+        sk = keys[order]
+        tied = sk[1:] == sk[:-1]
+        if not tied.any():
+            return
+        bad = tied & (order[1:] < order[:-1])
+        if bad.any():
+            j = int(np.argmax(bad))
+            raise invariant(
+                "sort:stable",
+                f"{label!r} permutation swaps tied keys at position {j}: "
+                f"records {int(order[j])} and {int(order[j + 1])} both key "
+                f"{sk[j]!r} but arrive out of input order (region {self.spec})",
+                clock=self.engine.clock,
+            )
+
     def _paranoid_routed(
         self,
         outs: Sequence[np.ndarray],
@@ -393,6 +417,7 @@ class Region:
             order = self.engine.faults.on_sort_order(order, label)
         if self.engine.paranoid and np.asarray(keys).ndim == 1:
             self._paranoid_sorted(np.asarray(keys)[order], label)
+            self._paranoid_stable(keys, order, label)
         return order
 
     def sort_by(

@@ -81,17 +81,8 @@ class MeshVM:
 
     # -- the one communication primitive -------------------------------------
 
-    def shift(self, name: str, direction: str, fill=0) -> np.ndarray:
-        """One communication step: receive ``name`` from the ``direction`` neighbour.
-
-        Returns the received grid (does not overwrite the register).  E.g.
-        ``shift('x', 'left')`` gives each processor its left neighbour's
-        ``x``; column 0 receives ``fill``.
-        """
-        if direction not in DIRECTIONS:
-            raise ValueError(f"unknown direction {direction!r}")
-        grid = self.registers[name]
-        self.steps += 1
+    def _shifted(self, grid: np.ndarray, direction: str, fill=0) -> np.ndarray:
+        """Data movement of one shift, with no step charge."""
         out = np.full_like(grid, fill)
         if direction == "left":
             out[:, 1:] = grid[:, :-1]
@@ -103,23 +94,34 @@ class MeshVM:
             out[:-1, :] = grid[1:, :]
         return out
 
+    def shift(self, name: str, direction: str, fill=0) -> np.ndarray:
+        """One communication step: receive ``name`` from the ``direction`` neighbour.
+
+        Returns the received grid (does not overwrite the register).  E.g.
+        ``shift('x', 'left')`` gives each processor its left neighbour's
+        ``x``; column 0 receives ``fill``.
+        """
+        if direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {direction!r}")
+        grid = self.registers[name]
+        self.steps += 1
+        return self._shifted(grid, direction, fill)
+
     def shift_many(self, names: list[str], direction: str, fill=0) -> list[np.ndarray]:
         """Shift several registers in one communication step.
 
         A mesh step moves O(1) words per link; we allow a small record
         (key + a few payload words) to ride together, as the cost-model
-        constants assume.
+        constants assume.  The shared step is charged exactly once, up
+        front, so an observer reading :attr:`steps` mid-call (fault
+        hooks, tracing) never sees a transient count.
         """
         if len(names) > 8:
             raise ValueError("a record of more than 8 words cannot move in one step")
         if not names:
             return []
-        outs = [self.shift(names[0], direction, fill)]
-        # subsequent registers share the same communication step
-        self.steps -= 1
-        saved = self.steps
-        for name in names[1:]:
-            outs.append(self.shift(name, direction, fill))
-            self.steps = saved
-        self.steps = saved + 1
-        return outs
+        if direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {direction!r}")
+        grids = [self.registers[name] for name in names]
+        self.steps += 1
+        return [self._shifted(grid, direction, fill) for grid in grids]

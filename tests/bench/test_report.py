@@ -138,10 +138,44 @@ class TestDiff:
         # inputs and self-diff to exit 0 (acceptance criterion artifact)
         from repro.bench.runner import REPO_ROOT
 
-        for name in ("BENCH_e1_hierdag.json", "BENCH_e2_constrained.json"):
+        for name in (
+            "BENCH_e1_hierdag.json",
+            "BENCH_e2_constrained.json",
+            "BENCH_e11_construct.json",
+        ):
             path = REPO_ROOT / name
             assert path.exists()
             assert report.main(["--diff", str(path), str(path)]) == 0
+
+    def test_committed_e11_blob_shows_sqrt_construction(self):
+        # the E11 acceptance criterion: per pipeline, modelled construction
+        # steps normalised by sqrt(n) stay in a bounded band across a 64x
+        # size sweep — construction is O(sqrt(n)) in the cost model
+        import math
+
+        from repro.bench.runner import REPO_ROOT
+
+        doc = json.loads((REPO_ROOT / "BENCH_e11_construct.json").read_text())
+        ratios: dict[str, list[float]] = {}
+        spans: dict[str, list[int]] = {}
+        for p in doc["points"]:
+            assert "error" not in p
+            assert p["mesh_steps_equal"] is True
+            n = p["params"]["n"]
+            steps = p["fast"]["mesh_steps"]
+            assert steps > 0
+            ratios.setdefault(p["params"]["pipeline"], []).append(
+                steps / math.sqrt(n)
+            )
+            spans.setdefault(p["params"]["pipeline"], []).append(n)
+        assert set(ratios) == {"kirkpatrick", "dk3d"}
+        for pipeline, rs in ratios.items():
+            ns = spans[pipeline]
+            assert max(ns) / min(ns) >= 64, f"{pipeline} sweep too narrow"
+            assert max(rs) / min(rs) < 3.0, (
+                f"{pipeline}: steps/sqrt(n) band {min(rs):.1f}..{max(rs):.1f} "
+                "too wide for an O(sqrt(n)) claim"
+            )
 
 
 def _trace_doc(bstar_steps=100.0, extra_span=False):

@@ -83,6 +83,46 @@ class TestCheckpointResume:
         ok2 = [p for p in doc2["points"] if "error" not in p][0]
         assert ok1 == ok2  # identical record, not a re-measure
 
+    def test_resumed_error_point_gets_full_retry_budget(self, monkeypatch, tmp_path):
+        """An errored checkpoint record reruns with the whole --retries budget."""
+        _selftest_points(monkeypatch, ["crash"])
+        ckpt = tmp_path / "BENCH_selftest.partial.json"
+        doc = run_bench(
+            "selftest", jobs=1, repeats=1, warmup=0, retries=0, backoff=0.05,
+            checkpoint=ckpt,
+        )
+        assert doc["points"][0]["attempts"] == 1
+        doc2 = run_bench(
+            "selftest", jobs=1, repeats=1, warmup=0, retries=1, backoff=0.05,
+            checkpoint=ckpt, resume=True,
+        )
+        assert "resumed_points" not in doc2  # nothing was skipped
+        (point,) = doc2["points"]
+        assert point["attempts"] == 2  # rerun + the retry the resume grants
+
+    def test_resultless_record_not_resumed(self, monkeypatch, tmp_path):
+        """A record with neither results nor an error reruns on resume.
+
+        A checkpoint truncated mid-write (crash between the params line
+        and the measurements) yields such records; skipping them would
+        hand compare/report a point with no ``fast``/``slow`` dicts.
+        """
+        _selftest_points(monkeypatch, ["ok"])
+        config = {"bench": "selftest", "repeats": 1, "warmup": 0,
+                  "smoke": False, "profile": False, "trace": False}
+        ckpt = tmp_path / "BENCH_selftest.partial.json"
+        ckpt.write_text(json.dumps({
+            "config": config, "partial": True,
+            "points": [{"params": {"mode": "ok"}}],
+        }))
+        assert _load_checkpoint(ckpt, config) == {}
+        doc = run_bench(
+            "selftest", jobs=1, repeats=1, warmup=0, retries=0,
+            checkpoint=ckpt, resume=True,
+        )
+        (point,) = doc["points"]
+        assert isinstance(point["fast"], dict) and isinstance(point["slow"], dict)
+
     def test_config_mismatch_ignores_checkpoint(self, monkeypatch, tmp_path):
         _selftest_points(monkeypatch, ["ok"])
         ckpt = tmp_path / "BENCH_selftest.partial.json"

@@ -102,3 +102,33 @@ class TestShiftMany:
         vm = MeshVM(2, 2)
         assert vm.shift_many([], "left") == []
         assert vm.steps == 0
+
+    def test_no_transient_step_counts(self, monkeypatch):
+        """The shared step lands exactly once, before any data moves.
+
+        shift_many used to bump ``steps`` per register and roll the extra
+        increments back at the end, so a mid-call observer (fault hook,
+        tracer) saw a transient over-count.  Spy on the per-register data
+        movement and require ``steps`` to already be final every time.
+        """
+        vm = MeshVM(2, 2)
+        for name, v in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+            vm.alloc(name, v)
+        observed = []
+        real = MeshVM._shifted
+
+        def spy(self, grid, direction, fill=0):
+            observed.append(self.steps)
+            return real(self, grid, direction, fill)
+
+        monkeypatch.setattr(MeshVM, "_shifted", spy)
+        vm.shift_many(["a", "b", "c"], "left", fill=0)
+        assert vm.steps == 1
+        assert observed == [1, 1, 1]
+
+    def test_unknown_direction_rejected_before_charge(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("a", 1.0)
+        with pytest.raises(ValueError):
+            vm.shift_many(["a"], "sideways")
+        assert vm.steps == 0

@@ -76,6 +76,46 @@ class TestParanoidEquivalence:
         assert outs[True][2] == outs[False][2]
 
 
+class TestStableOrderInvariant:
+    """The tied-key argsort blind spot is closed (chaos gap, FAULTS log).
+
+    ``perturb_sort_key``'s permutation variant swaps two adjacent entries
+    of a stable argsort.  When the swapped keys differ the sortedness
+    check fires; when they are *tied*, ``keys[order]`` stays nondecreasing
+    and only the stability check can see the scrambled records.
+    """
+
+    def test_tied_key_swap_detected(self):
+        from repro.mesh.faults import FaultInjector, FaultPlan, InvariantViolation
+
+        eng = MeshEngine.for_problem(64, paranoid=True)
+        FaultInjector(FaultPlan(seed=1, kind="perturb_sort_key")).install(eng)
+        keys = np.zeros(64, dtype=np.int64)  # all tied: worst case
+        with pytest.raises(InvariantViolation) as exc:
+            eng.root.argsort(keys, label="t:sort")
+        assert exc.value.check == "sort:stable"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_any_tie_pattern_detected(self, seed):
+        from repro.mesh.faults import FaultInjector, FaultPlan, InvariantViolation
+
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 8, 64).astype(np.int64)  # heavy ties
+        eng = MeshEngine.for_problem(64, paranoid=True)
+        inj = FaultInjector(FaultPlan(seed=seed, kind="perturb_sort_key")).install(eng)
+        with pytest.raises(InvariantViolation) as exc:
+            eng.root.argsort(keys, label="t:sort")
+        assert exc.value.check in ("sort:sorted", "sort:stable")
+        assert inj.injected, "the plan must actually have fired"
+
+    def test_legitimate_ties_pass(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 4, 256).astype(np.int64)
+        eng = MeshEngine.for_problem(256, paranoid=True)
+        order = eng.root.argsort(keys, label="t:sort")
+        np.testing.assert_array_equal(order, np.argsort(keys, kind="stable"))
+
+
 class TestParanoidDefault:
     def test_env_off_by_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_PARANOID", raising=False)
