@@ -1,0 +1,90 @@
+"""E12 — kernel-backend wall-clock sweep over the engine pipelines.
+
+The kernel backends (``repro.mesh.backend``) are byte-identical by
+contract — same outputs, same mesh-step charges — so the only thing left
+to measure is host wall clock.  This sweep reruns three established
+pipelines under every registered backend:
+
+* ``constrained`` — E2's Constrained-Multisearch (Lemma 3) at max
+  congestion;
+* ``construct``   — E11's Kirkpatrick construction pipeline (Theorem 8
+  preprocessing), the kernel-heaviest workload;
+* ``hierdag``     — E1's hierarchical-DAG multisearch (Theorem 2).
+
+Each sweep point pins ``REPRO_BACKEND`` for the timed call only (the
+engines built inside resolve the backend from the environment), so the
+committed ``BENCH_e12_backends.json`` carries one ``wall_s_min`` column
+per backend per pipeline size.  Backends without their toolchain (e.g.
+numba in an environment where it isn't installed) silently fall back to
+numpy — their rows then measure the numpy reference, and the document's
+``provenance`` block records the fallback.  The gate (EXPERIMENTS.md
+E12, nightly CI ``--compare``) is that a *native* compiled backend beats
+numpy at the largest point of at least one pipeline.
+"""
+
+import os
+
+__all__ = ["BACKENDS", "sweep_setup", "sweep_run", "run_once"]
+
+#: alphabetical, to satisfy the runner's ascending-sweep-point contract
+BACKENDS = ["array_api", "cffi", "numba", "numpy"]
+
+
+def sweep_setup(pipeline: str, backend: str, size: int) -> dict:
+    """Untimed problem construction, shared by every backend's run.
+
+    The problem inputs are backend-independent (the equivalence suite
+    guarantees it), so each pipeline reuses its source bench's setup.
+    """
+    if pipeline == "hierdag":
+        import bench_e1_hierdag as e1
+
+        return {"e1": e1.sweep_setup(size, "hierdag")}
+    if pipeline == "constrained":
+        import bench_e2_constrained as e2
+
+        return {"e2": e2.sweep_setup(height=size, skew=1.0)}
+    if pipeline == "construct":
+        return {}  # E11's entry point is the construction itself
+    raise ValueError(f"unknown pipeline {pipeline!r}")
+
+
+def sweep_run(ctx: dict, pipeline: str, backend: str, size: int) -> float:
+    """Timed part: the pipeline under ``backend``; returns mesh steps.
+
+    ``REPRO_BACKEND`` is pinned around the call and restored afterwards
+    so sweep points can share a process (pytest, ``run_point`` loops)
+    without leaking the selection.
+    """
+    prior = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = backend
+    try:
+        if pipeline == "hierdag":
+            import bench_e1_hierdag as e1
+
+            steps, _n = e1.sweep_run(ctx["e1"], size, "hierdag")
+            return float(steps)
+        if pipeline == "constrained":
+            import bench_e2_constrained as e2
+
+            steps, _n, _stats = e2.sweep_run(ctx["e2"], height=size, skew=1.0)
+            return float(steps)
+        import bench_e11_construct as e11
+
+        return float(e11.run_once("kirkpatrick", size))
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = prior
+
+
+def run_once(pipeline: str, backend: str, size: int) -> float:
+    return sweep_run(sweep_setup(pipeline, backend, size), pipeline, backend, size)
+
+
+def test_e12_steps_backend_invariant():
+    """Mesh-step charges are a model quantity: identical for every backend."""
+    ctx = sweep_setup("constrained", "numpy", 8)
+    steps = {b: sweep_run(ctx, "constrained", b, 8) for b in BACKENDS}
+    assert len(set(steps.values())) == 1, steps

@@ -119,6 +119,21 @@ def render_doc(doc: dict) -> str:
         f"bench {doc['bench']}  (created {doc.get('created', '?')}, "
         f"{len(doc['points'])} points, repeats={doc.get('repeats', '?')})"
     ]
+    prov = doc.get("provenance")
+    if prov:
+        versions = prov.get("versions", {})
+        ver_txt = ", ".join(
+            f"{k} {v}" for k, v in versions.items() if v is not None
+        )
+        absent = [k for k, v in versions.items() if v is None]
+        if absent:
+            ver_txt += "; absent: " + ", ".join(absent)
+        backend_txt = prov.get("backend", "?")
+        if prov.get("backend_native") is False:
+            backend_txt += f" (fallback: {prov.get('backend_fallback_reason')})"
+        lines.append(f"  environment: backend={backend_txt}  {ver_txt}")
+        if prov.get("cpu"):
+            lines.append(f"  cpu: {prov['cpu']} ({prov.get('platform', '?')})")
     errored = [p for p in doc["points"] if "error" in p]
     for point in doc["points"]:
         if "error" in point:
@@ -218,6 +233,16 @@ def render_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]
         f"diff {old['bench']} -> {new['bench']}  "
         f"(old {old.get('created', '?')}, new {new.get('created', '?')})"
     ]
+    op, np_ = old.get("provenance"), new.get("provenance")
+    if op and np_ and op != np_:
+        changed = sorted(
+            k for k in set(op) | set(np_) if op.get(k) != np_.get(k)
+        )
+        lines.append(
+            "  WARNING provenance differs ("
+            + ", ".join(f"{k}: {op.get(k)} -> {np_.get(k)}" for k in changed)
+            + ") — wall-clock deltas may reflect the environment, not the code"
+        )
     old_by_params = {_params_key(p): p for p in old["points"]}
     for point in new["points"]:
         base = old_by_params.get(_params_key(point))

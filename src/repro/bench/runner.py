@@ -59,7 +59,7 @@ from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
-__all__ = ["REGISTRY", "BenchSpec", "run_bench", "run_point", "main"]
+__all__ = ["REGISTRY", "BenchSpec", "provenance", "run_bench", "run_point", "main"]
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 BENCH_DIR = REPO_ROOT / "benchmarks"
@@ -147,6 +147,20 @@ REGISTRY: dict[str, BenchSpec] = {
         _pts(pipeline=["dk3d"], n=[32, 128, 512, 2048])
         + _pts(pipeline=["kirkpatrick"], n=[64, 256, 1024, 4096]),
     ),
+    # E12 reruns E1/E2/E11 pipelines under every registered kernel backend
+    # (alphabetical, so each group's points ascend); non-native backends
+    # measure their numpy fallback — provenance records which is which
+    "e12_backends": BenchSpec(
+        "bench_e12_backends", "sweep_run",
+        _pts(pipeline=["constrained"],
+             backend=["array_api", "cffi", "numba", "numpy"], size=[8, 10, 12])
+        + _pts(pipeline=["construct"],
+               backend=["array_api", "cffi", "numba", "numpy"],
+               size=[64, 256, 1024])
+        + _pts(pipeline=["hierdag"],
+               backend=["array_api", "cffi", "numba", "numpy"], size=[8, 10, 12]),
+        setup="sweep_setup",
+    ),
     "a4_twothree": BenchSpec(
         "bench_a4_twothree", "run_once",
         _pts(n=[256, 1024, 4096], variant=["complete", "twothree"]),
@@ -170,6 +184,54 @@ REGISTRY: dict[str, BenchSpec] = {
 
 
 # -- worker side -----------------------------------------------------------
+
+
+def _cpu_model() -> str | None:
+    """Best-effort CPU model string (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    try:
+        import platform
+
+        return platform.processor() or None
+    except Exception:  # pragma: no cover - platform probing never fatal
+        return None
+
+
+def provenance() -> dict:
+    """Environment identity stamped into every bench document.
+
+    A ``wall_s_min`` column is meaningless without knowing *what* ran it:
+    which kernel backend the engine resolved (native or fallback), which
+    interpreter/library versions, and which CPU.  ``--compare`` baselines
+    from a different environment still compare, but the mismatch is now
+    visible in the JSON instead of silently attributed to the code.
+    """
+    from repro.mesh.backend import resolve_backend
+
+    backend = resolve_backend(None)
+    versions: dict[str, str | None] = {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
+    for lib in ("numba", "cffi"):
+        try:
+            versions[lib] = importlib.import_module(lib).__version__
+        except Exception:  # ImportError, or a broken install — record absence
+            versions[lib] = None
+    return {
+        "backend": backend.name,
+        "backend_native": backend.native,
+        "backend_fallback_reason": backend.fallback_reason,
+        "versions": versions,
+        "platform": sys.platform,
+        "cpu": _cpu_model(),
+    }
 
 
 def _peak_rss_kib(ru_maxrss: int, platform: str | None = None) -> int:
@@ -236,7 +298,17 @@ def run_point(
     Runs the point under both engine modes (``REPRO_FAST_PATH=1`` and
     ``0``) and returns the point's JSON record.  Because the pool recycles
     the process after each task, ``ru_maxrss`` is this point's peak RSS.
+
+    Host caches (buffer pools, argsort memos) left over from whatever ran
+    earlier in this process are dropped on entry, so a point's
+    ``peak_rss_kb`` and memo counters are its own — this matters when
+    points share a process (pytest, ``run_point`` called in a loop), not
+    just in the one-process-per-point pool.
     """
+    from repro.mesh.records import clear_host_caches, drain_memo_counters
+
+    clear_host_caches()
+    drain_memo_counters()
     spec, fn = _bench_callable(bench)
     if spec.setup is not None:
         module = importlib.import_module(spec.module)
@@ -286,6 +358,7 @@ def run_point(
         from repro.mesh.profile import CostProfile, profile as summarize
 
         drain_profiled_clocks()
+        drain_memo_counters()  # scope memo counters to the profiled pass
         os.environ["REPRO_PROFILE"] = "1"
         try:
             call()
@@ -294,6 +367,7 @@ def run_point(
         merged = CostProfile().merge(
             *(summarize(clock.history) for clock in drain_profiled_clocks())
         )
+        merged.memo = drain_memo_counters()
         record["profile"] = merged.to_dict()
     if trace:
         from repro.mesh.trace import chrome_doc, drain_traced_tracers
@@ -581,6 +655,7 @@ def run_bench(
         "schema": SCHEMA_VERSION,
         "bench": bench,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "provenance": provenance(),
         "jobs": jobs,
         "repeats": repeats,
         "warmup": warmup,

@@ -1,0 +1,168 @@
+"""Pluggable kernel backends for the engine's hot array primitives.
+
+The step clock charges the paper's mesh costs; *wall-clock* speed is
+decided by the host kernels that actually move the arrays underneath
+:class:`~repro.mesh.engine.MeshEngine`'s counted primitives.  This
+package makes those kernels swappable behind one narrow interface,
+:class:`KernelBackend`:
+
+=====================  ====================================================
+``stable_argsort``     stable sort permutation (the ``sort`` body)
+``take``               gather with ``-1 -> fill`` (the ``rar`` body)
+``take_live``          gather, every index in range (sort permutation)
+``scatter``            fill-then-scatter (the ``route`` body)
+``bincount_add``       combining integer write (the ``raw add`` fast path)
+``add_at``             unbuffered in-place ``+=`` scatter (``raw add``)
+``scatter_reduce_at``  in-place min/max combining write (``raw min/max``)
+``accumulate``         prefix combine (the ``scan`` body)
+``segmented_scan``     prefix combine restarting at segment boundaries
+``compress``           masked pack into a prefix (the ``compress`` body)
+``reduce``             global reduction
+=====================  ====================================================
+
+Registered implementations:
+
+``numpy``
+    The reference — the exact host code the engine always ran, extracted.
+    Every other backend is defined against it: *byte-identical outputs on
+    every input* (gated by ``tests/mesh/test_backend_conformance.py``).
+``cffi``
+    Single-pass C kernels compiled on demand with the system C compiler
+    and loaded through :mod:`cffi`'s ABI mode.  Compiled once per source
+    hash, cached under ``REPRO_KERNEL_CACHE`` (default
+    ``~/.cache/repro-kernels``).  Falls back to numpy (``native=False``)
+    when cffi or a C compiler is missing.
+``numba``
+    ``@njit``-compiled kernels, lazily compiled and disk-cached by numba
+    itself.  Falls back to numpy (``native=False``) when numba is not
+    installed (it ships behind the optional ``kernels`` extra).
+``array_api``
+    Array-API-namespace dispatch: kernels are written against the
+    namespace the *input arrays* advertise (``__array_namespace__``), so
+    a CuPy array would route to CuPy kernels without code changes; plain
+    numpy arrays resolve to numpy's namespace.
+
+Selection: ``MeshEngine(..., backend="cffi")`` or the ``REPRO_BACKEND``
+environment variable (unset = ``numpy``).  ``backend="compiled"`` is an
+alias for the best available compiled backend (numba, else cffi, else
+the numpy fallback).  Step charging, paranoid invariants, fault
+injection and tracing all live *above* this interface and are untouched
+by the backend choice.
+
+Fallback contract: asking for a backend whose toolchain is missing never
+raises — you get a working backend whose ``native`` flag is False and
+whose ``fallback_reason`` says why, so benches can record what actually
+ran and tests can skip cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.mesh.backend.numpy_backend import KernelBackend, NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "register_backend",
+    "registered_backends",
+    "get_backend",
+    "resolve_backend",
+    "backend_default",
+]
+
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (last registration wins).
+
+    The factory runs at most once; :func:`get_backend` caches the
+    instance.  A factory must honour the fallback contract: return a
+    usable backend even when its toolchain is absent (``native=False``).
+    """
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The (cached) backend instance registered under ``name``."""
+    if name not in _INSTANCES:
+        if name not in _FACTORIES:
+            raise ValueError(
+                f"unknown backend {name!r}; registered: {', '.join(_FACTORIES)}"
+            )
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def backend_default() -> str:
+    """Process-wide default backend name (``REPRO_BACKEND``, else numpy)."""
+    return os.environ.get("REPRO_BACKEND", "").strip() or "numpy"
+
+
+def resolve_backend(spec: "str | KernelBackend | None") -> KernelBackend:
+    """Resolve a constructor argument to a backend instance.
+
+    ``None`` reads :func:`backend_default`; a string is looked up in the
+    registry; an instance passes through.  The ``compiled`` alias picks
+    the first *native* compiled backend (numba, then cffi), falling back
+    to numpy when neither toolchain is present.
+    """
+    if spec is None:
+        spec = backend_default()
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec == "compiled":
+        for name in ("numba", "cffi"):
+            candidate = get_backend(name)
+            if candidate.native:
+                return candidate
+        return get_backend("numpy")
+    return get_backend(spec)
+
+
+def _numpy_fallback(name: str, reason: str) -> KernelBackend:
+    """A numpy-kernelled stand-in for an unavailable backend."""
+    backend = NumpyBackend()
+    backend.name = name
+    backend.native = False
+    backend.fallback_reason = reason
+    return backend
+
+
+def _make_cffi() -> KernelBackend:
+    try:
+        from repro.mesh.backend.cffi_backend import CffiBackend
+
+        return CffiBackend()
+    except Exception as exc:  # missing cffi / cc, compile failure
+        return _numpy_fallback("cffi", f"{type(exc).__name__}: {exc}")
+
+
+def _make_numba() -> KernelBackend:
+    try:
+        from repro.mesh.backend.numba_backend import NumbaBackend
+
+        return NumbaBackend()
+    except Exception as exc:  # numba not installed (the `kernels` extra)
+        return _numpy_fallback("numba", f"{type(exc).__name__}: {exc}")
+
+
+def _make_array_api() -> KernelBackend:
+    from repro.mesh.backend.array_api_backend import ArrayApiBackend
+
+    return ArrayApiBackend()
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("cffi", _make_cffi)
+register_backend("numba", _make_numba)
+register_backend("array_api", _make_array_api)

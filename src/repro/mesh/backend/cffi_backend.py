@@ -1,0 +1,611 @@
+"""C kernels compiled on demand and loaded through cffi (ABI mode).
+
+The numpy reference implements the segmented scans and fill-then-gather
+kernels as chains of whole-array passes (boundary mask, global cumsum,
+offset subtract, rank sort...); each pass is fast but the chain walks
+memory several times and pays numpy dispatch per pass.  These kernels do
+each primitive in **one** C pass over the data, which is where the
+backend's wall-clock win comes from — the small-array primitives the
+multisearch round loops issue thousands of times.
+
+Bit-identity with the reference is engineered, not assumed:
+
+* float adds happen in exactly the reference's order — the segmented add
+  scan keeps a *global* running sum and subtracts the value it had at
+  the last boundary, because that is what ``cumsum - offsets`` computes
+  (a per-segment restart would round differently);
+* min/max ties replicate numpy: ``minimum(a, b)`` returns *b* when
+  equal, so plain accumulates take the newer value, while the
+  reference's rank-based *segmented* min keeps the earliest tie and max
+  the latest (visible only for bit-distinct equal values like ``-0.0``
+  vs ``0.0``);
+* int64 sums wrap modulo 2**64 like numpy's (the C loops add in
+  ``uint64_t``, whose wrap is defined);
+* float ``sum`` reduction is **not** overridden — numpy reduces
+  pairwise, and replicating that tree is all risk for a trivial kernel
+  (``reduce`` and ``stable_argsort`` delegate to the reference).
+
+Row-shaped kernels (gather / scatter / compress) are dtype-agnostic
+``memcpy`` loops, so they cover every dtype and 2-D fused block the
+:class:`~repro.mesh.records.RecordSet` fast path produces.  Arithmetic
+kernels cover int64/float64 — every other dtype falls through to the
+inherited reference kernel, per the partial-backend contract.
+
+The shared library is compiled once per source hash with the system C
+compiler and cached under ``REPRO_KERNEL_CACHE`` (default
+``~/.cache/repro-kernels``); concurrent bench workers race safely (build
+to a pid-suffixed temp file, atomic rename).  Any toolchain failure
+raises from the constructor, which the registry factory converts into a
+clean numpy fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+
+import numpy as np
+
+from repro.mesh.backend.numpy_backend import KernelBackend, _identity
+
+__all__ = ["CffiBackend"]
+
+_CDEF = r"""
+void repro_take_rows(const char *table, const int64_t *idx, int64_t n_out,
+                     int64_t row_bytes, const char *fill_row, char *out);
+void repro_take_rows_live(const char *table, const int64_t *idx, int64_t n_out,
+                          int64_t row_bytes, char *out);
+void repro_scatter_rows(const char *src, const int64_t *dest, int64_t n_in,
+                        int64_t row_bytes, const char *fill_row,
+                        char *out, int64_t n_out);
+int64_t repro_compress_rows(const char *src, const uint8_t *mask, int64_t n,
+                            int64_t row_bytes, char *out);
+void repro_bincount_add(const int64_t *idx, const double *w, int64_t n,
+                        double *out);
+void repro_add_at_f64(double *out, const int64_t *idx, const double *v,
+                      int64_t n);
+void repro_add_at_i64(int64_t *out, const int64_t *idx, const int64_t *v,
+                      int64_t n);
+void repro_minmax_at_f64(double *out, const int64_t *idx, const double *v,
+                         int64_t n, int is_max);
+void repro_minmax_at_i64(int64_t *out, const int64_t *idx, const int64_t *v,
+                         int64_t n, int is_max);
+void repro_cumsum_f64(const double *v, int64_t n, double *out);
+void repro_cumsum_i64(const int64_t *v, int64_t n, int64_t *out);
+void repro_cumminmax_f64(const double *v, int64_t n, int is_max, double *out);
+void repro_cumminmax_i64(const int64_t *v, int64_t n, int is_max, int64_t *out);
+void repro_segscan_add_f64(const double *v, const uint8_t *b, int64_t n,
+                           int inclusive, double *out);
+void repro_segscan_add_i64(const int64_t *v, const uint8_t *b, int64_t n,
+                           int inclusive, int64_t *out);
+void repro_segscan_minmax_f64(const double *v, const uint8_t *b, int64_t n,
+                              int inclusive, int is_max, double ident,
+                              double *out);
+void repro_segscan_minmax_i64(const int64_t *v, const uint8_t *b, int64_t n,
+                              int inclusive, int is_max, int64_t ident,
+                              int64_t *out);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+void repro_take_rows(const char *table, const int64_t *idx, int64_t n_out,
+                     int64_t row_bytes, const char *fill_row, char *out) {
+    for (int64_t i = 0; i < n_out; i++) {
+        int64_t j = idx[i];
+        if (j < 0)
+            memcpy(out + i * row_bytes, fill_row, (size_t)row_bytes);
+        else
+            memcpy(out + i * row_bytes, table + j * row_bytes, (size_t)row_bytes);
+    }
+}
+
+void repro_take_rows_live(const char *table, const int64_t *idx, int64_t n_out,
+                          int64_t row_bytes, char *out) {
+    for (int64_t i = 0; i < n_out; i++)
+        memcpy(out + i * row_bytes, table + idx[i] * row_bytes, (size_t)row_bytes);
+}
+
+void repro_scatter_rows(const char *src, const int64_t *dest, int64_t n_in,
+                        int64_t row_bytes, const char *fill_row,
+                        char *out, int64_t n_out) {
+    for (int64_t i = 0; i < n_out; i++)
+        memcpy(out + i * row_bytes, fill_row, (size_t)row_bytes);
+    for (int64_t i = 0; i < n_in; i++) {
+        int64_t j = dest[i];
+        if (j >= 0)
+            memcpy(out + j * row_bytes, src + i * row_bytes, (size_t)row_bytes);
+    }
+}
+
+int64_t repro_compress_rows(const char *src, const uint8_t *mask, int64_t n,
+                            int64_t row_bytes, char *out) {
+    int64_t k = 0;
+    for (int64_t i = 0; i < n; i++) {
+        if (mask[i]) {
+            memcpy(out + k * row_bytes, src + i * row_bytes, (size_t)row_bytes);
+            k++;
+        }
+    }
+    return k;
+}
+
+void repro_bincount_add(const int64_t *idx, const double *w, int64_t n,
+                        double *out) {
+    for (int64_t i = 0; i < n; i++)
+        out[idx[i]] += w[i];
+}
+
+void repro_add_at_f64(double *out, const int64_t *idx, const double *v,
+                      int64_t n) {
+    for (int64_t i = 0; i < n; i++)
+        out[idx[i]] += v[i];
+}
+
+/* numpy int64 addition wraps modulo 2**64; uint64_t wrap is defined */
+void repro_add_at_i64(int64_t *out, const int64_t *idx, const int64_t *v,
+                      int64_t n) {
+    uint64_t *uo = (uint64_t *)out;
+    for (int64_t i = 0; i < n; i++)
+        uo[idx[i]] += (uint64_t)v[i];
+}
+
+/* numpy minimum(a, b) yields b when a == b (ditto maximum); the strict
+   compare keeps that tie rule, which matters for -0.0 vs 0.0 */
+void repro_minmax_at_f64(double *out, const int64_t *idx, const double *v,
+                         int64_t n, int is_max) {
+    if (is_max) {
+        for (int64_t i = 0; i < n; i++) {
+            int64_t j = idx[i];
+            out[j] = (out[j] > v[i]) ? out[j] : v[i];
+        }
+    } else {
+        for (int64_t i = 0; i < n; i++) {
+            int64_t j = idx[i];
+            out[j] = (out[j] < v[i]) ? out[j] : v[i];
+        }
+    }
+}
+
+void repro_minmax_at_i64(int64_t *out, const int64_t *idx, const int64_t *v,
+                         int64_t n, int is_max) {
+    if (is_max) {
+        for (int64_t i = 0; i < n; i++) {
+            int64_t j = idx[i];
+            out[j] = (out[j] > v[i]) ? out[j] : v[i];
+        }
+    } else {
+        for (int64_t i = 0; i < n; i++) {
+            int64_t j = idx[i];
+            out[j] = (out[j] < v[i]) ? out[j] : v[i];
+        }
+    }
+}
+
+/* np.add.accumulate is a sequential left-to-right loop (not pairwise);
+   it SEEDS with v[0] rather than adding it to zero — 0.0 + -0.0 is +0.0,
+   so the seed is bit-visible */
+void repro_cumsum_f64(const double *v, int64_t n, double *out) {
+    if (n == 0) return;
+    double r = v[0];
+    out[0] = r;
+    for (int64_t i = 1; i < n; i++) {
+        r = r + v[i];
+        out[i] = r;
+    }
+}
+
+void repro_cumsum_i64(const int64_t *v, int64_t n, int64_t *out) {
+    uint64_t r = 0;
+    for (int64_t i = 0; i < n; i++) {
+        r += (uint64_t)v[i];
+        out[i] = (int64_t)r;
+    }
+}
+
+void repro_cumminmax_f64(const double *v, int64_t n, int is_max, double *out) {
+    if (n == 0) return;
+    double r = v[0];
+    out[0] = r;
+    if (is_max) {
+        for (int64_t i = 1; i < n; i++) {
+            r = (r > v[i]) ? r : v[i];  /* tie -> v[i], numpy's rule */
+            out[i] = r;
+        }
+    } else {
+        for (int64_t i = 1; i < n; i++) {
+            r = (r < v[i]) ? r : v[i];
+            out[i] = r;
+        }
+    }
+}
+
+void repro_cumminmax_i64(const int64_t *v, int64_t n, int is_max, int64_t *out) {
+    if (n == 0) return;
+    int64_t r = v[0];
+    out[0] = r;
+    if (is_max) {
+        for (int64_t i = 1; i < n; i++) {
+            r = (r > v[i]) ? r : v[i];
+            out[i] = r;
+        }
+    } else {
+        for (int64_t i = 1; i < n; i++) {
+            r = (r < v[i]) ? r : v[i];
+            out[i] = r;
+        }
+    }
+}
+
+/* The reference is `global_cumsum[i] - global_cumsum[last_boundary - 1]`:
+   keep ONE running sum and subtract its boundary snapshot, so every float
+   add/subtract happens in the reference's order (a per-segment restart
+   would round differently). */
+void repro_segscan_add_f64(const double *v, const uint8_t *b, int64_t n,
+                           int inclusive, double *out) {
+    if (n == 0) return;
+    /* seed like cumsum does: running = v[0], not 0.0 + v[0] */
+    double running = v[0], offset = 0.0;
+    double x = running - offset;
+    out[0] = inclusive ? x : x - v[0];
+    for (int64_t i = 1; i < n; i++) {
+        if (b[i]) offset = running;
+        running = running + v[i];
+        x = running - offset;
+        out[i] = inclusive ? x : x - v[i];
+    }
+}
+
+void repro_segscan_add_i64(const int64_t *v, const uint8_t *b, int64_t n,
+                           int inclusive, int64_t *out) {
+    uint64_t running = 0, offset = 0;
+    for (int64_t i = 0; i < n; i++) {
+        if (b[i]) offset = running;
+        running += (uint64_t)v[i];
+        uint64_t x = running - offset;
+        out[i] = (int64_t)(inclusive ? x : x - (uint64_t)v[i]);
+    }
+}
+
+/* The reference resolves segmented min/max through stable sort ranks:
+   among bit-distinct equal values, min keeps the EARLIEST and max the
+   LATEST — the opposite tie rule from the plain accumulates above. */
+void repro_segscan_minmax_f64(const double *v, const uint8_t *b, int64_t n,
+                              int inclusive, int is_max, double ident,
+                              double *out) {
+    double r = 0.0;
+    for (int64_t i = 0; i < n; i++) {
+        double prev = r;
+        if (b[i]) {
+            if (!inclusive) out[i] = ident;
+            r = v[i];
+        } else {
+            if (!inclusive) out[i] = prev;
+            if (is_max)
+                r = (v[i] >= r) ? v[i] : r;  /* tie -> latest */
+            else
+                r = (v[i] < r) ? v[i] : r;   /* tie -> earliest */
+        }
+        if (inclusive) out[i] = r;
+    }
+}
+
+void repro_segscan_minmax_i64(const int64_t *v, const uint8_t *b, int64_t n,
+                              int inclusive, int is_max, int64_t ident,
+                              int64_t *out) {
+    int64_t r = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t prev = r;
+        if (b[i]) {
+            if (!inclusive) out[i] = ident;
+            r = v[i];
+        } else {
+            if (!inclusive) out[i] = prev;
+            if (is_max)
+                r = (v[i] >= r) ? v[i] : r;
+            else
+                r = (v[i] < r) ? v[i] : r;
+        }
+        if (inclusive) out[i] = r;
+    }
+}
+"""
+
+
+def _cache_dir() -> str:
+    path = os.environ.get("REPRO_KERNEL_CACHE", "").strip() or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-kernels"
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _build_lib():
+    """Compile (once per source hash) and dlopen the kernel library."""
+    from cffi import FFI
+
+    ffi = FFI()
+    ffi.cdef(_CDEF)
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"repro_kernels_{digest}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache, f"repro_kernels_{digest}.c")
+        with open(c_path, "w") as fh:
+            fh.write(_SOURCE)
+        cc = os.environ.get("CC", "cc")
+        tmp = f"{so_path}.{os.getpid()}.tmp"
+        proc = subprocess.run(
+            [cc, "-O3", "-shared", "-fPIC", "-o", tmp, c_path],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{cc} failed to build kernel library: {proc.stderr.strip()}"
+            )
+        os.replace(tmp, so_path)  # atomic: concurrent workers race safely
+    return ffi, ffi.dlopen(so_path)
+
+
+class CffiBackend(KernelBackend):
+    """Single-pass C kernels behind the reference interface."""
+
+    name = "cffi"
+    native = True
+
+    #: arithmetic kernels exist for these dtypes; others inherit numpy
+    _NUMERIC = (np.dtype(np.int64), np.dtype(np.float64))
+
+    def __init__(self) -> None:
+        self._ffi, self._lib = _build_lib()
+
+    # -- pointer plumbing ----------------------------------------------------
+
+    def _ptr(self, ctype: str, arr: np.ndarray):
+        return self._ffi.cast(ctype, self._ffi.from_buffer(arr))
+
+    @staticmethod
+    def _rows(arr: np.ndarray) -> int:
+        """Bytes per record row (0 for degenerate zero-width blocks)."""
+        width = 1
+        for d in arr.shape[1:]:
+            width *= d
+        return width * arr.dtype.itemsize
+
+    @staticmethod
+    def _fill_row(arr: np.ndarray, fill) -> np.ndarray:
+        width = 1
+        for d in arr.shape[1:]:
+            width *= d
+        return np.full(width, fill, dtype=arr.dtype)
+
+    @staticmethod
+    def _idx(idx: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(idx, dtype=np.int64)
+
+    # -- gather / scatter ----------------------------------------------------
+
+    def take_live(self, table: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        row = self._rows(table)
+        if idx.ndim != 1 or row == 0 or idx.shape[0] == 0:
+            return super().take_live(table, idx)
+        table = np.ascontiguousarray(table)
+        out = np.empty((idx.shape[0],) + table.shape[1:], dtype=table.dtype)
+        self._lib.repro_take_rows_live(
+            self._ptr("char *", table),
+            self._ptr("int64_t *", self._idx(idx)),
+            idx.shape[0],
+            row,
+            self._ptr("char *", out),
+        )
+        return out
+
+    def take(self, table: np.ndarray, idx: np.ndarray, fill=0) -> np.ndarray:
+        row = self._rows(table)
+        if idx.ndim != 1 or row == 0 or idx.shape[0] == 0:
+            return super().take(table, idx, fill)
+        table = np.ascontiguousarray(table)
+        out = np.empty((idx.shape[0],) + table.shape[1:], dtype=table.dtype)
+        self._lib.repro_take_rows(
+            self._ptr("char *", table),
+            self._ptr("int64_t *", self._idx(idx)),
+            idx.shape[0],
+            row,
+            self._ptr("char *", self._fill_row(table, fill)),
+            self._ptr("char *", out),
+        )
+        return out
+
+    def scatter(self, values: np.ndarray, dest: np.ndarray, size: int, fill=0) -> np.ndarray:
+        row = self._rows(values)
+        if dest.ndim != 1 or row == 0:
+            return super().scatter(values, dest, size, fill)
+        values = np.ascontiguousarray(values)
+        out = np.empty((size,) + values.shape[1:], dtype=values.dtype)
+        self._lib.repro_scatter_rows(
+            self._ptr("char *", values),
+            self._ptr("int64_t *", self._idx(dest)),
+            dest.shape[0],
+            row,
+            self._ptr("char *", self._fill_row(values, fill)),
+            self._ptr("char *", out),
+            size,
+        )
+        return out
+
+    def compress(self, mask: np.ndarray, values: np.ndarray) -> np.ndarray:
+        row = self._rows(values)
+        if mask.ndim != 1 or row == 0 or mask.shape[0] == 0:
+            return super().compress(mask, values)
+        values = np.ascontiguousarray(values)
+        mask = np.ascontiguousarray(mask, dtype=np.uint8)
+        # one pass: compress into a full-size scratch, then trim
+        scratch = np.empty_like(values)
+        k = self._lib.repro_compress_rows(
+            self._ptr("char *", values),
+            self._ptr("uint8_t *", mask),
+            mask.shape[0],
+            row,
+            self._ptr("char *", scratch),
+        )
+        return scratch[:k].copy()
+
+    # -- combining writes ----------------------------------------------------
+
+    def bincount_add(self, idx: np.ndarray, weights: np.ndarray, size: int) -> np.ndarray:
+        if weights.dtype not in self._NUMERIC or idx.shape[0] == 0:
+            return super().bincount_add(idx, weights, size)
+        # np.bincount accumulates float64 in input order; mirror exactly
+        w = np.ascontiguousarray(weights, dtype=np.float64)
+        out = np.zeros(size, dtype=np.float64)
+        self._lib.repro_bincount_add(
+            self._ptr("int64_t *", self._idx(idx)),
+            self._ptr("double *", w),
+            idx.shape[0],
+            self._ptr("double *", out),
+        )
+        return out
+
+    def add_at(self, out: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+        if (
+            out.dtype not in self._NUMERIC
+            or values.dtype != out.dtype
+            or out.ndim != 1
+            or not out.flags.c_contiguous
+        ):
+            return super().add_at(out, idx, values)
+        values = np.ascontiguousarray(values)
+        if out.dtype == np.float64:
+            self._lib.repro_add_at_f64(
+                self._ptr("double *", out),
+                self._ptr("int64_t *", self._idx(idx)),
+                self._ptr("double *", values),
+                idx.shape[0],
+            )
+        else:
+            self._lib.repro_add_at_i64(
+                self._ptr("int64_t *", out),
+                self._ptr("int64_t *", self._idx(idx)),
+                self._ptr("int64_t *", values),
+                idx.shape[0],
+            )
+
+    def scatter_reduce_at(
+        self, out: np.ndarray, idx: np.ndarray, values: np.ndarray, op: str
+    ) -> None:
+        if op == "add":
+            return self.add_at(out, idx, values)
+        if (
+            out.dtype not in self._NUMERIC
+            or values.dtype != out.dtype
+            or out.ndim != 1
+            or not out.flags.c_contiguous
+        ):
+            return super().scatter_reduce_at(out, idx, values, op)
+        values = np.ascontiguousarray(values)
+        is_max = 1 if op == "max" else 0
+        if out.dtype == np.float64:
+            self._lib.repro_minmax_at_f64(
+                self._ptr("double *", out),
+                self._ptr("int64_t *", self._idx(idx)),
+                self._ptr("double *", values),
+                idx.shape[0],
+                is_max,
+            )
+        else:
+            self._lib.repro_minmax_at_i64(
+                self._ptr("int64_t *", out),
+                self._ptr("int64_t *", self._idx(idx)),
+                self._ptr("int64_t *", values),
+                idx.shape[0],
+                is_max,
+            )
+
+    # -- scans ---------------------------------------------------------------
+
+    def accumulate(self, values: np.ndarray, op: str) -> np.ndarray:
+        if values.dtype not in self._NUMERIC or values.ndim != 1:
+            return super().accumulate(values, op)
+        values = np.ascontiguousarray(values)
+        out = np.empty_like(values)
+        n = values.shape[0]
+        if values.dtype == np.float64:
+            if op == "add":
+                self._lib.repro_cumsum_f64(
+                    self._ptr("double *", values), n, self._ptr("double *", out)
+                )
+            else:
+                self._lib.repro_cumminmax_f64(
+                    self._ptr("double *", values),
+                    n,
+                    1 if op == "max" else 0,
+                    self._ptr("double *", out),
+                )
+        else:
+            if op == "add":
+                self._lib.repro_cumsum_i64(
+                    self._ptr("int64_t *", values), n, self._ptr("int64_t *", out)
+                )
+            else:
+                self._lib.repro_cumminmax_i64(
+                    self._ptr("int64_t *", values),
+                    n,
+                    1 if op == "max" else 0,
+                    self._ptr("int64_t *", out),
+                )
+        return out
+
+    def segmented_scan(
+        self, values: np.ndarray, segments: np.ndarray, op: str, inclusive: bool
+    ) -> np.ndarray:
+        n = values.shape[0]
+        if values.dtype not in self._NUMERIC or values.ndim != 1 or n == 0:
+            return super().segmented_scan(values, segments, op, inclusive)
+        values = np.ascontiguousarray(values)
+        boundary = np.ones(n, dtype=np.uint8)
+        boundary[1:] = segments[1:] != segments[:-1]
+        out = np.empty_like(values)
+        if op == "add":
+            if values.dtype == np.float64:
+                self._lib.repro_segscan_add_f64(
+                    self._ptr("double *", values),
+                    self._ptr("uint8_t *", boundary),
+                    n,
+                    1 if inclusive else 0,
+                    self._ptr("double *", out),
+                )
+            else:
+                self._lib.repro_segscan_add_i64(
+                    self._ptr("int64_t *", values),
+                    self._ptr("uint8_t *", boundary),
+                    n,
+                    1 if inclusive else 0,
+                    self._ptr("int64_t *", out),
+                )
+            return out
+        ident = _identity(values.dtype, op)
+        is_max = 1 if op == "max" else 0
+        if values.dtype == np.float64:
+            self._lib.repro_segscan_minmax_f64(
+                self._ptr("double *", values),
+                self._ptr("uint8_t *", boundary),
+                n,
+                1 if inclusive else 0,
+                is_max,
+                float(ident),
+                self._ptr("double *", out),
+            )
+        else:
+            self._lib.repro_segscan_minmax_i64(
+                self._ptr("int64_t *", values),
+                self._ptr("uint8_t *", boundary),
+                n,
+                1 if inclusive else 0,
+                is_max,
+                int(ident),
+                self._ptr("int64_t *", out),
+            )
+        return out

@@ -1,0 +1,307 @@
+"""``@njit``-compiled kernels (the optional ``kernels`` extra).
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; the registry factory catches that and hands out a numpy
+fallback, so ``get_backend("numba")`` never fails.
+
+Each kernel is the same single-pass loop as the cffi backend's C, and
+the same bit-identity rules apply (see :mod:`.cffi_backend` — tie rules
+for min/max, global-running-sum segmented add, int64 wraparound via
+uint64).  Kernels are lazily compiled on first call and disk-cached by
+numba (``cache=True``), so only the first bench point in a fresh
+environment pays the JIT cost.  Row-shaped kernels run on a
+``(n, width)`` view of the block, so any numba-supported dtype works;
+anything else (and float ``reduce``/``stable_argsort``) delegates to the
+numpy reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401  (ImportError here = fallback upstream)
+
+from repro.mesh.backend.numpy_backend import KernelBackend, _identity
+
+__all__ = ["NumbaBackend"]
+
+
+@njit(cache=True)
+def _take_rows(table, idx, fill_row, out):
+    w = table.shape[1]
+    for i in range(idx.shape[0]):
+        j = idx[i]
+        if j < 0:
+            for k in range(w):
+                out[i, k] = fill_row[k]
+        else:
+            for k in range(w):
+                out[i, k] = table[j, k]
+
+
+@njit(cache=True)
+def _take_rows_live(table, idx, out):
+    w = table.shape[1]
+    for i in range(idx.shape[0]):
+        j = idx[i]
+        for k in range(w):
+            out[i, k] = table[j, k]
+
+
+@njit(cache=True)
+def _scatter_rows(src, dest, fill_row, out):
+    w = src.shape[1]
+    for i in range(out.shape[0]):
+        for k in range(w):
+            out[i, k] = fill_row[k]
+    for i in range(dest.shape[0]):
+        j = dest[i]
+        if j >= 0:
+            for k in range(w):
+                out[j, k] = src[i, k]
+
+
+@njit(cache=True)
+def _compress_rows(src, mask, out):
+    w = src.shape[1]
+    n = 0
+    for i in range(mask.shape[0]):
+        if mask[i]:
+            for k in range(w):
+                out[n, k] = src[i, k]
+            n += 1
+    return n
+
+
+@njit(cache=True)
+def _bincount_add(idx, w, out):
+    for i in range(idx.shape[0]):
+        out[idx[i]] += w[i]
+
+
+@njit(cache=True)
+def _add_at_f64(out, idx, v):
+    for i in range(idx.shape[0]):
+        out[idx[i]] += v[i]
+
+
+@njit(cache=True)
+def _add_at_i64(out, idx, v):
+    # view as uint64 upstream: numba int64 add would trap-free wrap anyway,
+    # but uint64 wrap is the defined behaviour numpy exhibits
+    for i in range(idx.shape[0]):
+        out[idx[i]] += v[i]
+
+
+@njit(cache=True)
+def _minmax_at(out, idx, v, is_max):
+    # numpy's minimum/maximum return the SECOND operand on ties (-0.0/0.0)
+    if is_max:
+        for i in range(idx.shape[0]):
+            j = idx[i]
+            out[j] = out[j] if out[j] > v[i] else v[i]
+    else:
+        for i in range(idx.shape[0]):
+            j = idx[i]
+            out[j] = out[j] if out[j] < v[i] else v[i]
+
+
+@njit(cache=True)
+def _cumsum(v, out):
+    # accumulate SEEDS with v[0] (0.0 + -0.0 is +0.0, so seeding is visible)
+    if v.shape[0] == 0:
+        return
+    r = v[0]
+    out[0] = r
+    for i in range(1, v.shape[0]):
+        r = r + v[i]
+        out[i] = r
+
+
+@njit(cache=True)
+def _cumminmax(v, is_max, out):
+    if v.shape[0] == 0:
+        return
+    r = v[0]
+    out[0] = r
+    if is_max:
+        for i in range(1, v.shape[0]):
+            r = r if r > v[i] else v[i]  # tie -> v[i], numpy's rule
+            out[i] = r
+    else:
+        for i in range(1, v.shape[0]):
+            r = r if r < v[i] else v[i]
+            out[i] = r
+
+
+@njit(cache=True)
+def _segscan_add(v, boundary, inclusive, out):
+    # global running sum minus its boundary snapshot == cumsum - offsets,
+    # the reference's float rounding order; seeded with v[0] like cumsum
+    if v.shape[0] == 0:
+        return
+    running = v[0]
+    offset = v.dtype.type(0)
+    x = running - offset
+    out[0] = x if inclusive else x - v[0]
+    for i in range(1, v.shape[0]):
+        if boundary[i]:
+            offset = running
+        running = running + v[i]
+        x = running - offset
+        out[i] = x if inclusive else x - v[i]
+
+
+@njit(cache=True)
+def _segscan_minmax(v, boundary, inclusive, is_max, ident, out):
+    # reference (rank-trick) ties: min keeps earliest, max keeps latest
+    r = v.dtype.type(0)
+    for i in range(v.shape[0]):
+        prev = r
+        if boundary[i]:
+            if not inclusive:
+                out[i] = ident
+            r = v[i]
+        else:
+            if not inclusive:
+                out[i] = prev
+            if is_max:
+                r = v[i] if v[i] >= r else r
+            else:
+                r = v[i] if v[i] < r else r
+        if inclusive:
+            out[i] = r
+
+
+class NumbaBackend(KernelBackend):
+    """njit kernels behind the reference interface (``kernels`` extra)."""
+
+    name = "numba"
+    native = True
+
+    _NUMERIC = (np.dtype(np.int64), np.dtype(np.float64))
+    _ROW_KINDS = "biuf"  # dtype kinds the row kernels specialize over
+
+    @staticmethod
+    def _as2d(arr: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(arr).reshape(arr.shape[0], -1)
+
+    @staticmethod
+    def _idx(idx: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(idx, dtype=np.int64)
+
+    def _rows_ok(self, arr: np.ndarray, idx: np.ndarray) -> bool:
+        width = 1
+        for d in arr.shape[1:]:
+            width *= d
+        return arr.dtype.kind in self._ROW_KINDS and idx.ndim == 1 and width > 0
+
+    # -- gather / scatter ----------------------------------------------------
+
+    def take_live(self, table, idx):
+        if not self._rows_ok(table, idx) or idx.shape[0] == 0:
+            return super().take_live(table, idx)
+        out = np.empty((idx.shape[0],) + table.shape[1:], dtype=table.dtype)
+        _take_rows_live(self._as2d(table), self._idx(idx), self._as2d(out))
+        return out
+
+    def take(self, table, idx, fill=0):
+        if not self._rows_ok(table, idx) or idx.shape[0] == 0:
+            return super().take(table, idx, fill)
+        out = np.empty((idx.shape[0],) + table.shape[1:], dtype=table.dtype)
+        fill_row = np.full(self._as2d(out).shape[1], fill, dtype=table.dtype)
+        _take_rows(self._as2d(table), self._idx(idx), fill_row, self._as2d(out))
+        return out
+
+    def scatter(self, values, dest, size, fill=0):
+        if not self._rows_ok(values, dest):
+            return super().scatter(values, dest, size, fill)
+        out = np.empty((size,) + values.shape[1:], dtype=values.dtype)
+        fill_row = np.full(self._as2d(out).shape[1], fill, dtype=values.dtype)
+        _scatter_rows(self._as2d(values), self._idx(dest), fill_row, self._as2d(out))
+        return out
+
+    def compress(self, mask, values):
+        if not self._rows_ok(values, mask) or mask.shape[0] == 0:
+            return super().compress(mask, values)
+        scratch = np.empty_like(np.ascontiguousarray(values))
+        n = _compress_rows(
+            self._as2d(values),
+            np.ascontiguousarray(mask, dtype=np.bool_),
+            self._as2d(scratch),
+        )
+        return scratch[:n].copy()
+
+    # -- combining writes ----------------------------------------------------
+
+    def bincount_add(self, idx, weights, size):
+        if weights.dtype not in self._NUMERIC or idx.shape[0] == 0:
+            return super().bincount_add(idx, weights, size)
+        out = np.zeros(size, dtype=np.float64)
+        _bincount_add(
+            self._idx(idx), np.ascontiguousarray(weights, dtype=np.float64), out
+        )
+        return out
+
+    def add_at(self, out, idx, values):
+        if (
+            out.dtype not in self._NUMERIC
+            or values.dtype != out.dtype
+            or out.ndim != 1
+            or not out.flags.c_contiguous
+        ):
+            return super().add_at(out, idx, values)
+        values = np.ascontiguousarray(values)
+        if out.dtype == np.float64:
+            _add_at_f64(out, self._idx(idx), values)
+        else:
+            _add_at_i64(out.view(np.uint64), self._idx(idx), values.view(np.uint64))
+
+    def scatter_reduce_at(self, out, idx, values, op):
+        if op == "add":
+            return self.add_at(out, idx, values)
+        if (
+            out.dtype not in self._NUMERIC
+            or values.dtype != out.dtype
+            or out.ndim != 1
+            or not out.flags.c_contiguous
+        ):
+            return super().scatter_reduce_at(out, idx, values, op)
+        _minmax_at(
+            out, self._idx(idx), np.ascontiguousarray(values), op == "max"
+        )
+
+    # -- scans ---------------------------------------------------------------
+
+    def accumulate(self, values, op):
+        if values.dtype not in self._NUMERIC or values.ndim != 1:
+            return super().accumulate(values, op)
+        values = np.ascontiguousarray(values)
+        out = np.empty_like(values)
+        if op == "add":
+            if values.dtype == np.int64:
+                _cumsum(values.view(np.uint64), out.view(np.uint64))
+            else:
+                _cumsum(values, out)
+        else:
+            _cumminmax(values, op == "max", out)
+        return out
+
+    def segmented_scan(self, values, segments, op, inclusive):
+        n = values.shape[0]
+        if values.dtype not in self._NUMERIC or values.ndim != 1 or n == 0:
+            return super().segmented_scan(values, segments, op, inclusive)
+        values = np.ascontiguousarray(values)
+        boundary = np.ones(n, dtype=np.bool_)
+        boundary[1:] = segments[1:] != segments[:-1]
+        out = np.empty_like(values)
+        if op == "add":
+            if values.dtype == np.int64:
+                _segscan_add(
+                    values.view(np.uint64), boundary, inclusive, out.view(np.uint64)
+                )
+            else:
+                _segscan_add(values, boundary, inclusive, out)
+            return out
+        ident = values.dtype.type(_identity(values.dtype, op))
+        _segscan_minmax(values, boundary, inclusive, op == "max", ident, out)
+        return out

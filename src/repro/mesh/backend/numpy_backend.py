@@ -1,0 +1,156 @@
+"""The numpy reference backend — the kernel interface's ground truth.
+
+Every kernel here is the exact host code the engine primitives ran before
+the backend split; other backends must reproduce these outputs *bit for
+bit* on every input (the conformance suite enforces it, ties, ``-0.0``
+and empty arrays included).  The base class doubles as the interface
+definition: a backend subclasses :class:`KernelBackend` and overrides the
+kernels its toolchain accelerates — anything left alone inherits the
+reference implementation, which is what makes partial backends safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KernelBackend", "NumpyBackend"]
+
+_REDUCERS = {
+    "add": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def _identity(dtype: np.dtype, op: str):
+    """The min/max identity the engine uses for exclusive scans and fills."""
+    if dtype.kind == "f":
+        return np.inf if op == "min" else -np.inf
+    info = np.iinfo(dtype)
+    return info.max if op == "min" else info.min
+
+
+class KernelBackend:
+    """Narrow host-kernel interface under the engine's counted primitives.
+
+    Contract: for every kernel and every input the engine can produce,
+    the output must be byte-identical (dtype, shape, and bit pattern) to
+    :class:`NumpyBackend`'s.  Kernels receive C-ordered numpy arrays —
+    1-D, or 2-D with a leading record axis (fused dtype blocks) — and
+    must not mutate their inputs except where the name says so
+    (``add_at`` / ``scatter_reduce_at`` combine into ``out`` in place).
+
+    ``native`` is True when the backend's own kernels are live; a
+    registry fallback (toolchain missing) sets it False and records
+    ``fallback_reason`` so benches and tests can tell what actually ran.
+    """
+
+    name = "numpy"
+    native = True
+    fallback_reason: str | None = None
+
+    # -- sort ----------------------------------------------------------------
+
+    def stable_argsort(self, keys: np.ndarray) -> np.ndarray:
+        """Stable sort permutation (unique, so backend-independent)."""
+        return np.argsort(keys, kind="stable")
+
+    # -- gather / scatter ----------------------------------------------------
+
+    def take_live(self, table: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """``out[i] = table[idx[i]]`` with every index in range."""
+        return table[idx]
+
+    def take(self, table: np.ndarray, idx: np.ndarray, fill=0) -> np.ndarray:
+        """Gather rows; ``idx[i] == -1`` yields a ``fill`` row."""
+        live = idx >= 0
+        out = np.full((idx.shape[0],) + table.shape[1:], fill, dtype=table.dtype)
+        out[live] = table[idx[live]]
+        return out
+
+    def scatter(self, values: np.ndarray, dest: np.ndarray, size: int, fill=0) -> np.ndarray:
+        """Route row *i* to ``dest[i]``; ``-1`` discards; holes get ``fill``."""
+        live = dest >= 0
+        out = np.full((size,) + values.shape[1:], fill, dtype=values.dtype)
+        out[dest[live]] = values[live]
+        return out
+
+    def compress(self, mask: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Pack the rows selected by ``mask`` into a prefix."""
+        return values[mask]
+
+    # -- combining writes ----------------------------------------------------
+
+    def bincount_add(self, idx: np.ndarray, weights: np.ndarray, size: int) -> np.ndarray:
+        """Weighted bincount (float64 accumulator, input order)."""
+        return np.bincount(idx, weights=weights, minlength=size)
+
+    def add_at(self, out: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+        """Unbuffered ``out[idx[i]] += values[i]`` in input order."""
+        np.add.at(out, idx, values)
+
+    def scatter_reduce_at(
+        self, out: np.ndarray, idx: np.ndarray, values: np.ndarray, op: str
+    ) -> None:
+        """Unbuffered combining min/max write into ``out`` in input order."""
+        _REDUCERS[op].at(out, idx, values)
+
+    # -- scans / reductions --------------------------------------------------
+
+    def accumulate(self, values: np.ndarray, op: str) -> np.ndarray:
+        """Inclusive prefix combine in processor order."""
+        return _REDUCERS[op].accumulate(values)
+
+    def segmented_scan(
+        self, values: np.ndarray, segments: np.ndarray, op: str, inclusive: bool
+    ) -> np.ndarray:
+        """Prefix combine restarting wherever the segment id changes.
+
+        Ids need not be sorted, only grouped.  The reference shapes are
+        load-bearing for bit-identity: ``add`` is a *global* cumsum minus
+        the running total at the last boundary (NOT a per-segment restart
+        — the float rounding differs), and ``min``/``max`` resolve ties
+        through stable sort ranks, so among bit-distinct equal values
+        (``-0.0`` vs ``0.0``) max picks the latest and min the earliest.
+        """
+        n = values.shape[0]
+        if n == 0:
+            return values.copy()
+        boundary = np.ones(n, dtype=bool)
+        boundary[1:] = segments[1:] != segments[:-1]
+        seg_index = np.cumsum(boundary) - 1
+        if op == "add":
+            running = np.cumsum(values)
+            offsets = np.concatenate([[0], running[:-1][boundary[1:]]])
+            result = running - offsets[seg_index]
+            if not inclusive:
+                result = result - values
+            return result
+        # min/max via offset-adjusted rank accumulate (see engine history):
+        # each segment's ranks live in a disjoint integer band, so one
+        # global accumulate restarts exactly at every boundary.
+        order = np.argsort(values, kind="stable")
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+        offset = seg_index * n
+        if op == "max":
+            run = np.maximum.accumulate(rank + offset) - offset
+        else:
+            run = np.minimum.accumulate(rank - offset) + offset
+        inc = values[order[run]]
+        if inclusive:
+            return inc
+        out = np.empty_like(values)
+        out[1:] = inc[:-1]
+        out[np.flatnonzero(boundary)] = _identity(values.dtype, op)
+        return out
+
+    def reduce(self, values: np.ndarray, op: str):
+        """Global reduction (numpy's pairwise float sum is the reference)."""
+        if op == "add":
+            return values.sum()
+        return values.min() if op == "min" else values.max()
+
+
+class NumpyBackend(KernelBackend):
+    """The reference backend: :class:`KernelBackend`'s own kernels."""

@@ -77,9 +77,12 @@ class Construction:
         n: int,
         engine: MeshEngine | None = None,
         paranoid: bool | None = None,
+        backend=None,
     ) -> None:
         if engine is None:
-            engine = MeshEngine.for_problem(max(int(n), 1), paranoid=paranoid)
+            engine = MeshEngine.for_problem(
+                max(int(n), 1), paranoid=paranoid, backend=backend
+            )
         self.engine = engine
         self.clock = engine.clock
 

@@ -40,6 +40,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.mesh.backend import KernelBackend, resolve_backend
 from repro.mesh.clock import CostModel, StepClock
 from repro.mesh.faults import invariant, paranoid_default
 from repro.mesh.records import ArgsortMemo, BufferPool, RecordSet
@@ -107,6 +108,7 @@ class MeshEngine:
         capacity: int = 16,
         fast_path: bool | None = None,
         paranoid: bool | None = None,
+        backend: "str | KernelBackend | None" = None,
     ) -> None:
         if isinstance(shape, int):
             shape = MeshShape.square(shape)
@@ -130,6 +132,12 @@ class MeshEngine:
         #: paranoid checks, so injected faults are caught at the earliest
         #: boundary a validator covers.
         self.faults = None
+        #: host kernel backend under every primitive (numpy / cffi / numba /
+        #: array_api; see :mod:`repro.mesh.backend`).  Selected per engine
+        #: via ``backend=`` or process-wide via ``REPRO_BACKEND``; every
+        #: backend is byte-identical to the numpy reference, so this is a
+        #: wall-clock knob only — charges and outputs never change.
+        self.backend = resolve_backend(backend)
         self.argsort_memo = ArgsortMemo()
         self.pool = BufferPool()
         self.root = Region(self, RegionSpec(0, 0, shape.rows, shape.cols))
@@ -142,6 +150,7 @@ class MeshEngine:
         capacity: int = 16,
         fast_path: bool | None = None,
         paranoid: bool | None = None,
+        backend: "str | KernelBackend | None" = None,
     ) -> "MeshEngine":
         """Smallest square engine whose mesh holds an ``n``-record problem."""
         return cls(
@@ -149,6 +158,7 @@ class MeshEngine:
             capacity=capacity,
             fast_path=fast_path,
             paranoid=paranoid,
+            backend=backend,
         )
 
     @property
@@ -397,16 +407,29 @@ class Region:
 
     # -- primitives ----------------------------------------------------------
 
+    def _note_memo(self, memo: ArgsortMemo, hits_before: int) -> None:
+        """Annotate the active trace span with the memo's hit/miss."""
+        tracer = self.engine.clock.tracer
+        if tracer is not None:
+            hit = memo.hits > hits_before
+            tracer.on_event("argsort-memo:hit" if hit else "argsort-memo:miss")
+
     def _stable_order(self, keys: np.ndarray) -> np.ndarray:
         """Stable argsort, memoized under ``fast_path``.
 
         The memo's guard is a value-equality check, so a hit replays the
-        exact permutation ``np.argsort`` would recompute; memoized orders
+        exact permutation the backend would recompute (the stable
+        permutation is unique, hence backend-independent); memoized orders
         are returned read-only to keep later hits honest.
         """
+        backend = self.engine.backend
         if self.engine.fast_path:
-            return self.engine.argsort_memo.order_for(np.asarray(keys))
-        return np.argsort(np.asarray(keys), kind="stable")
+            memo = self.engine.argsort_memo
+            before = memo.hits
+            order = memo.order_for(np.asarray(keys), compute=backend.stable_argsort)
+            self._note_memo(memo, before)
+            return order
+        return backend.stable_argsort(np.asarray(keys))
 
     def argsort(self, keys: np.ndarray, label: str = "sort") -> np.ndarray:
         """Stable sort permutation of the records by key (cost: optimal sort)."""
@@ -427,8 +450,9 @@ class Region:
         n = self._check_records(keys, *arrays)
         self._charge(self.engine.clock.cost.sort, label, volume=n)
         order = self._stable_order(keys)
-        out = [np.asarray(keys)[order]]
-        out.extend(np.asarray(a)[order] for a in arrays)
+        backend = self.engine.backend
+        out = [backend.take_live(np.asarray(keys), order)]
+        out.extend(backend.take_live(np.asarray(a), order) for a in arrays)
         if self.engine.faults is not None:
             out[0] = self.engine.faults.on_sort_keys(out[0], label)
         if self.engine.paranoid:
@@ -440,8 +464,13 @@ class Region:
         its fields with a single fancy-index per dtype block."""
         n = self._check_records(*rs.arrays())
         self._charge(self.engine.clock.cost.sort, label, volume=n)
+        backend = self.engine.backend
         memo = self.engine.argsort_memo if self.engine.fast_path else None
-        sorted_rs = rs.permute(rs.argsort(key, memo=memo))
+        before = memo.hits if memo is not None else 0
+        order = rs.argsort(key, memo=memo, backend=backend)
+        if memo is not None:
+            self._note_memo(memo, before)
+        sorted_rs = rs.permute(order, backend=backend)
         if self.engine.faults is not None:
             keys_view = np.asarray(sorted_rs.field(key))
             perturbed = self.engine.faults.on_sort_keys(keys_view, label)
@@ -473,12 +502,11 @@ class Region:
         targets = dest[live]
         _check_route_targets(targets, out_size)
         self._charge(self.engine.clock.cost.route, label, volume=n)
-        outs: list[np.ndarray] = []
-        for a in arrays:
-            a = np.asarray(a)
-            out = np.full((out_size,) + a.shape[1:], fill, dtype=a.dtype)
-            out[targets] = a[live]
-            outs.append(out)
+        backend = self.engine.backend
+        outs: list[np.ndarray] = [
+            backend.scatter(np.asarray(a), dest, out_size, fill=fill)
+            for a in arrays
+        ]
         if self.engine.faults is not None:
             self.engine.faults.on_route_payload(outs, targets, label)
         if self.engine.paranoid:
@@ -503,7 +531,7 @@ class Region:
         targets = dest[live]
         _check_route_targets(targets, out_size)
         self._charge(self.engine.clock.cost.route, label, volume=n)
-        routed = rs.scatter(dest, out_size, fill=fill)
+        routed = rs.scatter(dest, out_size, fill=fill, backend=self.engine.backend)
         if self.engine.faults is not None:
             self.engine.faults.on_route_payload(
                 [np.asarray(routed.field(name)) for name in routed.names],
@@ -540,14 +568,13 @@ class Region:
             self._check_records(np.asarray(t))
         self._charge(self.engine.clock.cost.route, label, volume=n)
         live = addresses >= 0
+        backend = self.engine.backend
         outs: list[np.ndarray] = []
         for t in tables:
             t = np.asarray(t)
             if live.any() and int(addresses[live].max()) >= t.shape[0]:
                 raise ValueError("rar address out of range")
-            out = np.full((addresses.shape[0],) + t.shape[1:], fill, dtype=t.dtype)
-            out[live] = t[addresses[live]]
-            outs.append(out)
+            outs.append(backend.take(t, addresses, fill=fill))
         return tuple(outs)
 
     def rar_records(
@@ -565,7 +592,7 @@ class Region:
         live = addresses >= 0
         if live.any() and int(addresses[live].max()) >= table.n:
             raise ValueError("rar address out of range")
-        return table.take(addresses, fill=fill)
+        return table.take(addresses, fill=fill, backend=self.engine.backend)
 
     def raw(
         self,
@@ -591,6 +618,7 @@ class Region:
         live = addresses >= 0
         if live.any() and int(addresses[live].max()) >= size:
             raise ValueError("raw address out of range")
+        backend = self.engine.backend
         if combine == "add":
             idx = addresses[live]
             vals = values[live]
@@ -603,27 +631,24 @@ class Region:
                     or int(np.abs(vals).max()) * vals.size < 2**53
                 )
             ):
-                # np.add.at is unbuffered and slow; a weighted bincount is
+                # add.at is unbuffered and slow; a weighted bincount is
                 # the same combining write.  It accumulates in float64,
                 # which is exact while |sum| stays below 2**53 — guarded
                 # above, so the int cast back is lossless.
-                out = np.bincount(idx, weights=vals, minlength=size).astype(
-                    values.dtype
-                )
+                out = backend.bincount_add(idx, vals, size).astype(values.dtype)
                 if fill:
                     out += values.dtype.type(fill)
             else:
                 out = np.full(size, fill, dtype=values.dtype)
-                np.add.at(out, idx, vals)
+                backend.add_at(out, idx, vals)
         else:
-            ufunc = _REDUCERS[combine]
             if values.dtype.kind == "f":
                 init = np.inf if combine == "min" else -np.inf
             else:
                 info = np.iinfo(values.dtype)
                 init = info.max if combine == "min" else info.min
             out = np.full(size, init, dtype=values.dtype)
-            ufunc.at(out, addresses[live], values[live])
+            backend.scatter_reduce_at(out, addresses[live], values[live], combine)
             if self.engine.fast_path:  # loop-local scratch: pooled, not returned
                 written = self.engine.pool.full(size, bool, False)
             else:
@@ -645,8 +670,7 @@ class Region:
         if op not in _REDUCERS:
             raise ValueError(f"unknown scan op {op!r}")
         self._charge(self.engine.clock.cost.scan, label, volume=n)
-        ufunc = _REDUCERS[op]
-        result = ufunc.accumulate(values)
+        result = self.engine.backend.accumulate(values, op)
         if inclusive:
             return result
         out = np.empty_like(result)
@@ -681,48 +705,12 @@ class Region:
         if op not in _REDUCERS:
             raise ValueError(f"unknown segmented_scan op {op!r}")
         self._charge(self.engine.clock.cost.scan, label, volume=vol)
-        n = values.shape[0]
-        if n == 0:
-            return values.copy()
-        boundary = np.ones(n, dtype=bool)
-        boundary[1:] = segments[1:] != segments[:-1]
-        seg_index = np.cumsum(boundary) - 1
-        if op == "add":
-            running = np.cumsum(values)
-            offsets = np.concatenate([[0], running[:-1][boundary[1:]]])
-            result = running - offsets[seg_index]
-            if not inclusive:
-                result = result - values
-            return result
-        # min/max (host-side; the mesh simulation is the carried-id scan,
-        # cost already charged): vectorized via an offset-adjusted
-        # accumulate over *ranks*.  Replacing each value by its stable sort
-        # rank and shifting segment s by s*n puts every segment in its own
-        # disjoint integer band, so one global maximum.accumulate restarts
-        # exactly at each boundary; mapping the winning ranks back through
-        # the sort order returns the original values bit-for-bit.  This
-        # removes the O(#segments) Python loop.  (NaN values are not
-        # supported — ranks order them arbitrarily.)
-        order = np.argsort(values, kind="stable")
-        rank = np.empty(n, dtype=np.int64)
-        rank[order] = np.arange(n, dtype=np.int64)
-        offset = seg_index * n
-        if op == "max":
-            run = np.maximum.accumulate(rank + offset) - offset
-        else:
-            run = np.minimum.accumulate(rank - offset) + offset
-        inc = values[order[run]]
-        if inclusive:
-            return inc
-        out = np.empty_like(values)
-        out[1:] = inc[:-1]
-        ident = (
-            (np.inf if op == "min" else -np.inf)
-            if values.dtype.kind == "f"
-            else (np.iinfo(values.dtype).max if op == "min" else np.iinfo(values.dtype).min)
-        )
-        out[np.flatnonzero(boundary)] = ident
-        return out
+        # the kernel itself (cumsum-offset add; rank-trick min/max in the
+        # reference, single-pass loops in compiled backends) lives behind
+        # the backend interface — the mesh simulation whose cost was just
+        # charged is the standard carried-id scan either way.  (NaN values
+        # are not supported — the reference's ranks order them arbitrarily.)
+        return self.engine.backend.segmented_scan(values, segments, op, inclusive)
 
     def reduce(self, values: np.ndarray, op: str = "add", label: str = "reduce"):
         """Global reduction; the scalar result is visible to all processors."""
@@ -735,9 +723,7 @@ class Region:
             if op == "add":
                 return values.dtype.type(0)
             raise ValueError("min/max reduce of empty array")
-        if op == "add":
-            return values.sum()
-        return values.min() if op == "min" else values.max()
+        return self.engine.backend.reduce(values, op)
 
     def broadcast(self, value, label: str = "broadcast"):
         """Deliver one word to every processor of the region."""
@@ -756,7 +742,8 @@ class Region:
         n = self._check_records(mask, *arrays)
         self._charge(self.engine.clock.cost.compress, label, volume=n)
         count = int(mask.sum())
-        return (count, *(np.asarray(a)[mask] for a in arrays))
+        backend = self.engine.backend
+        return (count, *(backend.compress(mask, np.asarray(a)) for a in arrays))
 
     def compress_records(
         self, mask: np.ndarray, rs: RecordSet, label: str = "compress"
@@ -765,5 +752,5 @@ class Region:
         mask = np.asarray(mask, dtype=bool)
         n = self._check_records(mask, *rs.arrays())
         self._charge(self.engine.clock.cost.compress, label, volume=n)
-        packed = rs.select(mask)
+        packed = rs.select(mask, backend=self.engine.backend)
         return packed.n, packed

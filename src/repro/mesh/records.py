@@ -28,9 +28,54 @@ they only change how the host executes the simulation.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
-__all__ = ["RecordSet", "ArgsortMemo", "BufferPool", "fused_view", "should_fuse"]
+__all__ = [
+    "RecordSet",
+    "ArgsortMemo",
+    "BufferPool",
+    "fused_view",
+    "should_fuse",
+    "clear_host_caches",
+    "memo_counters",
+    "drain_memo_counters",
+]
+
+#: every live memo/pool, weakly held — so a host (the bench runner between
+#: sweep points) can drop all cached buffers and stashed sort orders at
+#: once without threading engine references around.
+_LIVE_MEMOS: "weakref.WeakSet[ArgsortMemo]" = weakref.WeakSet()
+_LIVE_POOLS: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+
+def clear_host_caches() -> int:
+    """Clear every live :class:`ArgsortMemo` and :class:`BufferPool`.
+
+    Returns the number of caches cleared.  This is a host-memory measure
+    only — the caches repopulate on demand and outputs never change; the
+    bench runner calls it between sweep points so one point's pooled
+    buffers can't inflate the next point's ``peak_rss_kb``.
+    """
+    cleared = 0
+    for cache in (*_LIVE_MEMOS, *_LIVE_POOLS):
+        cache.clear()
+        cleared += 1
+    return cleared
+
+
+def memo_counters() -> dict[str, int]:
+    """Process-wide argsort-memo totals (across all live and dead memos)."""
+    return {"hits": ArgsortMemo.total_hits, "misses": ArgsortMemo.total_misses}
+
+
+def drain_memo_counters() -> dict[str, int]:
+    """Read and reset the process-wide memo totals (bench-worker scoping)."""
+    out = memo_counters()
+    ArgsortMemo.total_hits = 0
+    ArgsortMemo.total_misses = 0
+    return out
 
 
 def should_fuse(structure) -> bool:
@@ -201,21 +246,31 @@ class RecordSet:
                 "a raw word shared by int and bit-cast float fields)"
             )
 
-    def permute(self, order: np.ndarray) -> "RecordSet":
+    def permute(self, order: np.ndarray, backend=None) -> "RecordSet":
         """Records reordered by ``order`` — one fancy-index per dtype block."""
         order = np.asarray(order)
-        return self._like(
-            {dt: blk[order] for dt, blk in self._blocks.items()}, int(order.shape[0])
-        )
+        if backend is None:
+            blocks = {dt: blk[order] for dt, blk in self._blocks.items()}
+        else:
+            blocks = {
+                dt: backend.take_live(blk, order) for dt, blk in self._blocks.items()
+            }
+        return self._like(blocks, int(order.shape[0]))
 
-    def select(self, mask: np.ndarray) -> "RecordSet":
+    def select(self, mask: np.ndarray, backend=None) -> "RecordSet":
         """Records where ``mask`` is true, packed (the ``compress`` body)."""
         mask = np.asarray(mask, dtype=bool)
-        return self._like(
-            {dt: blk[mask] for dt, blk in self._blocks.items()}, int(mask.sum())
-        )
+        if backend is None:
+            blocks = {dt: blk[mask] for dt, blk in self._blocks.items()}
+            n = int(mask.sum())
+        else:
+            blocks = {
+                dt: backend.compress(mask, blk) for dt, blk in self._blocks.items()
+            }
+            n = next(iter(blocks.values())).shape[0] if blocks else int(mask.sum())
+        return self._like(blocks, n)
 
-    def take(self, idx: np.ndarray, fill=0) -> "RecordSet":
+    def take(self, idx: np.ndarray, fill=0, backend=None) -> "RecordSet":
         """Gather ``result[i] = records[idx[i]]``; ``idx == -1`` yields fill.
 
         This is the ``rar`` body: one fancy-index per dtype block, with the
@@ -224,47 +279,68 @@ class RecordSet:
         idx = np.asarray(idx, dtype=np.int64)
         live = idx >= 0
         if live.all():
-            return self.take_live(idx)
+            return self.take_live(idx, backend=backend)
         self._check_fill(fill)
-        safe = np.where(live, idx, 0)
-        dead = ~live
         blocks: dict[np.dtype, np.ndarray] = {}
-        for dt, blk in self._blocks.items():
-            out = blk[safe]
-            out[dead] = fill
-            blocks[dt] = out
+        if backend is None:
+            safe = np.where(live, idx, 0)
+            dead = ~live
+            for dt, blk in self._blocks.items():
+                out = blk[safe]
+                out[dead] = fill
+                blocks[dt] = out
+        else:
+            for dt, blk in self._blocks.items():
+                blocks[dt] = backend.take(blk, idx, fill=fill)
         return self._like(blocks, int(idx.shape[0]))
 
-    def take_live(self, idx: np.ndarray) -> "RecordSet":
+    def take_live(self, idx: np.ndarray, backend=None) -> "RecordSet":
         """:meth:`take` for callers that guarantee every index is in range.
 
         Skips the liveness mask and fill pass — just the row gathers.
         """
-        return self._like(
-            {dt: blk[idx] for dt, blk in self._blocks.items()}, int(idx.shape[0])
-        )
+        if backend is None:
+            blocks = {dt: blk[idx] for dt, blk in self._blocks.items()}
+        else:
+            blocks = {
+                dt: backend.take_live(blk, idx) for dt, blk in self._blocks.items()
+            }
+        return self._like(blocks, int(np.asarray(idx).shape[0]))
 
-    def scatter(self, dest: np.ndarray, size: int, fill=0) -> "RecordSet":
+    def scatter(self, dest: np.ndarray, size: int, fill=0, backend=None) -> "RecordSet":
         """Route record *i* to slot ``dest[i]``; ``-1`` discards (``route`` body)."""
         self._check_fill(fill)
         dest = np.asarray(dest, dtype=np.int64)
-        live = dest >= 0
-        targets = dest[live]
         blocks: dict[np.dtype, np.ndarray] = {}
-        for dt, blk in self._blocks.items():
-            out = np.full((size, blk.shape[1]), fill, dtype=dt)
-            out[targets] = blk[live]
-            blocks[dt] = out
+        if backend is None:
+            live = dest >= 0
+            targets = dest[live]
+            for dt, blk in self._blocks.items():
+                out = np.full((size, blk.shape[1]), fill, dtype=dt)
+                out[targets] = blk[live]
+                blocks[dt] = out
+        else:
+            for dt, blk in self._blocks.items():
+                blocks[dt] = backend.scatter(blk, dest, size, fill=fill)
         return self._like(blocks, size)
 
-    def argsort(self, name: str, memo: "ArgsortMemo | None" = None) -> np.ndarray:
-        """Stable argsort by one field, memoized on (field, version)."""
+    def argsort(
+        self, name: str, memo: "ArgsortMemo | None" = None, backend=None
+    ) -> np.ndarray:
+        """Stable argsort by one field, memoized on (field, version).
+
+        The stable permutation is unique, so the memo key need not name
+        the backend that computed it.
+        """
         key = ("recordset", id(self), name, self.version)
         if memo is not None:
             hit = memo.lookup(key)
             if hit is not None:
                 return hit
-        order = np.argsort(self.field(name), kind="stable")
+        if backend is None:
+            order = np.argsort(self.field(name), kind="stable")
+        else:
+            order = backend.stable_argsort(self.field(name))
         if memo is not None:
             order.setflags(write=False)  # shared on later hits — keep it honest
             memo.store(key, order)
@@ -281,25 +357,47 @@ class ArgsortMemo:
     are keyed on ``(id, field, version)`` and need no copy.
     """
 
+    #: process-wide totals across every memo instance, for bench/profile
+    #: attribution (drained per point by ``drain_memo_counters``)
+    total_hits = 0
+    total_misses = 0
+
     def __init__(self, capacity: int = 4) -> None:
         self.capacity = capacity
         self._slots: dict[tuple, tuple[np.ndarray | None, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
+        _LIVE_MEMOS.add(self)
 
-    def order_for(self, keys: np.ndarray) -> np.ndarray:
-        """Stable argsort of ``keys``, served from the memo when possible."""
+    def _hit(self) -> None:
+        self.hits += 1
+        ArgsortMemo.total_hits += 1
+
+    def _miss(self) -> None:
+        self.misses += 1
+        ArgsortMemo.total_misses += 1
+
+    def order_for(self, keys: np.ndarray, compute=None) -> np.ndarray:
+        """Stable argsort of ``keys``, served from the memo when possible.
+
+        ``compute`` is the argsort kernel to run on a miss (a backend's
+        ``stable_argsort``); the stable permutation is unique, so hits
+        are valid whichever backend stored them.
+        """
         keys = np.asarray(keys)
         key = ("array", id(keys), keys.dtype.str, keys.shape)
         slot = self._slots.get(key)
         if slot is not None:
             guard, order = slot
             if guard is not None and np.array_equal(guard, keys):
-                self.hits += 1
+                self._hit()
                 self._slots[key] = self._slots.pop(key)  # refresh LRU position
                 return order
-        self.misses += 1
-        order = np.argsort(keys, kind="stable")
+        self._miss()
+        if compute is None:
+            order = np.argsort(keys, kind="stable")
+        else:
+            order = compute(keys)
         order.setflags(write=False)  # shared on later hits — keep it honest
         self.store(key, order, guard=keys.copy())
         return order
@@ -307,9 +405,9 @@ class ArgsortMemo:
     def lookup(self, key: tuple) -> np.ndarray | None:
         slot = self._slots.get(key)
         if slot is None:
-            self.misses += 1
+            self._miss()
             return None
-        self.hits += 1
+        self._hit()
         self._slots[key] = self._slots.pop(key)
         return slot[1]
 
@@ -340,6 +438,7 @@ class BufferPool:
 
     def __init__(self) -> None:
         self._buffers: dict[tuple, np.ndarray] = {}
+        _LIVE_POOLS.add(self)
 
     def full(self, shape, dtype, fill=0) -> np.ndarray:
         shape = (shape,) if isinstance(shape, int) else tuple(shape)

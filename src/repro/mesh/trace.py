@@ -127,6 +127,9 @@ class Span:
     #: this accumulates ``max - sum`` (<= 0) so totals match the clock.
     fold: float = 0.0
     counters: dict[str, PrimCounter] = field(default_factory=dict)
+    #: zero-step host-side annotations (e.g. ``argsort-memo:hit``) — event
+    #: name -> occurrence count while this span was innermost
+    events: dict[str, int] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
 
     @property
@@ -171,6 +174,7 @@ class Span:
                 label: {"calls": c.calls, "steps": c.steps, "volume": c.volume}
                 for label, c in self.counters.items()
             },
+            "events": dict(self.events),
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -189,6 +193,7 @@ class Span:
                 steps=float(c.get("steps", 0.0)),
                 volume=int(c.get("volume", 0)),
             )
+        span.events = {str(k): int(v) for k, v in data.get("events", {}).items()}
         span.children = [cls.from_dict(c) for c in data.get("children", [])]
         return span
 
@@ -236,6 +241,17 @@ class Tracer:
         counter.calls += 1
         counter.steps += steps
         counter.volume += volume
+
+    def on_event(self, name: str, count: int = 1) -> None:
+        """Record a zero-step host-side event on the innermost open span.
+
+        Engine internals use this for annotations that explain wall time
+        without touching the step accounting — e.g. ``argsort-memo:hit``
+        vs ``argsort-memo:miss``, which attribute a fast sort to
+        memoization rather than the kernel backend.
+        """
+        node = self._stack[-1]
+        node.events[name] = node.events.get(name, 0) + count
 
     def on_parallel_fold(self, branches: list[float], max_branch: float) -> None:
         """Called by the clock when a ``parallel()`` section closes.
@@ -300,6 +316,7 @@ class Tracer:
                             }
                             for label, c in span.counters.items()
                         },
+                        "events": dict(span.events),
                     },
                 }
             )

@@ -12,6 +12,7 @@ from repro.bench.runner import (
     _pts,
     compare,
     main,
+    provenance,
     run_point,
 )
 
@@ -166,6 +167,58 @@ class TestRunPoint:
         )
         assert record["profile"]["by_label"]
         assert sum(record["profile"]["by_label"].values()) > 0
+        # memo counters from the profiled pass ride in the profile dict
+        memo = record["profile"].get("memo", {})
+        assert set(memo) <= {"hits", "misses"}
+
+    def test_clears_host_caches_between_points(self):
+        # regression: pooled buffers and memo entries from one sweep point
+        # must not bleed into the next point's RSS/counters when points
+        # share a process
+        from repro.mesh.engine import MeshEngine
+        from repro.mesh.records import drain_memo_counters
+
+        engine = MeshEngine(8, fast_path=True)
+        keys = np.arange(64, dtype=np.int64)[::-1].copy()
+        engine.root.argsort(keys)
+        engine.root.argsort(keys)
+        engine.pool.full((64,), np.int64)
+        assert engine.argsort_memo._slots  # memo holds a stashed order
+        assert engine.pool._buffers  # pool holds a cached buffer
+        assert drain_memo_counters()["hits"] >= 1
+        engine.root.argsort(keys)  # repopulate the counters
+        run_point("selftest", {"mode": "ok"}, repeats=1, warmup=0)
+        assert not engine.argsort_memo._slots
+        assert not engine.pool._buffers
+        # counters were drained on entry, so the point owns what follows
+        assert drain_memo_counters() == {"hits": 0, "misses": 0}
+
+
+class TestProvenance:
+    def test_schema(self):
+        prov = provenance()
+        assert prov["backend"]  # resolved default backend name
+        assert isinstance(prov["backend_native"], bool)
+        versions = prov["versions"]
+        assert versions["python"] and versions["numpy"]
+        assert "numba" in versions and "cffi" in versions  # None when absent
+        assert prov["platform"]
+
+    def test_stamped_into_bench_doc(self):
+        doc = runner.run_bench("selftest", jobs=1, repeats=1, warmup=0, smoke=True)
+        assert doc["provenance"] == provenance()
+
+    def test_rendered_by_report(self):
+        from repro.bench.report import render_doc
+
+        doc = {
+            "bench": "demo",
+            "provenance": provenance(),
+            "points": [],
+        }
+        text = render_doc(doc)
+        assert "environment: backend=" in text
+        assert "numpy" in text
 
 
 class TestMain:

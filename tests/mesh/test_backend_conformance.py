@@ -1,0 +1,270 @@
+"""Backend conformance: every registered backend vs the numpy reference.
+
+The kernel interface's contract is *byte identity*: for every kernel and
+every input the engine can produce, a backend's output must match the
+:class:`~repro.mesh.backend.NumpyBackend` reference in dtype, shape, and
+bit pattern.  This suite drives each registered backend over an
+adversarial input battery — empty arrays, tied keys (including ``-0.0``
+vs ``0.0`` and all-equal runs), float infinities, int64 values that wrap
+the accumulator, max-capacity batches, and every dtype/block shape
+:class:`~repro.mesh.records.RecordSet` produces (1-D and 2-D int64,
+float64, bool) — and compares raw bits.
+
+Backends whose toolchain is missing in this environment register as
+numpy fallbacks (``native=False``); testing those would only re-test the
+reference against itself, so they skip with the recorded fallback
+reason (this is how the suite "skips cleanly when numba is
+unavailable").
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh.backend import get_backend, registered_backends
+
+REFERENCE = get_backend("numpy")
+
+#: side of the largest battery case: a full 16-records-per-processor
+#: batch on an 8x8 mesh, the engine's max-capacity shape
+MAX_CAPACITY = 16 * 8 * 8
+
+
+def _backend_params():
+    params = []
+    for name in registered_backends():
+        if name == "numpy":
+            continue  # the reference; comparing it to itself proves nothing
+        backend = get_backend(name)
+        marks = ()
+        if not backend.native:
+            marks = (
+                pytest.mark.skip(
+                    reason=f"{name} toolchain unavailable: {backend.fallback_reason}"
+                ),
+            )
+        params.append(pytest.param(name, marks=marks))
+    return params
+
+
+@pytest.fixture(params=_backend_params())
+def backend(request):
+    return get_backend(request.param)
+
+
+def assert_bits(got, want, context=""):
+    got, want = np.asarray(got), np.asarray(want)
+    assert got.dtype == want.dtype, f"{context}: dtype {got.dtype} != {want.dtype}"
+    assert got.shape == want.shape, f"{context}: shape {got.shape} != {want.shape}"
+    assert got.tobytes() == want.tobytes(), f"{context}: bit patterns differ"
+
+
+def _value_battery():
+    """(tag, values) cases covering every dtype/shape the engine produces."""
+    rng = np.random.default_rng(20260808)
+    big = rng.integers(-(2**62), 2**62, MAX_CAPACITY)
+    cases = [
+        ("empty-i64", np.empty(0, dtype=np.int64)),
+        ("empty-f64", np.empty(0, dtype=np.float64)),
+        ("empty-bool", np.empty(0, dtype=bool)),
+        ("empty-2d", np.empty((0, 3), dtype=np.int64)),
+        ("one", np.array([7], dtype=np.int64)),
+        ("one-negzero", np.array([-0.0])),
+        ("ties-i64", np.array([3, 3, 3, 1, 1, 2, 2, 2, 2], dtype=np.int64)),
+        ("ties-zeros", np.array([0.0, -0.0, 0.0, -0.0, -0.0, 0.0])),
+        ("all-equal", np.full(64, 5.5)),
+        ("specials", np.array([np.inf, -np.inf, 1.0, -0.0, 0.0, -np.inf, np.inf])),
+        ("wraparound", np.array([2**62, 2**62, 2**62, -(2**62), 2**62], dtype=np.int64)),
+        ("bool", rng.random(33) < 0.5),
+        ("rand-f64", rng.standard_normal(257)),
+        ("rand-i64", rng.integers(-1000, 1000, 128)),
+        ("block-i64", rng.integers(-50, 50, (41, 3))),
+        ("block-f64", rng.standard_normal((41, 4))),
+        ("max-capacity", big),
+        ("max-capacity-f64", rng.standard_normal(MAX_CAPACITY)),
+    ]
+    return cases
+
+
+BATTERY = _value_battery()
+IDS = [tag for tag, _ in BATTERY]
+
+
+def _rng_for(tag):
+    return np.random.default_rng(abs(hash(tag)) % 2**32)
+
+
+@pytest.mark.parametrize("tag,values", BATTERY, ids=IDS)
+class TestKernelConformance:
+    def test_stable_argsort(self, backend, tag, values):
+        if values.ndim != 1:
+            pytest.skip("argsort keys are 1-D")
+        order = backend.stable_argsort(values)
+        assert_bits(order, REFERENCE.stable_argsort(values), f"argsort[{tag}]")
+        # stability, asserted directly: among tied keys, input order survives
+        if values.size:
+            sorted_keys = values[order]
+            tied = sorted_keys[1:] == sorted_keys[:-1]
+            assert not (tied & (order[1:] < order[:-1])).any(), (
+                f"argsort[{tag}] scrambles tied keys"
+            )
+
+    def test_take_and_take_live(self, backend, tag, values):
+        n = values.shape[0]
+        rng = _rng_for(tag)
+        idx = rng.integers(0, max(n, 1), n).astype(np.int64)
+        idx[rng.random(n) < 0.25] = -1
+        assert_bits(
+            backend.take(values, idx, fill=0),
+            REFERENCE.take(values, idx, fill=0),
+            f"take[{tag}]",
+        )
+        live = rng.permutation(n).astype(np.int64)
+        assert_bits(
+            backend.take_live(values, live),
+            REFERENCE.take_live(values, live),
+            f"take_live[{tag}]",
+        )
+
+    def test_scatter(self, backend, tag, values):
+        n = values.shape[0]
+        rng = _rng_for(tag)
+        dest = rng.permutation(max(n, 1))[:n].astype(np.int64)
+        dest[rng.random(n) < 0.25] = -1
+        assert_bits(
+            backend.scatter(values, dest, max(n, 1), fill=0),
+            REFERENCE.scatter(values, dest, max(n, 1), fill=0),
+            f"scatter[{tag}]",
+        )
+
+    def test_compress(self, backend, tag, values):
+        n = values.shape[0]
+        for mask in (
+            _rng_for(tag).random(n) < 0.5,
+            np.ones(n, dtype=bool),
+            np.zeros(n, dtype=bool),
+        ):
+            assert_bits(
+                backend.compress(mask, values),
+                REFERENCE.compress(mask, values),
+                f"compress[{tag}]",
+            )
+
+    def test_combining_writes(self, backend, tag, values):
+        if values.ndim != 1 or values.dtype == bool:
+            pytest.skip("combining writes take 1-D numeric values")
+        n = values.shape[0]
+        size = max(n // 2, 1)
+        idx = _rng_for(tag).integers(0, size, n).astype(np.int64)
+        if values.dtype.kind == "i":
+            assert_bits(
+                backend.bincount_add(idx, values, size),
+                REFERENCE.bincount_add(idx, values, size),
+                f"bincount[{tag}]",
+            )
+        got = np.zeros(size, dtype=values.dtype)
+        want = got.copy()
+        backend.add_at(got, idx, values)
+        REFERENCE.add_at(want, idx, values)
+        assert_bits(got, want, f"add_at[{tag}]")
+        for op in ("min", "max"):
+            fill = np.array(
+                np.inf if values.dtype.kind == "f" else np.iinfo(values.dtype).max
+            ).astype(values.dtype)
+            got = np.full(size, fill, dtype=values.dtype)
+            want = got.copy()
+            backend.scatter_reduce_at(got, idx, values, op)
+            REFERENCE.scatter_reduce_at(want, idx, values, op)
+            assert_bits(got, want, f"scatter_reduce_at[{op}][{tag}]")
+
+    def test_scans_and_reduce(self, backend, tag, values):
+        if values.ndim != 1 or values.dtype == bool:
+            pytest.skip("scans take 1-D numeric values")
+        n = values.shape[0]
+        segments = np.sort(_rng_for(tag).integers(0, max(n // 4, 1), n))
+        for op in ("add", "min", "max"):
+            assert_bits(
+                backend.accumulate(values, op),
+                REFERENCE.accumulate(values, op),
+                f"accumulate[{op}][{tag}]",
+            )
+            for inclusive in (True, False):
+                assert_bits(
+                    backend.segmented_scan(values, segments, op, inclusive),
+                    REFERENCE.segmented_scan(values, segments, op, inclusive),
+                    f"segscan[{op},{inclusive}][{tag}]",
+                )
+            if n:
+                got = backend.reduce(values, op)
+                want = REFERENCE.reduce(values, op)
+                assert np.asarray(got).dtype == np.asarray(want).dtype
+                assert np.asarray(got).tobytes() == np.asarray(want).tobytes()
+
+
+class TestRegistry:
+    def test_reference_is_registered_default(self):
+        from repro.mesh.backend import backend_default, resolve_backend
+
+        assert "numpy" in registered_backends()
+        assert resolve_backend(None).name == backend_default()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_compiled_alias_resolves(self):
+        from repro.mesh.backend import resolve_backend
+
+        backend = resolve_backend("compiled")
+        assert backend.name in ("numba", "cffi", "numpy")
+
+    def test_fallback_contract(self):
+        # every registered name must resolve without raising, toolchain or
+        # not, and non-native backends must say why they fell back
+        for name in registered_backends():
+            backend = get_backend(name)
+            assert backend.native or backend.fallback_reason
+
+    def test_engine_env_selection(self, monkeypatch):
+        from repro.mesh.engine import MeshEngine
+
+        monkeypatch.setenv("REPRO_BACKEND", "cffi")
+        assert MeshEngine(4).backend.name == "cffi"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert MeshEngine(4).backend.name == "numpy"
+
+
+class TestEngineChargeParity:
+    """Same primitives, same charges and outputs, whichever backend runs."""
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_primitive_sweep_matches_numpy_engine(self, backend, fast_path):
+        from repro.mesh.engine import MeshEngine
+
+        rng = np.random.default_rng(11)
+        vals = rng.integers(-100, 100, 36).astype(np.int64)
+        dest = rng.permutation(36)
+        outs = []
+        for be in ("numpy", backend):
+            eng = MeshEngine(6, fast_path=fast_path, backend=be)
+            r = eng.root
+            keys, moved = r.sort_by(vals, vals * 0.5)
+            (routed,) = r.route(np.where(vals % 5 == 0, -1, dest), vals)
+            (read,) = r.rar(np.abs(vals) % 36, vals * 2.0)
+            summed = r.raw(np.abs(vals) % 36, vals, size=36, combine="add")
+            low = r.raw(np.abs(vals) % 36, vals, size=36, combine="min", fill=-1)
+            scan = r.scan(vals, op="add", inclusive=False)
+            seg = r.segmented_scan(vals, np.abs(vals) % 4, op="max")
+            count, packed = r.compress(vals > 0, vals)
+            total = r.reduce(vals)
+            outs.append(
+                (
+                    eng.clock.time,
+                    count,
+                    total,
+                    *(
+                        a.tobytes()
+                        for a in (keys, moved, routed, read, summed, low, scan, seg, packed)
+                    ),
+                )
+            )
+        assert outs[0] == outs[1]
