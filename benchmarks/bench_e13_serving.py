@@ -1,0 +1,103 @@
+"""E13 — serving throughput: queries/sec through the batching front-end.
+
+The serving layer (:mod:`repro.serve`) answers *individual* queries by
+accumulating them into mesh-sized batches.  This sweep fixes the
+structure (a Kirkpatrick DAG over ``sites`` points, built and
+snapshotted once, untimed) and the query load (``queries`` independent
+points), then measures wall time to push the whole load through a
+:class:`repro.serve.batcher.BatchingServer` across batch-size and
+flush-deadline settings:
+
+* small ``batch`` — many flushes, each paying the per-batch multisearch
+  overhead on few queries: low throughput;
+* ``batch`` at or above the load — one or two flushes amortizing the
+  descent across every query, with the tail flushed by the deadline
+  timer: the ``deadline_ms`` column is the latency floor visible in
+  wall time when the batch never fills.
+
+Each timed call restores the service from the snapshot's in-memory form
+and runs a fresh event loop, server and result cache, so repeats don't
+serve each other from the cache.  The reported step count is the summed
+mesh steps of every flushed batch.
+
+Committed document: ``BENCH_e13_serving.json`` (see EXPERIMENTS.md E13).
+"""
+
+import asyncio
+
+import numpy as np
+
+__all__ = ["sweep_setup", "sweep_run", "run_once"]
+
+
+def sweep_setup(sites: int, queries: int, batch: int, deadline_ms: float) -> dict:
+    """Untimed: build + snapshot + restore the structure, draw the load.
+
+    The snapshot round-trips through its serialized bytes (header
+    validation and content-hash check included), so the timed part serves
+    from exactly what a disk restore would give it.
+    """
+    import io
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import restore_service, snapshot_pointloc
+
+    rng = np.random.default_rng(13)
+    site_pts = rng.random((sites, 2))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "e13_pointloc.npz"
+        snapshot_pointloc(path, site_pts, seed=13)
+        blob = path.read_bytes()
+    from repro.serve.snapshot import read_snapshot
+
+    snapshot = read_snapshot(io.BytesIO(blob))
+    service = restore_service(snapshot)
+    load = rng.random((queries, 2))
+    return {"service": service, "load": load}
+
+
+async def _serve_load(service, load, batch: int, deadline_s: float):
+    from repro.serve import BatchingServer, ResultCache
+
+    server = BatchingServer(
+        service,
+        batch_size=batch,
+        deadline_s=deadline_s,
+        cache=ResultCache(capacity=4 * len(load)),
+    )
+    # submit_many gathers per-query futures; a tail batch smaller than
+    # ``batch`` resolves when the deadline timer fires
+    results = await server.submit_many(load)
+    return results, server.stats
+
+
+def sweep_run(
+    ctx: dict, sites: int, queries: int, batch: int, deadline_ms: float
+) -> tuple[float, int]:
+    """Timed: the full load through a fresh server; returns (steps, m)."""
+    results, stats = asyncio.run(
+        _serve_load(ctx["service"], ctx["load"], batch, deadline_ms / 1e3)
+    )
+    assert len(results) == queries
+    return float(stats["mesh_steps"]), len(results)
+
+
+def run_once(sites: int, queries: int, batch: int, deadline_ms: float):
+    return sweep_run(
+        sweep_setup(sites, queries, batch, deadline_ms),
+        sites,
+        queries,
+        batch,
+        deadline_ms,
+    )
+
+
+def test_e13_batching_matches_direct():
+    """The batched answers equal one direct run over the same load."""
+    ctx = sweep_setup(sites=64, queries=48, batch=16, deadline_ms=20.0)
+    steps, m = sweep_run(ctx, 64, 48, 16, 20.0)
+    assert m == 48 and steps > 0
+    direct, _ = ctx["service"].run_batch(ctx["load"])
+    rebatched, _stats = asyncio.run(_serve_load(ctx["service"], ctx["load"], 16, 0.02))
+    assert np.array_equal(np.array(rebatched), np.array(direct))

@@ -27,7 +27,12 @@ from repro.core.alpha import alpha_multisearch
 from repro.core.alphabeta import alphabeta_multisearch
 from repro.core.model import QuerySet
 from repro.core.splitters import Splitting, normalize_splitting, splitting_from_labels
-from repro.graphs.adapters import ktree_range_structure, ktree_rank_structure
+from repro.core.model import SearchStructure
+from repro.graphs.adapters import (
+    ktree_range_structure,
+    ktree_rank_structure,
+    ktree_rank_successor,
+)
 from repro.graphs.ktree import BalancedKTree, tree_from_keys
 from repro.intervals.interval_tree import IntervalTree
 from repro.intervals.structure import IntervalStructure, build_interval_structure
@@ -35,7 +40,15 @@ from repro.mesh.engine import MeshEngine
 from repro.mesh.topology import MeshShape
 from repro.mesh.trace import traced
 
-__all__ = ["IntervalSearchSetup", "setup_interval_search", "count_intersections_mesh", "report_intersections_mesh"]
+__all__ = [
+    "IntervalSearchSetup",
+    "setup_interval_search",
+    "count_intersections_mesh",
+    "count_on_structures",
+    "report_intersections_mesh",
+    "interval_count_snapshot_arrays",
+    "interval_count_from_snapshot",
+]
 
 
 def _tree_splitting(tree: BalancedKTree, delta: float = 0.5) -> Splitting:
@@ -110,12 +123,38 @@ def count_intersections_mesh(
     Traced phases: engine span ``intervals:count`` wrapping the two rank
     descents ``intervals:count:rank-le-b`` and ``intervals:count:rank-lt-a``.
     """
+    st_l = ktree_rank_structure(setup.tree_lefts, strict=False)
+    st_r = ktree_rank_structure(setup.tree_rights, strict=True)
+    return count_on_structures(
+        st_l,
+        st_r,
+        _tree_splitting(setup.tree_lefts),
+        _tree_splitting(setup.tree_rights),
+        a,
+        b,
+        engine=engine,
+    )
+
+
+def count_on_structures(
+    st_l: SearchStructure,
+    st_r: SearchStructure,
+    sp_l: Splitting,
+    sp_r: Splitting,
+    a: np.ndarray,
+    b: np.ndarray,
+    engine: MeshEngine | None = None,
+) -> tuple[np.ndarray, float]:
+    """Counting on prebuilt rank structures and their alpha splittings.
+
+    The construction-free core of :func:`count_intersections_mesh`,
+    shared with the serving layer, which restores both structures and
+    splittings from a snapshot.
+    """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     m = a.shape[0]
-    st_l = ktree_rank_structure(setup.tree_lefts, strict=False)
-    st_r = ktree_rank_structure(setup.tree_rights, strict=True)
-    size = max(setup.tree_lefts.size, setup.tree_rights.size, m)
+    size = max(st_l.size, st_r.size, m)
     if engine is None:
         engine = MeshEngine(MeshShape.for_size(size).side)
     t0 = engine.clock.current
@@ -123,16 +162,79 @@ def count_intersections_mesh(
     with traced(engine.clock, "intervals:count"):
         with traced(engine.clock, "intervals:count:rank-le-b"):
             qs1 = QuerySet.start(b, 0, state_width=1)
-            alpha_multisearch(engine, st_l, qs1, _tree_splitting(setup.tree_lefts))
+            alpha_multisearch(engine, st_l, qs1, sp_l)
             rank_le_b = qs1.state[:, 0]
 
         with traced(engine.clock, "intervals:count:rank-lt-a"):
             qs2 = QuerySet.start(a, 0, state_width=1)
-            alpha_multisearch(engine, st_r, qs2, _tree_splitting(setup.tree_rights))
+            alpha_multisearch(engine, st_r, qs2, sp_r)
             rank_lt_a = qs2.state[:, 0]
 
     counts = (rank_le_b - rank_lt_a).astype(np.int64)
     return counts, engine.clock.current - t0
+
+
+def interval_count_snapshot_arrays(setup: IntervalSearchSetup):
+    """Flat arrays + scalar meta capturing the counting path of ``setup``.
+
+    Both rank structures (left endpoints, non-strict; right endpoints,
+    strict) and their alpha splittings.  Successor functions are not
+    stored — they are rebuilt by :func:`ktree_rank_successor` from the
+    scalar meta at restore time.
+    """
+    st_l = ktree_rank_structure(setup.tree_lefts, strict=False)
+    st_r = ktree_rank_structure(setup.tree_rights, strict=True)
+    sp_l = _tree_splitting(setup.tree_lefts)
+    sp_r = _tree_splitting(setup.tree_rights)
+    arrays = {
+        "l_adjacency": st_l.adjacency,
+        "l_payload": st_l.payload,
+        "l_level": st_l.level,
+        "l_comp": sp_l.comp,
+        "l_sizes": sp_l.sizes,
+        "r_adjacency": st_r.adjacency,
+        "r_payload": st_r.payload,
+        "r_level": st_r.level,
+        "r_comp": sp_r.comp,
+        "r_sizes": sp_r.sizes,
+    }
+    meta = {
+        "k": int(setup.k),
+        "h_l": int(setup.tree_lefts.height),
+        "h_r": int(setup.tree_rights.height),
+        "delta_l": float(sp_l.delta),
+        "delta_r": float(sp_r.delta),
+    }
+    return arrays, meta
+
+
+def interval_count_from_snapshot(arrays, meta):
+    """Inverse of :func:`interval_count_snapshot_arrays`.
+
+    Returns ``(st_l, st_r, sp_l, sp_r)`` ready for
+    :func:`count_on_structures`.
+    """
+    k = int(meta["k"])
+
+    def _structure(prefix: str, h: int, strict: bool) -> SearchStructure:
+        return SearchStructure(
+            adjacency=np.asarray(arrays[f"{prefix}_adjacency"], dtype=np.int64),
+            payload=np.asarray(arrays[f"{prefix}_payload"], dtype=np.float64),
+            level=np.asarray(arrays[f"{prefix}_level"], dtype=np.int64),
+            successor=ktree_rank_successor(k, h, strict),
+            directed=True,
+        )
+
+    def _splitting(prefix: str, delta: float) -> Splitting:
+        comp = np.asarray(arrays[f"{prefix}_comp"], dtype=np.int64)
+        sizes = np.asarray(arrays[f"{prefix}_sizes"], dtype=np.int64)
+        return Splitting(comp, int(sizes.shape[0]), float(delta), sizes)
+
+    st_l = _structure("l", int(meta["h_l"]), strict=False)
+    st_r = _structure("r", int(meta["h_r"]), strict=True)
+    sp_l = _splitting("l", float(meta["delta_l"]))
+    sp_r = _splitting("r", float(meta["delta_r"]))
+    return st_l, st_r, sp_l, sp_r
 
 
 def report_intersections_mesh(

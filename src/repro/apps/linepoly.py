@@ -28,12 +28,18 @@ import numpy as np
 
 from repro.core.hierdag import hierdag_multisearch
 from repro.core.model import QuerySet
-from repro.geometry.dk3d import DKHierarchy, dk_tangent_structure
+from repro.geometry.dk3d import DKHierarchy, dk_query_mu, dk_tangent_structure
 from repro.mesh.engine import MeshEngine
 from repro.mesh.topology import MeshShape
 from repro.mesh.trace import traced
 
-__all__ = ["LinePolyRun", "line_polyhedron_queries", "line_keys", "brute_force_line_test"]
+__all__ = [
+    "LinePolyRun",
+    "line_polyhedron_queries",
+    "line_queries_on_structure",
+    "line_keys",
+    "brute_force_line_test",
+]
 
 _EPS = 1e-9
 
@@ -94,10 +100,42 @@ def line_polyhedron_queries(
     engine spans ``linepoly:search`` (the Theorem 2 multisearch) and
     ``linepoly:verify`` (tangency verification + plane assembly).
     """
-    keys = line_keys(lines_p0, lines_dir)
-    m = keys.shape[0]
     with traced(None, "linepoly:structure"):
         structure, original = dk_tangent_structure(hier)
+    return line_queries_on_structure(
+        structure,
+        original,
+        hier.adjacency[0],
+        hier.points,
+        dk_query_mu(hier),
+        lines_p0,
+        lines_dir,
+        engine=engine,
+        c=c,
+        max_walk=max_walk,
+    )
+
+
+def line_queries_on_structure(
+    structure,
+    original: np.ndarray,
+    adj,
+    pts: np.ndarray,
+    mu: float,
+    lines_p0: np.ndarray,
+    lines_dir: np.ndarray,
+    engine: MeshEngine | None = None,
+    c: int | None = 2,
+    max_walk: int = 64,
+) -> LinePolyRun:
+    """Answer line queries against an already-built tangent-search DAG.
+
+    The construction-free core of :func:`line_polyhedron_queries`, shared
+    with the serving layer, which restores ``structure`` / ``original`` /
+    the finest-hull adjacency ``adj`` / ``pts`` / ``mu`` from a snapshot.
+    """
+    keys = line_keys(lines_p0, lines_dir)
+    m = keys.shape[0]
     # two tangent searches per line: side +1 (left) and -1 (right)
     all_keys = np.concatenate([keys, keys], axis=0)
     sides = np.concatenate([np.ones(m), -np.ones(m)])
@@ -105,8 +143,6 @@ def line_polyhedron_queries(
         engine = MeshEngine(MeshShape.for_size(max(structure.size, 2 * m)).side)
     qs = QuerySet.start(all_keys, 0, state_width=1, record_trace=True)
     qs.state[:, 0] = sides
-    mu = max(1.1, (hier.hulls[0].vertices.size / max(hier.hulls[-1].vertices.size, 1))
-             ** (1.0 / max(hier.n_levels - 1, 1)))
     t0 = engine.clock.current
     with traced(engine.clock, "linepoly:search"):
         hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
@@ -114,8 +150,6 @@ def line_polyhedron_queries(
 
     finals = np.array([p[-1] for p in qs.paths()], dtype=np.int64)
     cand = original[finals]  # point ids of candidate tangent vertices
-    adj = hier.adjacency[0]
-    pts = hier.points
 
     intersects = np.zeros(m, dtype=bool)
     t_left = np.full(m, -1, dtype=np.int64)
@@ -124,7 +158,7 @@ def line_polyhedron_queries(
 
     with traced(engine.clock, "linepoly:verify"):
         improved = _verify_tangents(
-            hier, keys, lines_p0, lines_dir, cand, adj, pts, m, max_walk,
+            keys, lines_p0, lines_dir, cand, adj, pts, m, max_walk,
             intersects, t_left, t_right, planes,
         )
     return LinePolyRun(
@@ -138,7 +172,7 @@ def line_polyhedron_queries(
 
 
 def _verify_tangents(
-    hier, keys, lines_p0, lines_dir, cand, adj, pts, m, max_walk,
+    keys, lines_p0, lines_dir, cand, adj, pts, m, max_walk,
     intersects, t_left, t_right, planes,
 ) -> int:
     """Local tangency verification + plane assembly; returns walk count."""

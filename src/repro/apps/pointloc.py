@@ -23,7 +23,12 @@ from repro.mesh.engine import MeshEngine
 from repro.mesh.topology import MeshShape
 from repro.mesh.trace import traced
 
-__all__ = ["PointLocationRun", "locate_points_mesh", "locate_faces_mesh"]
+__all__ = [
+    "PointLocationRun",
+    "locate_points_mesh",
+    "locate_faces_mesh",
+    "locate_on_structure",
+]
 
 
 @dataclass
@@ -38,17 +43,54 @@ class PointLocationRun:
     method: str
 
 
-def _final_triangles(hier: KirkpatrickHierarchy, qs: QuerySet, structure) -> np.ndarray:
-    """Map final DAG vertices back to base-triangulation triangle indices."""
-    levels = hier.levels
-    L = len(levels)
-    sizes = [levels[L - 1 - d].triangles.shape[0] for d in range(L)]
-    starts = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
-    h = L - 1
+def _final_triangles(qs: QuerySet, structure) -> np.ndarray:
+    """Map final DAG vertices back to base-triangulation triangle indices.
+
+    The DAG lays its nodes out contiguously per level (coarsest first),
+    so the bottom level's start offset — and hence the triangle index of
+    a final vertex — is recoverable from ``structure.level`` alone.  This
+    keeps the finalize step hierarchy-free, which is what lets a
+    snapshot-restored structure serve queries without the hierarchy.
+    """
+    level = np.asarray(structure.level)
+    h = int(level.max(initial=0))
+    start_h = int(np.searchsorted(level, h))
     finals = np.array([p[-1] if p else -1 for p in qs.paths()], dtype=np.int64)
-    ok = (finals >= 0) & (structure.level[np.clip(finals, 0, None)] == h)
-    out = np.where(ok, finals - starts[h], -1)
-    return out
+    ok = (finals >= 0) & (level[np.clip(finals, 0, None)] == h)
+    return np.where(ok, finals - start_h, -1)
+
+
+def locate_on_structure(
+    structure,
+    mu: float,
+    queries: np.ndarray,
+    engine: MeshEngine | None = None,
+    method: str = "hierdag",
+    c: int | None = 2,
+) -> tuple[np.ndarray, float]:
+    """Locate queries against an already-built Kirkpatrick DAG.
+
+    The construction-free core of :func:`locate_points_mesh`, shared with
+    the serving layer (:mod:`repro.serve`), which restores ``structure``
+    and ``mu`` from a snapshot.  Returns ``(triangle, mesh_steps)``.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if engine is None:
+        engine = MeshEngine(
+            MeshShape.for_size(max(structure.size, queries.shape[0])).side
+        )
+    qs = QuerySet.start(queries, 0, record_trace=True)
+    t0 = engine.clock.current
+    with traced(engine.clock, "pointloc:search"):
+        if method == "hierdag":
+            hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
+        elif method == "baseline":
+            synchronous_multisearch(engine, structure, qs)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+    with traced(engine.clock, "pointloc:finalize"):
+        triangle = _final_triangles(qs, structure)
+    return triangle, engine.clock.current - t0
 
 
 def locate_points_mesh(
@@ -73,24 +115,13 @@ def locate_points_mesh(
         hier = build_kirkpatrick(np.asarray(sites, dtype=np.float64), seed=seed)
     with traced(None, "pointloc:structure"):
         structure, mu = kirkpatrick_structure(hier)
-    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    if engine is None:
-        engine = MeshEngine(MeshShape.for_size(max(structure.size, queries.shape[0])).side)
-    qs = QuerySet.start(queries, 0, record_trace=True)
-    t0 = engine.clock.current
-    with traced(engine.clock, "pointloc:search"):
-        if method == "hierdag":
-            hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
-        elif method == "baseline":
-            synchronous_multisearch(engine, structure, qs)
-        else:
-            raise ValueError(f"unknown method {method!r}")
-    with traced(engine.clock, "pointloc:finalize"):
-        triangle = _final_triangles(hier, qs, structure)
+    triangle, mesh_steps = locate_on_structure(
+        structure, mu, queries, engine=engine, method=method, c=c
+    )
     return PointLocationRun(
         hierarchy=hier,
         triangle=triangle,
-        mesh_steps=engine.clock.current - t0,
+        mesh_steps=mesh_steps,
         dag_size=structure.size,
         method=method,
     )
@@ -142,7 +173,7 @@ def locate_faces_mesh(
     with traced(engine.clock, "pointloc:search"):
         hierdag_multisearch(engine, structure, qs, mu=mu, c=c)
     with traced(engine.clock, "pointloc:finalize"):
-        triangle = _final_triangles(hier, qs, structure)
+        triangle = _final_triangles(qs, structure)
         # triangle -> face: O(1) local work per query (the map rides with
         # the triangle record on a real mesh)
         engine.root.charge_local(1, label="pointloc:face-map")

@@ -100,7 +100,11 @@ def span_paths(doc: dict) -> dict[tuple[str, ...], float]:
 
 
 def _params_key(point: dict) -> str:
-    return json.dumps(point["params"], sort_keys=True)
+    # same numeric normalization as the runner's checkpoint/compare key,
+    # so 4096 and 4096.0 pair up across documents
+    from repro.bench.runner import _params_key as _runner_params_key
+
+    return _runner_params_key(point["params"])
 
 
 def _params_txt(point: dict) -> str:
@@ -146,10 +150,12 @@ def render_doc(doc: dict) -> str:
         slow = point["slow"]
         steps = fast.get("mesh_steps")
         steps_txt = "-" if steps is None else f"{steps:.0f}"
+        speedup = point.get("speedup")
+        speedup_txt = "-" if speedup is None else f"{speedup:.2f}x"
         lines.append(
             f"  [{_params_txt(point)}] fast={fast['wall_s_min'] * 1e3:.2f}ms "
             f"slow={slow['wall_s_min'] * 1e3:.2f}ms "
-            f"speedup={point['speedup']:.2f}x steps={steps_txt} "
+            f"speedup={speedup_txt} steps={steps_txt} "
             f"rss={point.get('peak_rss_kb', 0) / 1024:.0f}MB"
         )
         for warning in point.get("warnings", ()):

@@ -161,6 +161,15 @@ REGISTRY: dict[str, BenchSpec] = {
                backend=["array_api", "cffi", "numba", "numpy"], size=[8, 10, 12]),
         setup="sweep_setup",
     ),
+    # E13 fixes the structure and the query load; the sweep varies how the
+    # batching front-end packs the load (throughput vs batch size, with
+    # the flush deadline as the tail-latency floor)
+    "e13_serving": BenchSpec(
+        "bench_e13_serving", "sweep_run",
+        _pts({"sites": 128, "queries": 256},
+             batch=[8, 32, 128, 512], deadline_ms=[2.0, 20.0]),
+        setup="sweep_setup",
+    ),
     "a4_twothree": BenchSpec(
         "bench_a4_twothree", "run_once",
         _pts(n=[256, 1024, 4096], variant=["complete", "twothree"]),
@@ -304,6 +313,13 @@ def run_point(
     ``peak_rss_kb`` and memo counters are its own — this matters when
     points share a process (pytest, ``run_point`` called in a loop), not
     just in the one-process-per-point pool.
+
+    The caller's ``REPRO_FAST_PATH`` / ``REPRO_PROFILE`` / ``REPRO_TRACE``
+    are saved on entry and restored on exit (they used to be popped, which
+    clobbered any value the caller had exported).  The optional profiled
+    and traced passes run pinned to ``REPRO_FAST_PATH=1`` — they profile
+    the mode whose numbers headline the record, not whatever mode the
+    process happened to default to.
     """
     from repro.mesh.records import clear_host_caches, drain_memo_counters
 
@@ -320,69 +336,90 @@ def run_point(
     modes = (("fast", "1"), ("slow", "0"))
     best = {mode: float("inf") for mode, _ in modes}
     results: dict = {mode: None for mode, _ in modes}
-    for mode, flag in modes:
-        os.environ["REPRO_FAST_PATH"] = flag
-        for _ in range(warmup):
-            call()
-    # interleave the modes' timed repetitions so scheduler noise (other
-    # sweep points time-slicing the same cores) biases neither mode
-    for _ in range(repeats):
+    saved_env = {
+        name: os.environ.get(name)
+        for name in ("REPRO_FAST_PATH", "REPRO_PROFILE", "REPRO_TRACE")
+    }
+    try:
         for mode, flag in modes:
             os.environ["REPRO_FAST_PATH"] = flag
-            t0 = time.perf_counter()
-            results[mode] = call()
-            best[mode] = min(best[mode], time.perf_counter() - t0)
-    os.environ.pop("REPRO_FAST_PATH", None)
-    steps_seen: dict[str, float | None] = {}
-    warnings: list[str] = []
-    for mode, _ in modes:
-        steps = _extract_steps(results[mode]) if spec.has_steps else None
-        steps_seen[mode] = steps
-        if spec.has_steps and steps is None:
-            # distinguish "extractor found nothing" from a genuine zero:
-            # steps stays null and the record says why
+            for _ in range(warmup):
+                call()
+        # interleave the modes' timed repetitions so scheduler noise (other
+        # sweep points time-slicing the same cores) biases neither mode
+        for _ in range(repeats):
+            for mode, flag in modes:
+                os.environ["REPRO_FAST_PATH"] = flag
+                t0 = time.perf_counter()
+                results[mode] = call()
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+        steps_seen: dict[str, float | None] = {}
+        warnings: list[str] = []
+        for mode, _ in modes:
+            steps = _extract_steps(results[mode]) if spec.has_steps else None
+            steps_seen[mode] = steps
+            if spec.has_steps and steps is None:
+                # distinguish "extractor found nothing" from a genuine zero:
+                # steps stays null and the record says why
+                warnings.append(
+                    f"{mode}: no mesh-step count found in "
+                    f"{spec.module}.{spec.entry} result; recording steps: null"
+                )
+        for mode, _ in modes:
+            record[mode] = {
+                "wall_s_min": best[mode], "repeats": repeats, "mesh_steps": steps_seen[mode]
+            }
+        if steps_seen["fast"] is not None and steps_seen["slow"] is not None:
+            record["mesh_steps_equal"] = steps_seen["fast"] == steps_seen["slow"]
+        if best["fast"] > 0.0:
+            record["speedup"] = best["slow"] / best["fast"]
+        else:
+            # a 0.0 fast wall (clock granularity on a trivial point) used
+            # to raise ZeroDivisionError and lose the whole record
+            record["speedup"] = None
             warnings.append(
-                f"{mode}: no mesh-step count found in "
-                f"{spec.module}.{spec.entry} result; recording steps: null"
+                "fast wall_s_min is 0.0 (below timer resolution); "
+                "recording speedup: null"
             )
-        record[mode] = {
-            "wall_s_min": best[mode], "repeats": repeats, "mesh_steps": steps
-        }
-    if warnings:
-        record["warnings"] = warnings
-    if steps_seen["fast"] is not None and steps_seen["slow"] is not None:
-        record["mesh_steps_equal"] = steps_seen["fast"] == steps_seen["slow"]
-    record["speedup"] = record["slow"]["wall_s_min"] / record["fast"]["wall_s_min"]
-    if profile:
-        from repro.mesh.clock import drain_profiled_clocks
-        from repro.mesh.profile import CostProfile, profile as summarize
+        if warnings:
+            record["warnings"] = warnings
+        os.environ["REPRO_FAST_PATH"] = "1"  # pin the extra passes' mode
+        if profile:
+            from repro.mesh.clock import drain_profiled_clocks
+            from repro.mesh.profile import CostProfile, profile as summarize
 
-        drain_profiled_clocks()
-        drain_memo_counters()  # scope memo counters to the profiled pass
-        os.environ["REPRO_PROFILE"] = "1"
-        try:
-            call()
-        finally:
-            os.environ.pop("REPRO_PROFILE", None)
-        merged = CostProfile().merge(
-            *(summarize(clock.history) for clock in drain_profiled_clocks())
-        )
-        merged.memo = drain_memo_counters()
-        record["profile"] = merged.to_dict()
-    if trace:
-        from repro.mesh.trace import chrome_doc, drain_traced_tracers
+            drain_profiled_clocks()
+            drain_memo_counters()  # scope memo counters to the profiled pass
+            os.environ["REPRO_PROFILE"] = "1"
+            try:
+                call()
+            finally:
+                os.environ.pop("REPRO_PROFILE", None)
+            merged = CostProfile().merge(
+                *(summarize(clock.history) for clock in drain_profiled_clocks())
+            )
+            merged.memo = drain_memo_counters()
+            record["profile"] = merged.to_dict()
+        if trace:
+            from repro.mesh.trace import chrome_doc, drain_traced_tracers
 
-        drain_traced_tracers()  # clear any stale registrations first
-        os.environ["REPRO_TRACE"] = "1"
-        try:
-            call()
-        finally:
-            os.environ.pop("REPRO_TRACE", None)
-        tracers = drain_traced_tracers()
-        record["trace"] = chrome_doc(tracers)
-        record["trace_tree"] = "\n\n".join(t.render() for t in tracers)
-        record["trace_collapsed"] = "\n".join(t.collapsed() for t in tracers)
-        record["trace_steps"] = sum(t.total_steps for t in tracers)
+            drain_traced_tracers()  # clear any stale registrations first
+            os.environ["REPRO_TRACE"] = "1"
+            try:
+                call()
+            finally:
+                os.environ.pop("REPRO_TRACE", None)
+            tracers = drain_traced_tracers()
+            record["trace"] = chrome_doc(tracers)
+            record["trace_tree"] = "\n\n".join(t.render() for t in tracers)
+            record["trace_collapsed"] = "\n".join(t.collapsed() for t in tracers)
+            record["trace_steps"] = sum(t.total_steps for t in tracers)
+    finally:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
     record["peak_rss_kb"] = _peak_rss_kib(
         resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     )
@@ -432,7 +469,23 @@ class _Job:
 
 
 def _params_key(params: dict) -> str:
-    return json.dumps(params, sort_keys=True)
+    """Canonical string key for a sweep point's params.
+
+    Numeric values are normalized before hashing: a whole-valued float
+    equals its int (``4096.0`` vs ``4096``) — JSON round-trips and YAML
+    configs disagree on the spelling, and a raw ``json.dumps`` key made
+    ``--resume`` silently re-run every such point.  Bools are left alone
+    (``True`` is not ``1`` for keying purposes).
+    """
+
+    def norm(value):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value
+
+    return json.dumps({k: norm(v) for k, v in params.items()}, sort_keys=True)
 
 
 def _error_record(job: "_Job", error: str, tb: str | None = None, **extra) -> dict:
@@ -723,10 +776,12 @@ def _render_bench(doc: dict) -> str:
         steps_txt = "-" if steps is None else f"{steps:.0f}"
         eq = point.get("mesh_steps_equal")
         eq_txt = "" if eq is None else ("" if eq else "  STEPS MISMATCH")
+        speedup = point.get("speedup")
+        speedup_txt = "-" if speedup is None else f"{speedup:.2f}x"
         lines.append(
             f"  [{params}] fast={point['fast']['wall_s_min'] * 1e3:.2f}ms "
             f"slow={point['slow']['wall_s_min'] * 1e3:.2f}ms "
-            f"speedup={point['speedup']:.2f}x steps={steps_txt} "
+            f"speedup={speedup_txt} steps={steps_txt} "
             f"rss={point['peak_rss_kb'] / 1024:.0f}MB{eq_txt}"
         )
         for warning in point.get("warnings", ()):

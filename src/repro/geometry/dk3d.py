@@ -40,7 +40,16 @@ from repro.geometry.hull3d import Hull3D, convex_hull_3d
 from repro.mesh.construct import Construction
 from repro.util.rng import make_rng
 
-__all__ = ["DKHierarchy", "build_dk_hierarchy", "dk_support_structure", "dk_tangent_structure"]
+__all__ = [
+    "DKHierarchy",
+    "build_dk_hierarchy",
+    "dk_support_structure",
+    "dk_tangent_structure",
+    "dk_tangent_successor",
+    "dk_query_mu",
+    "dk_tangent_snapshot_arrays",
+    "dk_tangent_from_snapshot",
+]
 
 
 @dataclass
@@ -270,6 +279,23 @@ def dk_tangent_structure(
     adjacency, payload, level, original, L = _dag_arrays(
         hier, max_candidates, construct=construct
     )
+    structure = SearchStructure(
+        adjacency=adjacency,
+        payload=payload,
+        level=level,
+        successor=dk_tangent_successor(L, max_candidates),
+        directed=True,
+    )
+    return structure, original
+
+
+def dk_tangent_successor(L: int, max_candidates: int):
+    """The angular-extreme tangent descent over an ``L``-level DAG.
+
+    A factory (rather than a closure inside :func:`dk_tangent_structure`)
+    so a snapshot-restored structure can be rewired from its flat arrays
+    without re-running construction.
+    """
     D = max_candidates
 
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
@@ -299,11 +325,83 @@ def dk_tangent_structure(
             nxt[internal] = adj[np.arange(mi), best]
         return nxt, qstate
 
+    return successor
+
+
+def dk_query_mu(hier: DKHierarchy) -> float:
+    """The measured level growth factor fed to ``hierdag_multisearch``."""
+    return max(
+        1.1,
+        (hier.hulls[0].vertices.size / max(hier.hulls[-1].vertices.size, 1))
+        ** (1.0 / max(hier.n_levels - 1, 1)),
+    )
+
+
+def dk_tangent_snapshot_arrays(
+    hier: DKHierarchy, max_candidates: int = 32
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Snapshot hook: tangent structure + the finest-hull neighbourhoods.
+
+    Persists everything the line-polyhedron service needs at query time:
+    the flat DAG arrays, the DAG-node -> point-id map, the points, and
+    the finest hull's adjacency (CSR: vertex ids, offsets, concatenated
+    neighbour lists) used by the local tangency verification.
+    """
+    structure, original = dk_tangent_structure(hier, max_candidates)
+    adj0 = hier.adjacency[0]
+    verts = np.array(sorted(adj0), dtype=np.int64)
+    counts = np.array([adj0[int(v)].size for v in verts], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    flat = (
+        np.concatenate([adj0[int(v)] for v in verts])
+        if verts.size
+        else np.zeros(0, dtype=np.int64)
+    )
+    arrays = {
+        "adjacency": structure.adjacency,
+        "payload": structure.payload,
+        "level": structure.level,
+        "original": original,
+        "points": hier.points,
+        "hull_vertices": verts,
+        "hull_offsets": offsets,
+        "hull_neighbors": flat,
+    }
+    meta = {
+        "levels": int(hier.n_levels),
+        "max_candidates": int(max_candidates),
+        "mu": float(dk_query_mu(hier)),
+    }
+    return arrays, meta
+
+
+def dk_tangent_from_snapshot(
+    arrays: dict[str, np.ndarray], meta: dict
+) -> tuple[SearchStructure, np.ndarray, np.ndarray, dict[int, np.ndarray], float]:
+    """Inverse of :func:`dk_tangent_snapshot_arrays` (no construction).
+
+    Returns ``(structure, original, points, finest_adjacency, mu)``.
+    """
     structure = SearchStructure(
-        adjacency=adjacency,
-        payload=payload,
-        level=level,
-        successor=successor,
+        adjacency=np.asarray(arrays["adjacency"], dtype=np.int64),
+        payload=np.asarray(arrays["payload"], dtype=np.float64),
+        level=np.asarray(arrays["level"], dtype=np.int64),
+        successor=dk_tangent_successor(
+            int(meta["levels"]), int(meta["max_candidates"])
+        ),
         directed=True,
     )
-    return structure, original
+    verts = np.asarray(arrays["hull_vertices"], dtype=np.int64)
+    offsets = np.asarray(arrays["hull_offsets"], dtype=np.int64)
+    flat = np.asarray(arrays["hull_neighbors"], dtype=np.int64)
+    adj = {
+        int(v): flat[int(offsets[j]) : int(offsets[j + 1])]
+        for j, v in enumerate(verts)
+    }
+    return (
+        structure,
+        np.asarray(arrays["original"], dtype=np.int64),
+        np.asarray(arrays["points"], dtype=np.float64),
+        adj,
+        float(meta["mu"]),
+    )

@@ -33,7 +33,14 @@ from repro.geometry.triangulate import ear_clip
 from repro.mesh.construct import Construction
 from repro.util.rng import make_rng
 
-__all__ = ["KirkpatrickHierarchy", "build_kirkpatrick", "kirkpatrick_structure"]
+__all__ = [
+    "KirkpatrickHierarchy",
+    "build_kirkpatrick",
+    "kirkpatrick_structure",
+    "kirkpatrick_successor",
+    "kirkpatrick_snapshot_arrays",
+    "kirkpatrick_from_snapshot",
+]
 
 #: max children a DAG node may have (removed vertices have degree <= 8,
 #: so a hole has <= 8 old triangles; surviving triangles have 1 child)
@@ -345,6 +352,25 @@ def kirkpatrick_structure(
 
     h = L - 1
 
+    structure = SearchStructure(
+        adjacency=adjacency,
+        payload=payload,
+        level=level,
+        successor=kirkpatrick_successor(h),
+        directed=True,
+    )
+    mu = (sizes[-1] / max(sizes[0], 1)) ** (1.0 / max(h, 1)) if h >= 1 else 2.0
+    return structure, float(max(mu, 1.05))
+
+
+def kirkpatrick_successor(h: int):
+    """The point-in-child-triangle descent over a DAG of height ``h``.
+
+    A factory rather than a closure inside :func:`kirkpatrick_structure`
+    so a snapshot-restored structure (:mod:`repro.serve.snapshot`) can be
+    rewired from its flat arrays alone, without re-running construction.
+    """
+
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
         m = vid.shape[0]
         nxt = np.full(m, STOP, dtype=np.int64)
@@ -369,12 +395,37 @@ def kirkpatrick_structure(
             nxt[internal] = chosen
         return nxt, qstate
 
+    return successor
+
+
+def kirkpatrick_snapshot_arrays(
+    structure: SearchStructure, mu: float
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Snapshot hook: the built structure as flat arrays + scalar meta.
+
+    Everything a restored point-location service needs rides in the
+    arrays: the DAG's per-level layout is recoverable from ``level``
+    (nodes are contiguous per level, coarsest first), so the hierarchy
+    object itself is not persisted.
+    """
+    arrays = {
+        "adjacency": structure.adjacency,
+        "payload": structure.payload,
+        "level": structure.level,
+    }
+    meta = {"height": int(structure.level.max(initial=0)), "mu": float(mu)}
+    return arrays, meta
+
+
+def kirkpatrick_from_snapshot(
+    arrays: dict[str, np.ndarray], meta: dict
+) -> tuple[SearchStructure, float]:
+    """Inverse of :func:`kirkpatrick_snapshot_arrays` (no construction)."""
     structure = SearchStructure(
-        adjacency=adjacency,
-        payload=payload,
-        level=level,
-        successor=successor,
+        adjacency=np.asarray(arrays["adjacency"], dtype=np.int64),
+        payload=np.asarray(arrays["payload"], dtype=np.float64),
+        level=np.asarray(arrays["level"], dtype=np.int64),
+        successor=kirkpatrick_successor(int(meta["height"])),
         directed=True,
     )
-    mu = (sizes[-1] / max(sizes[0], 1)) ** (1.0 / max(h, 1)) if h >= 1 else 2.0
-    return structure, float(max(mu, 1.05))
+    return structure, float(meta["mu"])

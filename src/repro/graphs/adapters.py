@@ -30,6 +30,7 @@ __all__ = [
     "ktree_directed_structure",
     "ktree_range_structure",
     "ktree_rank_structure",
+    "ktree_rank_successor",
 ]
 
 
@@ -118,11 +119,23 @@ def ktree_rank_structure(tree: BalancedKTree, strict: bool = False) -> SearchStr
     ``[count]`` ends as the rank.  This is the augmentation behind the
     Section 6 intersection *counting* identity.
     """
-    k = tree.k
-    h = tree.height
     payload = np.concatenate(
         [tree.separators, tree.subtree_lo[:, None], tree.subtree_hi[:, None]], axis=1
     )
+    return SearchStructure(
+        adjacency=tree.children,
+        payload=payload,
+        level=tree.depth,
+        successor=ktree_rank_successor(tree.k, tree.height, strict),
+        directed=True,
+    )
+
+
+def ktree_rank_successor(k: int, h: int, strict: bool):
+    """The counting rank descent for a complete ``k``-ary tree of height
+    ``h``.  A factory (rather than a closure inside
+    :func:`ktree_rank_structure`) so a snapshot-restored structure can be
+    rewired from its flat arrays without rebuilding the tree."""
 
     def successor(vid, vpayload, vadjacency, vlevel, qkey, qstate):
         m = vid.shape[0]
@@ -149,13 +162,7 @@ def ktree_rank_structure(tree: BalancedKTree, strict: bool = False) -> SearchStr
                 new_state[leaf, 0] += (key_here <= keys[leaf]).astype(np.float64)
         return nxt, new_state
 
-    return SearchStructure(
-        adjacency=tree.children,
-        payload=payload,
-        level=tree.depth,
-        successor=successor,
-        directed=True,
-    )
+    return successor
 
 
 #: range-walk modes (stored in state[:, 0])

@@ -310,6 +310,26 @@ class FaultInjector:
         self._record(i, "drop_transfer", site, {"kept": keep, "dropped": n - keep})
         return tuple(a[:keep] for a in outs)
 
+    def on_query_rows(self, rows: np.ndarray, site: str) -> np.ndarray:
+        """Maybe inject a non-finite key into a raw query batch (a copy).
+
+        The serving-layer equivalent of :func:`apply_adversarial`'s
+        ``nan_query_key``: a service calls this on the canonical query
+        rows before handing them to a core algorithm, whose paranoid
+        entry boundary then re-detects the corruption.  The other
+        adversarial kinds have no surface here — query pointers and
+        structure levels are internals the serving boundary never sees.
+        """
+        i = self._match("nan_query_key", site)
+        if i is None or rows.shape[0] == 0:
+            return rows
+        rng = self._rngs[i]
+        j = int(rng.integers(0, rows.shape[0]))
+        out = np.array(rows)
+        out.reshape(rows.shape[0], -1)[j, 0] = np.nan
+        self._record(i, "nan_query_key", site, {"query": j})
+        return out
+
 
 def apply_adversarial(injector: FaultInjector, structure=None, qs=None) -> None:
     """Apply the injector's adversarial-input plans to algorithm inputs.

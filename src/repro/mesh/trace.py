@@ -69,6 +69,7 @@ __all__ = [
     "traced",
     "ambient",
     "ambient_tracer",
+    "emit_event",
     "chrome_doc",
     "parse_collapsed",
     "register_traced_tracer",
@@ -434,6 +435,21 @@ def ambient_tracer() -> "Tracer | None":
             register_traced_tracer(_ENV_HOST_TRACER)
         return _ENV_HOST_TRACER
     return None
+
+
+def emit_event(name: str, count: int = 1, clock=None) -> None:
+    """Record a zero-step event on the innermost open span, if any.
+
+    Resolution mirrors :func:`traced`: the clock's attached tracer first,
+    then the ambient tracer.  A no-op when tracing is off, so host-side
+    caches (the serving layer's result cache, like the engine's argsort
+    memo) can annotate hits and misses unconditionally.
+    """
+    tracer = getattr(clock, "tracer", None) if clock is not None else None
+    if tracer is None:
+        tracer = ambient_tracer()
+    if tracer is not None:
+        tracer.on_event(name, count)
 
 
 def _collapsed_name(name: str) -> str:

@@ -1,0 +1,68 @@
+"""Multisearch-as-a-service: snapshots, services, batching, caching.
+
+The construction pipelines (Kirkpatrick, Dobkin-Kirkpatrick, rank trees)
+are expensive; the per-batch multisearch is cheap.  This package splits
+the two across process lifetimes:
+
+* :mod:`repro.serve.snapshot` — build once, serialize the flat structure
+  arrays + scalar meta to a versioned ``.npz``, restore without
+  re-running construction;
+* :mod:`repro.serve.service` — per-application query services over
+  restored structures, batch-in / per-query-results-out;
+* :mod:`repro.serve.batcher` — asyncio front-end turning individual
+  queries into mesh-sized batches (flush on size or deadline);
+* :mod:`repro.serve.cache` — bounded LRU over
+  ``(snapshot_id, query bytes)`` with profile-visible hit/miss counters.
+
+See DESIGN.md ("The serving layer") and EXPERIMENTS.md E13.
+"""
+
+from repro.serve.batcher import BatchingServer
+from repro.serve.cache import (
+    ResultCache,
+    cache_counters,
+    drain_cache_counters,
+    query_cache_key,
+)
+from repro.serve.service import (
+    IntervalCountService,
+    LinePolyService,
+    MultisearchService,
+    PointLocationService,
+    restore_service,
+)
+from repro.serve.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    Snapshot,
+    SnapshotError,
+    compute_snapshot_id,
+    read_snapshot,
+    snapshot_intervals,
+    snapshot_linepoly,
+    snapshot_pointloc,
+    write_snapshot,
+)
+
+__all__ = [
+    "BatchingServer",
+    "ResultCache",
+    "cache_counters",
+    "drain_cache_counters",
+    "query_cache_key",
+    "MultisearchService",
+    "PointLocationService",
+    "LinePolyService",
+    "IntervalCountService",
+    "restore_service",
+    "Snapshot",
+    "SnapshotError",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "compute_snapshot_id",
+    "read_snapshot",
+    "write_snapshot",
+    "snapshot_pointloc",
+    "snapshot_linepoly",
+    "snapshot_intervals",
+]

@@ -1,0 +1,163 @@
+"""Asyncio batching front-end: individual queries -> mesh-sized batches.
+
+The mesh answers *batches* in ``O(sqrt(n))`` steps; a service endpoint
+receives *individual* queries.  :class:`BatchingServer` bridges the two
+with the classic accumulate-and-flush state machine:
+
+* **idle** — no pending queries, no timer;
+* **accumulating** — pending queries below ``batch_size``, a deadline
+  timer armed at the first enqueue;
+* **flush** — triggered by reaching ``batch_size``, by the deadline
+  expiring, or by an explicit :meth:`drain`; runs one multisearch batch
+  on a **fresh engine** and resolves every pending future.
+
+Results are delivered through per-query futures, so callers just
+``await server.submit(q)``.  A result cache (optional) short-circuits
+known queries without touching the mesh; answers from a *faulted* batch
+(fault injection or any other execution error) are delivered as
+exceptions and are **never** written to the cache, so a fault cannot
+poison later requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.mesh.faults import FaultInjector
+from repro.serve.cache import ResultCache, query_cache_key
+from repro.serve.service import MultisearchService
+
+__all__ = ["BatchingServer"]
+
+
+class BatchingServer:
+    """Accumulate single queries into batches for a :class:`MultisearchService`.
+
+    Parameters
+    ----------
+    service:
+        The restored service answering the batches.
+    batch_size:
+        Flush as soon as this many queries are pending.
+    deadline_s:
+        Flush at most this long after the first pending query arrived,
+        even if the batch is not full (latency bound for a trickle).
+    cache:
+        Optional :class:`ResultCache`; hits bypass the mesh entirely.
+    fault_plans:
+        Optional iterable of :class:`repro.mesh.faults.FaultPlan`; a
+        fresh :class:`FaultInjector` is installed on every flush engine
+        (chaos-testing hook).
+    engine_kwargs:
+        Extra keyword arguments for every flush engine (e.g.
+        ``{"paranoid": True}`` so injected faults raise at the boundary
+        they corrupt).
+    """
+
+    def __init__(
+        self,
+        service: MultisearchService,
+        batch_size: int = 64,
+        deadline_s: float = 0.01,
+        cache: ResultCache | None = None,
+        fault_plans=None,
+        engine_kwargs: dict | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.service = service
+        self.batch_size = int(batch_size)
+        self.deadline_s = float(deadline_s)
+        self.cache = cache
+        self.fault_plans = tuple(fault_plans) if fault_plans else ()
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self.stats = {
+            "queries": 0,
+            "batches": 0,
+            "flush_size": 0,
+            "flush_deadline": 0,
+            "flush_drain": 0,
+            "faulted_batches": 0,
+            "mesh_steps": 0.0,
+            "cache_hits": 0,
+        }
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, query):
+        """Answer one query; resolves when its batch is served (or cached)."""
+        row = self.service.canonical_queries(query)
+        if row.shape[0] != 1:
+            raise ValueError("submit() takes a single query; use submit_many()")
+        row = row[0]
+        self.stats["queries"] += 1
+        if self.cache is not None:
+            found, value = self.cache.get(
+                query_cache_key(self.service.snapshot_id, row)
+            )
+            if found:
+                self.stats["cache_hits"] += 1
+                return value
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((row, future))
+        if len(self._pending) >= self.batch_size:
+            self._flush("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(self.deadline_s, self._flush, "deadline")
+        return await future
+
+    async def submit_many(self, queries) -> list:
+        """Submit a batch of rows concurrently; exceptions propagate per query."""
+        rows = self.service.canonical_queries(queries)
+        return await asyncio.gather(*(self.submit(row) for row in rows))
+
+    async def drain(self):
+        """Flush any pending queries immediately (shutdown / test barrier)."""
+        if self._pending:
+            self._flush("drain")
+        await asyncio.sleep(0)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- the flush -----------------------------------------------------------
+
+    def _flush(self, reason: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.stats["batches"] += 1
+        self.stats[f"flush_{reason}"] += 1
+        rows = np.stack([row for row, _ in batch])
+        engine = self.service.make_engine(rows.shape[0], **self.engine_kwargs)
+        if self.fault_plans:
+            FaultInjector(*self.fault_plans).install(engine)
+        try:
+            results, steps = self.service.run_batch(rows, engine=engine)
+        except Exception as exc:
+            # a faulted batch resolves every future exceptionally and
+            # leaves the cache untouched — no corrupt answer escapes
+            self.stats["faulted_batches"] += 1
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats["mesh_steps"] += float(steps)
+        for (row, future), result in zip(batch, results):
+            if self.cache is not None:
+                self.cache.put(
+                    query_cache_key(self.service.snapshot_id, row), result
+                )
+            if not future.done():
+                future.set_result(result)

@@ -234,3 +234,148 @@ class TestMain:
     def test_requires_selection(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _probe_callable(monkeypatch, seen, result=1.0):
+    """Swap the bench entry point for a closure that records the env mode."""
+    import os
+
+    spec = runner.BenchSpec("probe", "probe", ({},))
+
+    def fake(bench):
+        def fn(**kwargs):
+            seen.append(os.environ.get("REPRO_FAST_PATH"))
+            return result
+
+        return spec, fn
+
+    monkeypatch.setattr(runner, "_bench_callable", fake)
+
+
+class TestRunPointEnvHygiene:
+    # regression: run_point used to pop REPRO_FAST_PATH/PROFILE/TRACE on
+    # exit, clobbering whatever the caller had exported — and the optional
+    # profiled/traced passes ran *after* the pop, under the process-default
+    # mode instead of the fast path whose numbers headline the record
+
+    VARS = ("REPRO_FAST_PATH", "REPRO_PROFILE", "REPRO_TRACE")
+
+    def test_restores_caller_values(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        run_point("selftest", {"mode": "ok"}, repeats=1, warmup=0)
+        assert os.environ["REPRO_FAST_PATH"] == "0"
+        assert os.environ["REPRO_PROFILE"] == "1"
+        assert os.environ["REPRO_TRACE"] == "1"
+
+    def test_unset_vars_stay_unset(self, monkeypatch):
+        import os
+
+        for name in self.VARS:
+            monkeypatch.delenv(name, raising=False)
+        run_point("selftest", {"mode": "ok"}, repeats=1, warmup=0)
+        for name in self.VARS:
+            assert name not in os.environ
+
+    def test_extra_passes_pinned_to_fast_mode(self, monkeypatch):
+        import os
+
+        seen: list = []
+        _probe_callable(monkeypatch, seen)
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        record = run_point("probe", {}, repeats=1, warmup=0, profile=True, trace=True)
+        # timed passes interleave fast/slow; both extra passes run fast
+        assert seen == ["1", "0", "1", "1"]
+        assert os.environ["REPRO_FAST_PATH"] == "0"
+        assert record["speedup"] is not None
+
+    def test_restores_env_when_entry_raises(self, monkeypatch):
+        import os
+
+        spec = runner.BenchSpec("probe", "probe", ({},))
+
+        def fake(bench):
+            def fn(**kwargs):
+                raise RuntimeError("boom")
+
+            return spec, fn
+
+        monkeypatch.setattr(runner, "_bench_callable", fake)
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        with pytest.raises(RuntimeError):
+            run_point("probe", {}, repeats=1, warmup=0)
+        assert os.environ["REPRO_FAST_PATH"] == "0"
+
+
+class TestZeroWallSpeedup:
+    # regression: a fast wall of exactly 0.0 (timer granularity on a
+    # trivial point) raised ZeroDivisionError and lost the whole record
+
+    def test_null_speedup_with_warning(self, monkeypatch):
+        seen: list = []
+        _probe_callable(monkeypatch, seen)
+        monkeypatch.setattr(runner.time, "perf_counter", lambda: 0.0)
+        record = run_point("probe", {}, repeats=1, warmup=0)
+        assert record["speedup"] is None
+        assert any("speedup: null" in w for w in record["warnings"])
+
+    def test_renderers_tolerate_null_speedup(self, monkeypatch):
+        from repro.bench.report import render_doc
+
+        seen: list = []
+        _probe_callable(monkeypatch, seen)
+        monkeypatch.setattr(runner.time, "perf_counter", lambda: 0.0)
+        record = run_point("probe", {}, repeats=1, warmup=0)
+        doc = {
+            "bench": "probe",
+            "wall_s_total": 0.0,
+            "points": [record],
+            "repeats": 1,
+        }
+        assert "speedup=-" in runner._render_bench(doc)
+        assert "speedup=-" in render_doc(doc)
+
+    def test_compare_tolerates_null_speedup(self):
+        # compare() gates on wall time only; a null-speedup point with a
+        # healthy wall must neither crash nor fail the gate
+        doc = _doc([({"n": 1}, 1.0)])
+        doc["points"][0]["speedup"] = None
+        assert compare(doc, _doc([({"n": 1}, 1.0)]), tolerance=0.10) == []
+
+
+class TestParamsKey:
+    # regression: json.dumps keyed 4096 and 4096.0 differently, so a
+    # checkpoint whose params round-tripped through JSON as floats missed
+    # on --resume and silently re-ran every point
+
+    def test_whole_float_equals_int(self):
+        assert runner._params_key({"n": 4096}) == runner._params_key({"n": 4096.0})
+        assert runner._params_key({"x": 2, "y": 1.0}) == runner._params_key(
+            {"y": 1, "x": 2.0}
+        )
+
+    def test_distinct_values_stay_distinct(self):
+        assert runner._params_key({"x": 0.5}) != runner._params_key({"x": 1})
+        assert runner._params_key({"b": True}) != runner._params_key({"b": 1})
+        assert runner._params_key({"s": "4096"}) != runner._params_key({"n": 4096})
+
+    def test_checkpoint_resume_across_numeric_spelling(self, tmp_path):
+        path = tmp_path / "ck.partial.json"
+        config = {"repeats": 1}
+        record = {
+            "params": {"n": 4096.0},
+            "fast": {"wall_s_min": 1.0},
+            "slow": {"wall_s_min": 2.0},
+        }
+        runner._write_checkpoint(path, config, {0: record})
+        done = runner._load_checkpoint(path, config)
+        assert runner._params_key({"n": 4096}) in done
+
+    def test_compare_matches_across_numeric_spelling(self):
+        doc = _doc([({"n": 4096}, 10.0)])
+        base = _doc([({"n": 4096.0}, 1.0)])
+        failures = compare(doc, base, tolerance=0.10)
+        assert len(failures) == 1  # the 10x regression is detected, not skipped

@@ -1,0 +1,215 @@
+"""Batching front-end: flush state machine, cache, and the acceptance
+property — serving a load through any batch/deadline/cache configuration
+is byte-identical to running the same queries as one direct batch."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingServer, ResultCache, drain_cache_counters
+
+
+def _packed(results, kind):
+    out = np.stack([np.asarray(r) for r in results])
+    return out
+
+
+def _equal(a, b, kind):
+    if kind == "linepoly":  # planes carry NaN for intersecting lines
+        return np.array_equal(a, b, equal_nan=True)
+    return np.array_equal(a, b)
+
+
+async def _serve(service, queries, **server_kwargs):
+    server = BatchingServer(service, **server_kwargs)
+    results = await server.submit_many(queries)
+    await server.drain()
+    return results, server
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("kind", ["pointloc", "linepoly", "interval"])
+    @pytest.mark.parametrize("batch_size", [1, 3, 16, 1000])
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_any_batching_equals_one_direct_batch(
+        self, kind, batch_size, cached, all_envs
+    ):
+        env = all_envs[kind]
+        direct, _ = env["service"].run_batch(env["queries"])
+        results, server = asyncio.run(
+            _serve(
+                env["service"],
+                env["queries"],
+                batch_size=batch_size,
+                deadline_s=0.005,
+                cache=ResultCache(256) if cached else None,
+            )
+        )
+        assert _equal(
+            _packed(results, kind), _packed(direct, kind), kind
+        ), f"batched {kind} answers diverge at batch_size={batch_size}"
+        assert server.stats["queries"] == len(env["queries"])
+
+    @pytest.mark.parametrize("kind", ["pointloc", "linepoly", "interval"])
+    def test_cached_resubmission_is_identical(self, kind, all_envs):
+        env = all_envs[kind]
+
+        async def twice():
+            server = BatchingServer(
+                env["service"], batch_size=8, deadline_s=0.005, cache=ResultCache(512)
+            )
+            first = await server.submit_many(env["queries"])
+            batches_before = server.stats["batches"]
+            steps_before = server.stats["mesh_steps"]
+            second = await server.submit_many(env["queries"])
+            return first, second, server, batches_before, steps_before
+
+        first, second, server, batches_before, steps_before = asyncio.run(twice())
+        assert _equal(_packed(first, kind), _packed(second, kind), kind)
+        # the second pass never touched the mesh
+        assert server.stats["batches"] == batches_before
+        assert server.stats["mesh_steps"] == steps_before
+        assert server.stats["cache_hits"] == len(env["queries"])
+
+
+class TestFlushStateMachine:
+    def test_size_flush(self, pointloc_env):
+        results, server = asyncio.run(
+            _serve(
+                pointloc_env["service"],
+                pointloc_env["queries"][:16],
+                batch_size=4,
+                deadline_s=60.0,  # never fires: size does all the flushing
+            )
+        )
+        assert len(results) == 16
+        assert server.stats["flush_size"] == 4
+        assert server.stats["flush_deadline"] == 0
+        assert server.pending == 0
+
+    def test_deadline_flush(self, pointloc_env):
+        # batch larger than the load: only the deadline can flush it
+        results, server = asyncio.run(
+            _serve(
+                pointloc_env["service"],
+                pointloc_env["queries"][:6],
+                batch_size=1000,
+                deadline_s=0.002,
+            )
+        )
+        assert len(results) == 6
+        assert server.stats["flush_deadline"] >= 1
+        assert server.stats["flush_size"] == 0
+
+    def test_drain_flush(self, pointloc_env):
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"], batch_size=1000, deadline_s=60.0
+            )
+            tasks = [
+                asyncio.ensure_future(server.submit(q))
+                for q in pointloc_env["queries"][:5]
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            assert server.pending == 5
+            await server.drain()
+            return await asyncio.gather(*tasks), server
+
+        results, server = asyncio.run(run())
+        assert len(results) == 5
+        assert server.stats["flush_drain"] == 1
+        assert server.pending == 0
+
+    def test_mesh_steps_accumulate(self, pointloc_env):
+        _, server = asyncio.run(
+            _serve(
+                pointloc_env["service"],
+                pointloc_env["queries"][:8],
+                batch_size=4,
+                deadline_s=60.0,
+            )
+        )
+        direct, steps = pointloc_env["service"].run_batch(pointloc_env["queries"][:4])
+        assert server.stats["batches"] == 2
+        assert server.stats["mesh_steps"] == pytest.approx(2 * steps)
+
+    def test_submit_rejects_multirow(self, pointloc_env):
+        async def run():
+            server = BatchingServer(pointloc_env["service"], batch_size=2)
+            await server.submit(pointloc_env["queries"][:3])
+
+        with pytest.raises(ValueError, match="single query"):
+            asyncio.run(run())
+
+    def test_constructor_validation(self, pointloc_env):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchingServer(pointloc_env["service"], batch_size=0)
+        with pytest.raises(ValueError, match="deadline_s"):
+            BatchingServer(pointloc_env["service"], deadline_s=0.0)
+
+
+class TestCache:
+    def test_lru_eviction(self, pointloc_env):
+        cache = ResultCache(capacity=4)
+        asyncio.run(
+            _serve(
+                pointloc_env["service"],
+                pointloc_env["queries"][:10],
+                batch_size=10,
+                deadline_s=0.005,
+                cache=cache,
+            )
+        )
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        counters = cache.counters()
+        assert counters["entries"] == 4 and counters["misses"] == 10
+
+    def test_keys_pinned_to_snapshot_id(self, pointloc_env, interval_env):
+        # same query bytes against different snapshots must not collide
+        from repro.serve import query_cache_key
+
+        q = np.array([0.5, 0.5])
+        k1 = query_cache_key(pointloc_env["snapshot"].snapshot_id, q)
+        k2 = query_cache_key(interval_env["snapshot"].snapshot_id, q)
+        assert k1 != k2
+        assert k1 == query_cache_key(
+            pointloc_env["snapshot"].snapshot_id, q.astype(np.float32)
+        )
+
+    def test_process_wide_counters_drain(self, pointloc_env):
+        drain_cache_counters()  # scope to this test
+        asyncio.run(
+            _serve(
+                pointloc_env["service"],
+                pointloc_env["queries"][:6],
+                batch_size=3,
+                deadline_s=0.005,
+                cache=ResultCache(64),
+            )
+        )
+        totals = drain_cache_counters()
+        assert totals["misses"] == 6
+        assert drain_cache_counters() == {"hits": 0, "misses": 0}
+
+    def test_hit_events_reach_trace_spans(self, pointloc_env):
+        # cache hits/misses annotate the ambient span like the argsort memo
+        from repro.mesh.trace import Tracer, ambient
+
+        tracer = Tracer("serving")
+
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"],
+                batch_size=4,
+                deadline_s=0.005,
+                cache=ResultCache(64),
+            )
+            await server.submit_many(pointloc_env["queries"][:4])
+            await server.submit_many(pointloc_env["queries"][:4])
+
+        with ambient(tracer):
+            asyncio.run(run())
+        assert tracer.root.events.get("result-cache:miss") == 4
+        assert tracer.root.events.get("result-cache:hit") == 4

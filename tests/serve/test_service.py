@@ -1,0 +1,111 @@
+"""Restore fidelity: a snapshot-restored service answers exactly like a
+fresh build running the same queries directly."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    IntervalCountService,
+    LinePolyService,
+    PointLocationService,
+    SnapshotError,
+    read_snapshot,
+    restore_service,
+)
+
+
+class TestRestoreFidelity:
+    def test_pointloc_matches_fresh_build(self, pointloc_env):
+        from repro.apps.pointloc import locate_points_mesh
+
+        results, steps = pointloc_env["service"].run_batch(pointloc_env["queries"])
+        direct = locate_points_mesh(
+            pointloc_env["sites"], pointloc_env["queries"], seed=7
+        )
+        assert np.array_equal(np.array(results), direct.triangle)
+        assert steps == direct.mesh_steps  # same engine size, same schedule
+        assert any(t >= 0 for t in results)  # the load actually hits faces
+
+    def test_linepoly_matches_fresh_build(self, linepoly_env):
+        from repro.apps.linepoly import line_polyhedron_queries
+        from repro.geometry.dk3d import build_dk_hierarchy
+
+        results, steps = linepoly_env["service"].run_batch(linepoly_env["queries"])
+        hier = build_dk_hierarchy(linepoly_env["points"], seed=7)
+        direct = line_polyhedron_queries(
+            hier, linepoly_env["queries"][:, 0:3], linepoly_env["queries"][:, 3:6]
+        )
+        packed = np.stack(results)
+        assert np.array_equal(packed[:, 0].astype(bool), direct.intersects)
+        assert np.array_equal(packed[:, 1].astype(np.int64), direct.tangent_left)
+        assert np.array_equal(packed[:, 2].astype(np.int64), direct.tangent_right)
+        assert np.array_equal(
+            packed[:, 3:].reshape(-1, 2, 4), direct.planes, equal_nan=True
+        )
+        assert steps == direct.mesh_steps
+
+    def test_interval_matches_fresh_build(self, interval_env):
+        from repro.apps.interval_search import (
+            count_intersections_mesh,
+            setup_interval_search,
+        )
+
+        results, steps = interval_env["service"].run_batch(interval_env["queries"])
+        setup = setup_interval_search(
+            interval_env["lefts"], interval_env["rights"], k=2
+        )
+        counts, direct_steps = count_intersections_mesh(
+            setup, interval_env["queries"][:, 0], interval_env["queries"][:, 1]
+        )
+        assert np.array_equal(np.array(results), counts)
+        assert steps == direct_steps
+        assert max(results) > 0  # the load actually intersects something
+
+    def test_interval_counts_match_brute_force(self, interval_env):
+        from repro.intervals.interval_tree import brute_force_intersections
+
+        results, _ = interval_env["service"].run_batch(interval_env["queries"])
+        for count, (a, b) in zip(results, interval_env["queries"]):
+            expected = brute_force_intersections(
+                interval_env["lefts"], interval_env["rights"], a, b
+            ).size
+            assert count == expected
+
+
+class TestDispatchAndValidation:
+    def test_restore_service_dispatch(self, all_envs):
+        expected = {
+            "pointloc": PointLocationService,
+            "linepoly": LinePolyService,
+            "interval": IntervalCountService,
+        }
+        for kind, env in all_envs.items():
+            assert type(restore_service(env["path"])) is expected[kind]
+
+    def test_restore_accepts_snapshot_object(self, pointloc_env):
+        service = restore_service(read_snapshot(pointloc_env["path"]))
+        assert isinstance(service, PointLocationService)
+        assert service.snapshot_id == pointloc_env["snapshot"].snapshot_id
+
+    def test_wrong_kind_rejected(self, pointloc_env, interval_env):
+        with pytest.raises(SnapshotError, match="cannot back"):
+            IntervalCountService(read_snapshot(pointloc_env["path"]))
+        with pytest.raises(SnapshotError, match="cannot back"):
+            PointLocationService(read_snapshot(interval_env["path"]))
+
+    @pytest.mark.parametrize("kind", ["pointloc", "linepoly", "interval"])
+    def test_query_width_enforced(self, kind, all_envs):
+        service = all_envs[kind]["service"]
+        bad = np.zeros((3, service.query_width + 1))
+        with pytest.raises(ValueError, match="queries must be"):
+            service.run_batch(bad)
+
+    def test_canonicalization_is_dtype_insensitive(self, pointloc_env):
+        service = pointloc_env["service"]
+        q64 = pointloc_env["queries"][:4]
+        as_list = [list(map(float, row)) for row in q64]
+        r1, _ = service.run_batch(q64)
+        r2, _ = service.run_batch(np.asarray(q64, dtype=np.float32).astype(np.float64))
+        r3, _ = service.run_batch(as_list)
+        assert np.array_equal(np.array(r1), np.array(r2))
+        assert np.array_equal(np.array(r1), np.array(r3))
