@@ -1,8 +1,11 @@
 """Chaos harness: seeded fault injection vs paranoid invariant checking.
 
-Runs the E1/E2 smoke problems and a synthetic primitive pipeline under a
-matrix of fault plans (kind x seed), once with paranoid mode on and once
-off ("bare"), and classifies what happened to every injected fault:
+Runs the E1/E2 smoke problems, a synthetic primitive pipeline, structure
+construction, and the cycle-accurate VM programs (``vm_sort`` /
+``vm_route`` / ``vm_scan`` / ``vm_broadcast``, each differential against
+its engine primitive — see :mod:`repro.mesh.vm_oracle`) under a matrix of
+fault plans (kind x seed), once with paranoid mode on and once off
+("bare"), and classifies what happened to every injected fault:
 
 * ``detected:paranoid`` — :class:`repro.mesh.faults.InvariantViolation`
   raised (a primitive-boundary check or a phase-boundary validator fired);
@@ -42,13 +45,21 @@ from repro.mesh.engine import MeshEngine
 from repro.mesh.faults import (
     ADVERSARIAL_KINDS,
     FAULT_KINDS,
+    VM_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     InvariantViolation,
     apply_adversarial,
 )
 
-__all__ = ["SCENARIOS", "run_cell", "run_matrix", "gate", "main"]
+__all__ = [
+    "SCENARIOS",
+    "SCENARIO_KINDS",
+    "run_cell",
+    "run_matrix",
+    "gate",
+    "main",
+]
 
 SCHEMA_VERSION = 1
 #: default seeds of the nightly chaos matrix
@@ -163,14 +174,58 @@ def _scenario_construct(paranoid: bool, injector: FaultInjector | None) -> str:
     )
 
 
+def _scenario_vm(program: str, seed: int):
+    """A ``vm_*`` scenario: one VM program vs its engine oracle.
+
+    ``paranoid`` maps onto the VM chaos layer's checks (the step-level
+    integrity boundary plus the program's phase checks), so an injected
+    ``vm_*`` fault raises :class:`InvariantViolation` exactly like an
+    engine-primitive fault under engine paranoid mode.  The fingerprint
+    folds in the differential verdict against the engine primitive, so a
+    bare-mode fault that changes the answer is classified
+    ``silent_corruption`` even if the VM run itself completes quietly.
+    """
+    from repro.mesh import vm_oracle
+
+    def scenario(paranoid: bool, injector: FaultInjector | None) -> str:
+        inputs = vm_oracle.make_inputs(program, 8, 8, seed=seed)
+        ref = vm_oracle.engine_reference(inputs)
+        out, steps = vm_oracle.vm_run(inputs, injector=injector, check=paranoid)
+        match = vm_oracle.compare(program, out, ref)
+        return _fingerprint(*(np.asarray(a) for a in out), steps, match)
+
+    scenario.__name__ = f"_scenario_vm_{program}"
+    return scenario
+
+
 SCENARIOS = {
     "e1_smoke": _scenario_e1,
     "e2_smoke": _scenario_e2,
     "primitives": _scenario_primitives,
     "construct": _scenario_construct,
+    "vm_sort": _scenario_vm("sort", seed=11),
+    "vm_route": _scenario_vm("route", seed=13),
+    "vm_scan": _scenario_vm("scan", seed=17),
+    "vm_broadcast": _scenario_vm("broadcast", seed=19),
 }
 
-ALL_KINDS = FAULT_KINDS + ADVERSARIAL_KINDS
+ALL_KINDS = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS
+
+#: each scenario's fault surface: engine scenarios never open a VM, and
+#: the VM scenarios never cross an engine primitive with an injector
+#: installed, so running the complementary kinds would only produce
+#: ``no_opportunity`` cells (and, for the heavyweight multisearch
+#: scenarios, burn nightly minutes doing it)
+SCENARIO_KINDS = {
+    "e1_smoke": FAULT_KINDS + ADVERSARIAL_KINDS,
+    "e2_smoke": FAULT_KINDS + ADVERSARIAL_KINDS,
+    "primitives": FAULT_KINDS + ADVERSARIAL_KINDS,
+    "construct": FAULT_KINDS + ADVERSARIAL_KINDS,
+    "vm_sort": VM_FAULT_KINDS,
+    "vm_route": VM_FAULT_KINDS,
+    "vm_scan": VM_FAULT_KINDS,
+    "vm_broadcast": VM_FAULT_KINDS,
+}
 
 
 # -- one cell --------------------------------------------------------------
@@ -219,7 +274,8 @@ def run_matrix(seeds, scenarios=None, kinds=None) -> dict:
     clean = {name: SCENARIOS[name](False, None) for name in scenarios}
     results = []
     for scenario in scenarios:
-        for kind in kinds:
+        surface = SCENARIO_KINDS.get(scenario, ALL_KINDS)
+        for kind in (k for k in kinds if k in surface):
             for seed in seeds:
                 for paranoid in (True, False):
                     results.append(
@@ -337,7 +393,16 @@ def main(argv: list[str] | None = None) -> int:
         args.out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}", flush=True)
     if args.write_baseline is not None:
-        doc = {"schema": SCHEMA_VERSION, "blind_spots": blind_spots(report)}
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "blind_spots": blind_spots(report),
+            # informational: the scenario/kind universe this baseline's
+            # empty-or-not blind-spot list was established over
+            "covers": {
+                "scenarios": report["scenarios"],
+                "kinds": report["kinds"],
+            },
+        }
         args.write_baseline.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {args.write_baseline}", flush=True)
         return 0

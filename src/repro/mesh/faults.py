@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "FAULT_KINDS",
     "ADVERSARIAL_KINDS",
+    "VM_FAULT_KINDS",
     "FaultPlan",
     "InjectedFault",
     "FaultInjector",
@@ -70,6 +71,16 @@ ADVERSARIAL_KINDS = (
     "corrupt_query_pointer",   # point a query at a non-existent vertex
     "nan_query_key",           # non-finite search key
     "corrupt_structure_level",  # out-of-range level value
+)
+
+#: fault kinds injected inside the cycle-accurate VM, at the data movement
+#: of a single :meth:`repro.mesh.machine.MeshVM.shift` (see
+#: :meth:`FaultInjector.on_vm_shift`)
+VM_FAULT_KINDS = (
+    "vm_flip_word",     # one received register word is flipped after a shift
+    "vm_drop_link",     # one link lane delivers stale (stuck) or fill values
+    "vm_corrupt_fill",  # the mesh-boundary fill arrives corrupted
+    "vm_dup_step",      # the link double-pumps: data moves two hops in one step
 )
 
 
@@ -156,10 +167,10 @@ class FaultPlan:
     max_faults: int | None = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS + ADVERSARIAL_KINDS:
+        known = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS
+        if self.kind not in known:
             raise ValueError(
-                f"unknown fault kind {self.kind!r} "
-                f"(know {FAULT_KINDS + ADVERSARIAL_KINDS})"
+                f"unknown fault kind {self.kind!r} (know {known})"
             )
         if not (0.0 <= self.rate <= 1.0):
             raise ValueError(f"fault rate {self.rate} outside [0, 1]")
@@ -223,6 +234,11 @@ class FaultInjector:
 
     def install(self, engine: "MeshEngine") -> "FaultInjector":
         engine.faults = self
+        return self
+
+    def install_vm(self, vm) -> "FaultInjector":
+        """Install on a :class:`repro.mesh.machine.MeshVM` (per-step hook)."""
+        vm.faults = self
         return self
 
     def log(self) -> list[dict]:
@@ -329,6 +345,125 @@ class FaultInjector:
         out.reshape(rows.shape[0], -1)[j, 0] = np.nan
         self._record(i, "nan_query_key", site, {"query": j})
         return out
+
+    # -- VM hook -----------------------------------------------------------
+
+    def on_vm_shift(self, vm, outs, grids, names, direction, fill):
+        """Maybe corrupt the data movement of one VM communication step.
+
+        Called by :meth:`repro.mesh.machine.MeshVM.shift` /
+        :meth:`~repro.mesh.machine.MeshVM.shift_many` after the received
+        grids are computed and the step is charged; the hook never touches
+        :attr:`~repro.mesh.machine.MeshVM.steps` (observer-safe).  A fault
+        that would deliver the exact words the link would have delivered
+        anyway (e.g. a stuck lane over equal values) is *not* a fault: the
+        decision RNG still advances, but nothing is applied or logged, so
+        every logged injection is guaranteed to have changed received data
+        — which is what the VM's paranoid step-integrity check detects.
+
+        Site is ``vm:<register names>``, so plans can target a specific
+        program's registers with a ``site="vm:_route"``-style prefix.
+        Returns the (possibly corrupted) received grids.
+        """
+        site = "vm:" + "+".join(names)
+        outs = list(outs)
+        step = vm.steps
+
+        i = self._match("vm_flip_word", site)
+        if i is not None:
+            rng = self._rngs[i]
+            k = int(rng.integers(0, len(outs)))
+            r = int(rng.integers(0, vm.rows))
+            c = int(rng.integers(0, vm.cols))
+            a = np.array(outs[k])
+            if a.dtype.kind == "b":
+                a[r, c] = ~a[r, c]
+            else:
+                a[r, c] = a[r, c] + a.dtype.type(1)
+            if not _words_equal(a, outs[k]):
+                outs[k] = a
+                self._record(
+                    i, "vm_flip_word", site,
+                    {"step": step, "register": names[k], "row": r, "col": c},
+                )
+
+        i = self._match("vm_drop_link", site)
+        if i is not None:
+            rng = self._rngs[i]
+            stale = bool(rng.integers(0, 2))
+            if direction in ("left", "right"):
+                lane = int(rng.integers(0, vm.rows))
+                sel = (lane, slice(None))
+            else:
+                lane = int(rng.integers(0, vm.cols))
+                sel = (slice(None), lane)
+            corrupted = []
+            for k in range(len(outs)):
+                a = np.array(outs[k])
+                a[sel] = grids[k][sel] if stale else a.dtype.type(fill)
+                corrupted.append(a)
+            if any(
+                not _words_equal(a, b) for a, b in zip(corrupted, outs)
+            ):
+                outs = corrupted
+                self._record(
+                    i, "vm_drop_link", site,
+                    {
+                        "step": step, "lane": lane, "direction": direction,
+                        "mode": "stale" if stale else "fill",
+                    },
+                )
+
+        i = self._match("vm_corrupt_fill", site)
+        if i is not None:
+            # the boundary cells are the ones _shifted gave the fill value
+            if direction == "left":
+                sel = (slice(None), 0)
+            elif direction == "right":
+                sel = (slice(None), -1)
+            elif direction == "up":
+                sel = (0, slice(None))
+            else:  # down
+                sel = (-1, slice(None))
+            corrupted = []
+            for k in range(len(outs)):
+                a = np.array(outs[k])
+                if a.dtype.kind == "b":
+                    a[sel] = ~a[sel]
+                else:
+                    a[sel] = a[sel] + a.dtype.type(1)
+                corrupted.append(a)
+            if any(
+                not _words_equal(a, b) for a, b in zip(corrupted, outs)
+            ):
+                outs = corrupted
+                self._record(
+                    i, "vm_corrupt_fill", site,
+                    {"step": step, "direction": direction},
+                )
+
+        i = self._match("vm_dup_step", site)
+        if i is not None:
+            corrupted = [vm._shifted(a, direction, fill) for a in outs]
+            if any(
+                not _words_equal(a, b) for a, b in zip(corrupted, outs)
+            ):
+                outs = corrupted
+                self._record(
+                    i, "vm_dup_step", site,
+                    {"step": step, "direction": direction},
+                )
+
+        return outs
+
+
+def _words_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Byte-level equality of two register grids (NaN == NaN)."""
+    if a.dtype != b.dtype or a.shape != b.shape:
+        return False
+    if a.dtype.kind == "f":
+        return bool(np.array_equal(a, b, equal_nan=True))
+    return bool(np.array_equal(a, b))
 
 
 def apply_adversarial(injector: FaultInjector, structure=None, qs=None) -> None:

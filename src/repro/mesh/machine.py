@@ -14,11 +14,24 @@ The VM exists to *validate* the counted-primitive engine: the programs in
 and broadcast purely out of ``shift`` steps, and the tests check both that
 they compute the same answers as the engine primitives and that their step
 counts have the advertised growth (see experiment E10).
+
+Chaos support mirrors the engine's: a
+:class:`~repro.mesh.faults.FaultInjector` installed via
+:meth:`~repro.mesh.faults.FaultInjector.install_vm` is consulted after
+every ``shift``'s data movement (``vm_*`` fault kinds: flipped words,
+dropped/stuck links, corrupted boundary fill, double-pumped steps), and a
+**paranoid** VM re-verifies each step's received words against the link
+transfer — the step-level analogue of the engine's primitive-boundary
+checks, raising :class:`~repro.mesh.faults.InvariantViolation` at the
+earliest possible point.  With no injector installed the hook costs one
+attribute check and the VM is byte-identical to a plain run.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.mesh.faults import _words_equal, invariant, paranoid_default
 
 __all__ = ["MeshVM", "DIRECTIONS"]
 
@@ -34,7 +47,9 @@ DIRECTIONS = {
 class MeshVM:
     """A stepwise-simulated mesh of processors."""
 
-    def __init__(self, rows: int, cols: int | None = None) -> None:
+    def __init__(
+        self, rows: int, cols: int | None = None, *, paranoid: bool | None = None
+    ) -> None:
         if cols is None:
             cols = rows
         if rows < 1 or cols < 1:
@@ -44,6 +59,11 @@ class MeshVM:
         self.registers: dict[str, np.ndarray] = {}
         #: communication steps executed so far
         self.steps = 0
+        #: optional FaultInjector (see faults.FaultInjector.install_vm)
+        self.faults = None
+        #: verify every step's received words against the link transfer and
+        #: run the VM programs' phase-boundary checks (REPRO_PARANOID)
+        self.paranoid = paranoid_default() if paranoid is None else bool(paranoid)
 
     # -- register file ------------------------------------------------------
 
@@ -53,6 +73,12 @@ class MeshVM:
         if arr.ndim == 0:
             grid = np.full((self.rows, self.cols), arr, dtype=dtype or arr.dtype)
         else:
+            if arr.size != self.rows * self.cols:
+                raise ValueError(
+                    f"register {name!r}: {arr.size} values cannot fill the "
+                    f"{self.rows}x{self.cols} grid "
+                    f"({self.rows * self.cols} processors)"
+                )
             grid = np.array(arr, dtype=dtype or arr.dtype).reshape(self.rows, self.cols)
         self.registers[name] = grid
         return grid
@@ -105,7 +131,10 @@ class MeshVM:
             raise ValueError(f"unknown direction {direction!r}")
         grid = self.registers[name]
         self.steps += 1
-        return self._shifted(grid, direction, fill)
+        out = self._shifted(grid, direction, fill)
+        if self.faults is not None:
+            (out,) = self._faulted([out], [grid], [name], direction, fill)
+        return out
 
     def shift_many(self, names: list[str], direction: str, fill=0) -> list[np.ndarray]:
         """Shift several registers in one communication step.
@@ -124,4 +153,32 @@ class MeshVM:
             raise ValueError(f"unknown direction {direction!r}")
         grids = [self.registers[name] for name in names]
         self.steps += 1
-        return [self._shifted(grid, direction, fill) for grid in grids]
+        outs = [self._shifted(grid, direction, fill) for grid in grids]
+        if self.faults is not None:
+            outs = self._faulted(outs, grids, names, direction, fill)
+        return outs
+
+    def _faulted(self, outs, grids, names, direction, fill) -> list[np.ndarray]:
+        """Run the fault hook on one step's received grids; paranoid VMs
+        then re-verify the delivery against the link transfer.
+
+        The check is the VM's step-level integrity boundary: injection
+        happens first, verification second, so a paranoid VM detects an
+        injected fault at the very step it corrupts (cf. the engine's
+        inject-then-check primitive boundaries).  It is a host-side read:
+        zero extra steps, no output changes on a clean delivery — and it
+        only runs when an injector is installed, because recomputing the
+        same pure ``_shifted`` with no fault layer in between can never
+        disagree with itself.
+        """
+        moved = outs
+        outs = self.faults.on_vm_shift(self, outs, grids, names, direction, fill)
+        if self.paranoid:
+            for name, clean, received in zip(names, moved, outs):
+                if not _words_equal(clean, received):
+                    raise invariant(
+                        "vm:shift:integrity",
+                        f"register {name!r} received words differing from "
+                        f"the {direction!r} link transfer at step {self.steps}",
+                    )
+        return outs

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.mesh.faults import invariant
 from repro.mesh.machine import MeshVM
 from repro.mesh.sorting import shearsort
 from repro.mesh.topology import rowmajor_to_snake, snake_to_rowmajor
@@ -26,12 +27,24 @@ from repro.mesh.topology import rowmajor_to_snake, snake_to_rowmajor
 __all__ = ["route_permutation"]
 
 
-def route_permutation(vm: MeshVM, dest: np.ndarray, payload: np.ndarray, fill=0) -> np.ndarray:
+def route_permutation(
+    vm: MeshVM,
+    dest: np.ndarray,
+    payload: np.ndarray,
+    fill=0,
+    check: bool | None = None,
+) -> np.ndarray:
     """Route ``payload[i]`` (record at row-major processor *i*) to processor ``dest[i]``.
 
     ``dest`` holds row-major destination indices, ``-1`` for "no packet".
     Returns the delivered row-major array; slots that receive nothing hold
     ``fill``.  Destinations must be distinct.
+
+    ``check`` (default: the VM's ``paranoid`` setting) verifies delivery
+    integrity after the routing sort — every live packet's tag is one of
+    the requested destination ranks, each delivered exactly once, with
+    its payload multiset intact — raising
+    :class:`~repro.mesh.faults.InvariantViolation` on corruption.
     """
     n = vm.rows * vm.cols
     dest = np.asarray(dest, dtype=np.int64)
@@ -53,19 +66,37 @@ def route_permutation(vm: MeshVM, dest: np.ndarray, payload: np.ndarray, fill=0)
     key[live] = to_snake[dest[live]]
     key[~live] = free_ranks[: (~live).sum()]
 
+    check = vm.paranoid if check is None else check
     vm.load_rowmajor("_route_key", key)
     is_live = live.astype(payload.dtype)
     vm.load_rowmajor("_route_payload", payload)
     vm.load_rowmajor("_route_live", is_live)
-    shearsort(vm, "_route_key", ["_route_payload", "_route_live"])
+    shearsort(vm, "_route_key", ["_route_payload", "_route_live"], check=check)
 
     # after the sort, snake rank r holds the packet whose key is r
     from_snake = snake_to_rowmajor(vm.rows, vm.cols)  # snake rank -> rowmajor
     sorted_payload = vm.dump_rowmajor("_route_payload")
     sorted_live = vm.dump_rowmajor("_route_live").astype(bool)
     sorted_key = vm.dump_rowmajor("_route_key")
-    out = np.full(n, fill, dtype=payload.dtype)
     deliver = sorted_live
+    if check:
+        tags = sorted_key[deliver]
+        want = np.sort(to_snake[dest[live]])
+        if not np.array_equal(np.sort(tags), want):
+            raise invariant(
+                "vm:route:ranks",
+                "delivered destination tags are not exactly the requested "
+                "snake ranks (lost, duplicated, or corrupted packets)",
+            )
+        if not np.array_equal(
+            np.sort(sorted_payload[deliver], axis=None),
+            np.sort(payload[live], axis=None),
+        ):
+            raise invariant(
+                "vm:route:payload",
+                "delivered payload multiset differs from the injected packets",
+            )
+    out = np.full(n, fill, dtype=payload.dtype)
     out_idx = from_snake[sorted_key[deliver]]
     out[out_idx] = sorted_payload[deliver]
     for reg in ("_route_key", "_route_payload", "_route_live"):

@@ -12,19 +12,27 @@ Snake-order prefix sum in three sweeps:
 
 Total ``~3 * side`` steps, matching the engine's ``scan`` charge up to the
 constant.
+
+Each program takes a ``check`` flag (default: the VM's ``paranoid``
+setting) enabling phase-boundary detection checks analogous to the
+engine's paranoid mode — the scan recurrence (successive prefix
+differences must reproduce the source) and broadcast uniformity —
+verified host-side at zero step cost.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.mesh.faults import invariant
 from repro.mesh.machine import MeshVM
 
 __all__ = ["snake_prefix_sum", "broadcast_from_origin", "row_prefix_sum"]
 
 
-def row_prefix_sum(vm: MeshVM, src: str, dst: str) -> None:
+def row_prefix_sum(vm: MeshVM, src: str, dst: str, check: bool | None = None) -> None:
     """Left-to-right inclusive running sums in every row (``cols - 1`` steps)."""
+    check = vm.paranoid if check is None else check
     vm.alloc(dst, vm[src].copy())
     for _ in range(vm.cols - 1):
         incoming = vm.shift(dst, "left", fill=0)
@@ -34,10 +42,27 @@ def row_prefix_sum(vm: MeshVM, src: str, dst: str) -> None:
         vm[dst] = vm[src] + incoming
     # after cols-1 steps dst[c] holds sum(src[0..c]) -- the recurrence
     # dst^{t}[c] = src[c] + dst^{t-1}[c-1] unrolls to the full prefix.
+    if check:
+        out = vm[dst]
+        ok = np.array_equal(out[:, 0], vm[src][:, 0]) and np.array_equal(
+            np.diff(out, axis=1), vm[src][:, 1:]
+        )
+        if not ok:
+            raise invariant(
+                "vm:scan:row",
+                f"row prefix sums of {src!r} violate the scan recurrence",
+            )
 
 
-def snake_prefix_sum(vm: MeshVM, src: str, dst: str, inclusive: bool = True) -> None:
+def snake_prefix_sum(
+    vm: MeshVM,
+    src: str,
+    dst: str,
+    inclusive: bool = True,
+    check: bool | None = None,
+) -> None:
     """Inclusive (or exclusive) prefix sums in snake order, ``O(side)`` steps."""
+    check = vm.paranoid if check is None else check
     rows, cols = vm.rows, vm.cols
     # snake order means odd rows run right-to-left: flip them first (free,
     # local renaming of lanes is not data movement between processors --
@@ -47,7 +72,7 @@ def snake_prefix_sum(vm: MeshVM, src: str, dst: str, inclusive: bool = True) -> 
     flipped[1::2] = flipped[1::2, ::-1]
     vm.alloc("_snake_src", flipped)
     vm.steps += cols - 1  # the row reversal sweep for odd rows
-    row_prefix_sum(vm, "_snake_src", "_row_pref")
+    row_prefix_sum(vm, "_snake_src", "_row_pref", check=check)
     # column scan of row totals (rightmost column holds each row's total)
     totals = vm["_row_pref"][:, -1].copy()
     offsets = np.zeros(rows, dtype=totals.dtype)
@@ -68,11 +93,36 @@ def snake_prefix_sum(vm: MeshVM, src: str, dst: str, inclusive: bool = True) -> 
     result[1::2] = result[1::2, ::-1]
     vm.steps += cols - 1  # undo the reversal sweep
     vm.alloc(dst, result)
+    if check:
+        # lazy import: topology only needed on the checking path
+        from repro.mesh.topology import rowmajor_to_snake
+
+        snake = rowmajor_to_snake(rows, cols)
+        src_snake = np.empty(rows * cols, dtype=vm[src].dtype)
+        src_snake[snake] = vm[src].ravel()
+        out_snake = np.empty(rows * cols, dtype=result.dtype)
+        out_snake[snake] = result.ravel()
+        if inclusive:
+            ok = out_snake[0] == src_snake[0] and np.array_equal(
+                np.diff(out_snake), src_snake[1:]
+            )
+        else:
+            ok = out_snake[0] == 0 and np.array_equal(
+                np.diff(out_snake), src_snake[:-1]
+            )
+        if not ok:
+            raise invariant(
+                "vm:scan:recurrence",
+                f"snake prefix sums of {src!r} violate the scan recurrence",
+            )
     del vm.registers["_snake_src"], vm.registers["_row_pref"]
 
 
-def broadcast_from_origin(vm: MeshVM, src: str, dst: str) -> None:
+def broadcast_from_origin(
+    vm: MeshVM, src: str, dst: str, check: bool | None = None
+) -> None:
     """Broadcast the word at processor (0, 0) to all (``rows + cols - 2`` steps)."""
+    check = vm.paranoid if check is None else check
     rows, cols = vm.rows, vm.cols
     vm.alloc(dst, vm[src].copy())
     # propagate down column 0
@@ -87,3 +137,8 @@ def broadcast_from_origin(vm: MeshVM, src: str, dst: str) -> None:
         grid = vm[dst].copy()
         grid[:, 1:] = incoming[:, 1:]
         vm[dst] = grid
+    if check and not (vm[dst] == vm[src][0, 0]).all():
+        raise invariant(
+            "vm:broadcast:uniform",
+            f"broadcast of {src!r}[0, 0] did not reach every processor intact",
+        )

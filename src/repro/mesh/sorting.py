@@ -12,6 +12,12 @@ movement the engine assumes exists; the engine charges the optimal-sort
 cost (3 * side, Schnorr–Shamir) as discussed in DESIGN.md.
 
 Payload registers move together with the key (one record per processor).
+
+Each program takes a ``check`` flag (default: the VM's ``paranoid``
+setting) enabling phase-boundary detection checks analogous to the
+engine's paranoid mode: post-sort orderedness plus key-multiset
+preservation, verified host-side at zero step cost, raising
+:class:`~repro.mesh.faults.InvariantViolation` on corruption.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro.mesh.faults import invariant
 from repro.mesh.machine import MeshVM
 
 __all__ = [
@@ -88,35 +95,93 @@ def _exchange_pairs_cols(vm: MeshVM, key: str, payloads: list[str], phase: int) 
         vm[reg] = grid
 
 
+def _check_multiset(vm: MeshVM, key: str, before: np.ndarray, where: str) -> None:
+    """The sort moved records without losing/duplicating/altering any key."""
+    after = vm[key]
+    if not np.array_equal(np.sort(before, axis=None), np.sort(after, axis=None)):
+        raise invariant(
+            where, f"key register {key!r} multiset changed across the sort"
+        )
+
+
 def oddeven_transposition_rows(
-    vm: MeshVM, key: str, payloads: list[str] | None = None, snake: bool = False
+    vm: MeshVM,
+    key: str,
+    payloads: list[str] | None = None,
+    snake: bool = False,
+    check: bool | None = None,
 ) -> None:
     """Sort every row in ``cols`` phases; ``snake=True`` alternates direction."""
     payloads = payloads or []
+    check = vm.paranoid if check is None else check
+    before = vm[key].copy() if check else None
     if snake:
         ascending = (np.arange(vm.rows) % 2) == 0
     else:
         ascending = np.ones(vm.rows, dtype=bool)
     for phase in range(vm.cols):
         _exchange_pairs_rows(vm, key, payloads, phase, ascending)
+    if check:
+        _check_multiset(vm, key, before, "vm:sort:rows:multiset")
+        diffs = np.diff(vm[key], axis=1)
+        ok = np.where(ascending[:, None], diffs >= 0, diffs <= 0)
+        if not ok.all():
+            raise invariant(
+                "vm:sort:rows:sorted",
+                f"register {key!r} rows unsorted after odd-even transposition",
+            )
 
 
-def oddeven_transposition_cols(vm: MeshVM, key: str, payloads: list[str] | None = None) -> None:
+def oddeven_transposition_cols(
+    vm: MeshVM,
+    key: str,
+    payloads: list[str] | None = None,
+    check: bool | None = None,
+) -> None:
     """Sort every column (top-to-bottom ascending) in ``rows`` phases."""
     payloads = payloads or []
+    check = vm.paranoid if check is None else check
+    before = vm[key].copy() if check else None
     for phase in range(vm.rows):
         _exchange_pairs_cols(vm, key, payloads, phase)
+    if check:
+        _check_multiset(vm, key, before, "vm:sort:cols:multiset")
+        if not (np.diff(vm[key], axis=0) >= 0).all():
+            raise invariant(
+                "vm:sort:cols:sorted",
+                f"register {key!r} columns unsorted after odd-even transposition",
+            )
 
 
-def shearsort(vm: MeshVM, key: str, payloads: list[str] | None = None) -> None:
+def shearsort(
+    vm: MeshVM,
+    key: str,
+    payloads: list[str] | None = None,
+    check: bool | None = None,
+) -> None:
     """Sort the grid into snake order (ascending along the snake).
 
     ``ceil(log2 rows) + 1`` rounds of (snake row sort, column sort), plus a
     final row sort — the classic shearsort schedule.
     """
     payloads = payloads or []
+    check = vm.paranoid if check is None else check
+    before = vm[key].copy() if check else None
     rounds = max(1, math.ceil(math.log2(max(vm.rows, 2))))
     for _ in range(rounds):
-        oddeven_transposition_rows(vm, key, payloads, snake=True)
-        oddeven_transposition_cols(vm, key, payloads)
-    oddeven_transposition_rows(vm, key, payloads, snake=True)
+        oddeven_transposition_rows(vm, key, payloads, snake=True, check=check)
+        oddeven_transposition_cols(vm, key, payloads, check=check)
+    oddeven_transposition_rows(vm, key, payloads, snake=True, check=check)
+    if check:
+        _check_multiset(vm, key, before, "vm:sort:snake:multiset")
+        # lazy import: topology only needed on the checking path
+        from repro.mesh.topology import rowmajor_to_snake
+
+        flat = vm[key].ravel()
+        in_snake = np.empty_like(flat)
+        in_snake[rowmajor_to_snake(vm.rows, vm.cols)] = flat
+        if not (np.diff(in_snake) >= 0).all():
+            raise invariant(
+                "vm:sort:snake:sorted",
+                f"register {key!r} not in snake order after shearsort",
+            )

@@ -1,0 +1,238 @@
+"""Differential oracle: cycle-accurate VM programs vs engine primitives.
+
+The VM programs (:mod:`repro.mesh.sorting`, :mod:`repro.mesh.routing`,
+:mod:`repro.mesh.scan`) are the executable witnesses behind the engine's
+charged costs (E10).  This module closes the loop under *faults*: each
+program runs against the corresponding counted-primitive engine answer on
+the same inputs, and the outcome is classified the way the chaos harness
+classifies engine-level injections:
+
+* ``clean_match`` — no fault injected, VM output equals the engine's;
+* ``detected`` — a check raised :class:`~repro.mesh.faults.InvariantViolation`
+  (the VM's paranoid step-integrity boundary or a program's phase check);
+* ``no_effect`` — a fault was injected but the VM still matched the engine;
+* ``silent_corruption`` — the VM completed with output differing from the
+  engine's (the blind spot the VM chaos layer exists to surface);
+* ``crash`` — the corruption surfaced as an ordinary exception.
+
+Sorting is compared up to tie order: shearsort is not stable, so tied
+keys may carry their payloads in any order — key sequences must match
+exactly and the (key, payload) pair multisets must be identical.
+
+``python -m repro.bench.chaos`` wires these programs in as the ``vm_*``
+scenarios; :func:`run_differential` is the standalone entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import FaultInjector, FaultPlan, InvariantViolation
+from repro.mesh.machine import MeshVM
+from repro.mesh.routing import route_permutation
+from repro.mesh.scan import broadcast_from_origin, snake_prefix_sum
+from repro.mesh.sorting import shearsort
+from repro.mesh.topology import rowmajor_to_snake, snake_to_rowmajor
+
+__all__ = [
+    "PROGRAMS",
+    "DifferentialOutcome",
+    "make_inputs",
+    "engine_reference",
+    "vm_run",
+    "compare",
+    "run_differential",
+]
+
+#: VM programs with an engine-primitive oracle
+PROGRAMS = ("sort", "route", "scan", "broadcast")
+
+_ROUTE_FILL = -7  # distinctive fill so dropped deliveries are visible
+
+
+def make_inputs(program: str, rows: int, cols: int, seed: int) -> dict:
+    """Deterministic adversarial-friendly inputs for one program.
+
+    Sort keys are drawn from a small range so ties are common (the
+    adversarial case for permutation faults); routing uses a partial
+    permutation with dead slots unless the grid is too small to spare any.
+    """
+    if program not in PROGRAMS:
+        raise ValueError(f"unknown VM oracle program {program!r} (know {PROGRAMS})")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    inputs: dict = {"program": program, "rows": rows, "cols": cols, "n": n}
+    if program == "sort":
+        inputs["keys"] = rng.integers(0, max(2, n // 2), n).astype(np.int64)
+        inputs["payload"] = rng.integers(0, 1000, n).astype(np.int64)
+    elif program == "route":
+        dest = rng.permutation(n).astype(np.int64)
+        dead = min(n // 3, n - 1)
+        if dead:
+            dest[rng.choice(n, size=dead, replace=False)] = -1
+        inputs["dest"] = dest
+        inputs["payload"] = (np.arange(n) + 100).astype(np.int64)
+    elif program == "scan":
+        inputs["values"] = rng.integers(0, 9, n).astype(np.int64)
+    else:  # broadcast
+        grid = rng.integers(0, 1000, n).astype(np.int64)
+        inputs["grid"] = grid
+        inputs["value"] = int(grid[0])
+    return inputs
+
+
+def engine_reference(inputs: dict) -> tuple[np.ndarray, ...]:
+    """The counted engine's answer on the same inputs (always clean)."""
+    program, n = inputs["program"], inputs["n"]
+    region = MeshEngine.for_problem(n).root
+    if program == "sort":
+        keys, payload = region.sort_by(
+            inputs["keys"], inputs["payload"], label="oracle:sort"
+        )
+        return (keys, payload)
+    if program == "route":
+        (out,) = region.route(
+            inputs["dest"],
+            inputs["payload"],
+            size=n,
+            fill=_ROUTE_FILL,
+            label="oracle:route",
+        )
+        return (out,)
+    if program == "scan":
+        return (region.scan(inputs["values"], label="oracle:scan"),)
+    return (np.int64(region.broadcast(inputs["value"], label="oracle:broadcast")),)
+
+
+def vm_run(
+    inputs: dict,
+    injector: FaultInjector | None = None,
+    check: bool = False,
+) -> tuple[tuple[np.ndarray, ...], int]:
+    """Run the VM program; returns ``(outputs, vm_steps)``.
+
+    ``check`` turns on the VM's paranoid step-integrity boundary *and*
+    the program's phase checks, so injected faults raise
+    :class:`~repro.mesh.faults.InvariantViolation` instead of completing.
+    """
+    program = inputs["program"]
+    rows, cols = inputs["rows"], inputs["cols"]
+    vm = MeshVM(rows, cols, paranoid=check)
+    if injector is not None:
+        injector.install_vm(vm)
+    to_snake = rowmajor_to_snake(rows, cols)
+    if program == "sort":
+        vm.load_rowmajor("key", inputs["keys"])
+        vm.load_rowmajor("payload", inputs["payload"])
+        shearsort(vm, "key", ["payload"], check=check)
+        # read the sorted sequences back in snake order
+        keys = np.empty(inputs["n"], dtype=np.int64)
+        payload = np.empty(inputs["n"], dtype=np.int64)
+        keys[to_snake] = vm.dump_rowmajor("key")
+        payload[to_snake] = vm.dump_rowmajor("payload")
+        return (keys, payload), vm.steps
+    if program == "route":
+        out = route_permutation(
+            vm, inputs["dest"], inputs["payload"], fill=_ROUTE_FILL, check=check
+        )
+        return (out,), vm.steps
+    if program == "scan":
+        # processor j holds logical element #snake_rank(j), so the VM's
+        # snake-order scan matches the engine's processor-order scan
+        vm.load_rowmajor("v", inputs["values"][to_snake])
+        snake_prefix_sum(vm, "v", "p", check=check)
+        out = np.empty(inputs["n"], dtype=np.int64)
+        out[to_snake] = vm.dump_rowmajor("p")
+        return (out,), vm.steps
+    # broadcast
+    vm.load_rowmajor("s", inputs["grid"])
+    broadcast_from_origin(vm, "s", "d", check=check)
+    return (vm.dump_rowmajor("d"),), vm.steps
+
+
+def compare(program: str, vm_out: tuple, ref: tuple) -> bool:
+    """Does the VM's answer agree with the engine oracle's?"""
+    if program == "sort":
+        keys, payload = vm_out
+        ref_keys, ref_payload = ref
+        if not np.array_equal(keys, ref_keys):
+            return False
+        pairs = np.lexsort((payload, keys))
+        ref_pairs = np.lexsort((ref_payload, ref_keys))
+        return bool(
+            np.array_equal(payload[pairs], ref_payload[ref_pairs])
+        )
+    if program == "broadcast":
+        (grid,) = vm_out
+        (value,) = ref
+        return bool((grid == value).all())
+    return all(np.array_equal(a, b) for a, b in zip(vm_out, ref))
+
+
+@dataclass(frozen=True)
+class DifferentialOutcome:
+    """One differential run's classification (JSON-able via ``to_dict``)."""
+
+    program: str
+    rows: int
+    cols: int
+    seed: int
+    outcome: str
+    vm_steps: int | None
+    injected: list = field(default_factory=list)
+    error: dict | None = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "program": self.program,
+            "rows": self.rows,
+            "cols": self.cols,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "vm_steps": self.vm_steps,
+            "injected": list(self.injected),
+        }
+        if self.error is not None:
+            doc["error"] = dict(self.error)
+        return doc
+
+
+def run_differential(
+    program: str,
+    rows: int = 8,
+    cols: int | None = None,
+    seed: int = 1,
+    plans: tuple[FaultPlan, ...] = (),
+    check: bool = True,
+) -> DifferentialOutcome:
+    """Run one VM program against its engine oracle, optionally under faults."""
+    if cols is None:
+        cols = rows
+    inputs = make_inputs(program, rows, cols, seed)
+    ref = engine_reference(inputs)
+    injector = FaultInjector(*plans) if plans else None
+    try:
+        out, steps = vm_run(inputs, injector=injector, check=check)
+    except InvariantViolation as exc:
+        return DifferentialOutcome(
+            program, rows, cols, seed, "detected", None,
+            injected=injector.log() if injector else [],
+            error=exc.to_dict(),
+        )
+    except Exception as exc:  # noqa: BLE001 - classification, not handling
+        return DifferentialOutcome(
+            program, rows, cols, seed, "crash", None,
+            injected=injector.log() if injector else [],
+            error={"type": type(exc).__name__, "detail": str(exc)},
+        )
+    injected = injector.log() if injector else []
+    if compare(program, out, ref):
+        outcome = "no_effect" if injected else "clean_match"
+    else:
+        outcome = "silent_corruption"
+    return DifferentialOutcome(
+        program, rows, cols, seed, outcome, steps, injected=injected
+    )

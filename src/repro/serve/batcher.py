@@ -54,6 +54,14 @@ class BatchingServer:
         Extra keyword arguments for every flush engine (e.g.
         ``{"paranoid": True}`` so injected faults raise at the boundary
         they corrupt).
+    vm_witness:
+        Run a cycle-accurate pre-flight on every flush: the batch's
+        query-rank permutation is shearsorted on a **paranoid**
+        :class:`~repro.mesh.machine.MeshVM` sharing the flush's fault
+        injector, so a ``vm_*`` fault in the step-level data movement
+        the engine's charges stand on faults the whole batch *before*
+        any answer is produced — every future resolves exceptionally
+        and the cache is never touched (chaos-testing hook).
     """
 
     def __init__(
@@ -64,6 +72,7 @@ class BatchingServer:
         cache: ResultCache | None = None,
         fault_plans=None,
         engine_kwargs: dict | None = None,
+        vm_witness: bool = False,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -75,6 +84,7 @@ class BatchingServer:
         self.cache = cache
         self.fault_plans = tuple(fault_plans) if fault_plans else ()
         self.engine_kwargs = dict(engine_kwargs or {})
+        self.vm_witness = bool(vm_witness)
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
         self.stats = {
@@ -86,6 +96,7 @@ class BatchingServer:
             "faulted_batches": 0,
             "mesh_steps": 0.0,
             "cache_hits": 0,
+            "vm_witness_steps": 0,
         }
 
     # -- submission ----------------------------------------------------------
@@ -141,9 +152,12 @@ class BatchingServer:
         self.stats[f"flush_{reason}"] += 1
         rows = np.stack([row for row, _ in batch])
         engine = self.service.make_engine(rows.shape[0], **self.engine_kwargs)
+        injector = None
         if self.fault_plans:
-            FaultInjector(*self.fault_plans).install(engine)
+            injector = FaultInjector(*self.fault_plans).install(engine)
         try:
+            if self.vm_witness:
+                self._run_vm_witness(rows, injector)
             results, steps = self.service.run_batch(rows, engine=engine)
         except Exception as exc:
             # a faulted batch resolves every future exceptionally and
@@ -161,3 +175,32 @@ class BatchingServer:
                 )
             if not future.done():
                 future.set_result(result)
+
+    def _run_vm_witness(self, rows: np.ndarray, injector) -> None:
+        """Shearsort the batch's query ranks on a paranoid cycle-accurate VM.
+
+        The witness is the E10 substitution audit scaled down to one
+        flush: the data movement underlying the sort the engine *charges*
+        must actually execute, step by step, on this batch.  Installed
+        ``vm_*`` fault plans fire here (the engine hooks never open a
+        VM); the paranoid step-integrity check raises
+        :class:`~repro.mesh.faults.InvariantViolation` at the corrupted
+        step, so the flush's except-path resolves every future
+        exceptionally before a corrupt answer can exist.  Ranks (not raw
+        keys) are sorted so non-finite query values cannot fake a
+        violation.
+        """
+        from repro.mesh.machine import MeshVM
+        from repro.mesh.sorting import shearsort
+        from repro.mesh.topology import MeshShape
+
+        m = rows.shape[0]
+        order = np.argsort(rows[:, 0], kind="stable")
+        ranks = np.empty(m, dtype=np.int64)
+        ranks[order] = np.arange(m, dtype=np.int64)
+        vm = MeshVM(MeshShape.for_size(m).side, paranoid=True)
+        if injector is not None:
+            injector.install_vm(vm)
+        vm.load_rowmajor("_witness_key", ranks, fill=m)
+        shearsort(vm, "_witness_key", check=True)
+        self.stats["vm_witness_steps"] += vm.steps

@@ -132,3 +132,88 @@ class TestShiftMany:
         with pytest.raises(ValueError):
             vm.shift_many(["a"], "sideways")
         assert vm.steps == 0
+
+
+class TestAllocSizeError:
+    def test_mismatch_names_the_register(self):
+        vm = MeshVM(3, 4)
+        with pytest.raises(ValueError) as err:
+            vm.alloc("votes", np.arange(10))
+        msg = str(err.value)
+        assert "'votes'" in msg
+        assert "10 values" in msg
+        assert "3x4" in msg and "12 processors" in msg
+
+    def test_mismatch_leaves_register_file_untouched(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("x", np.arange(4))
+        with pytest.raises(ValueError):
+            vm.alloc("x", np.arange(5))
+        assert (vm["x"] == np.arange(4).reshape(2, 2)).all()
+        with pytest.raises(ValueError):
+            vm.alloc("y", np.arange(3))
+        assert "y" not in vm.registers
+
+    def test_exact_size_still_fine(self):
+        vm = MeshVM(2, 3)
+        assert vm.alloc("x", np.arange(6)).shape == (2, 3)
+
+
+class TestFillDtype:
+    """Boundary fill must not silently upcast integer registers."""
+
+    @pytest.mark.parametrize("dtype", [np.int64, np.int32, np.uint8, np.bool_])
+    def test_shift_preserves_dtype(self, dtype):
+        vm = MeshVM(2, 3)
+        vm.alloc("x", np.ones((2, 3), dtype=dtype))
+        got = vm.shift("x", "left", fill=0)
+        assert got.dtype == np.dtype(dtype)
+
+    def test_integer_fill_lands_exact(self):
+        vm = MeshVM(1, 3)
+        vm.alloc("x", np.array([[5, 6, 7]], dtype=np.int64))
+        got = vm.shift("x", "left", fill=-9)
+        assert got.dtype == np.int64
+        assert got[0, 0] == -9
+
+    def test_load_rowmajor_keeps_source_dtype(self):
+        vm = MeshVM(2, 2)
+        vm.load_rowmajor("x", np.array([1, 2], dtype=np.int32), fill=7)
+        assert vm["x"].dtype == np.int32
+        assert vm["x"][1, 1] == 7
+
+    def test_shift_many_mixed_dtypes(self):
+        vm = MeshVM(2, 2)
+        vm.alloc("i", np.arange(4, dtype=np.int64))
+        vm.alloc("f", np.arange(4, dtype=np.float64))
+        outs = vm.shift_many(["i", "f"], "down", fill=0)
+        assert outs[0].dtype == np.int64
+        assert outs[1].dtype == np.float64
+
+
+class TestShiftManyWordLimit:
+    def test_exactly_eight_words_is_one_step(self):
+        vm = MeshVM(2, 2)
+        names = [f"r{i}" for i in range(8)]
+        for i, name in enumerate(names):
+            vm.alloc(name, float(i))
+        outs = vm.shift_many(names, "right", fill=0)
+        assert len(outs) == 8
+        assert vm.steps == 1
+
+    def test_nine_words_rejected_before_charge(self):
+        vm = MeshVM(2, 2)
+        names = [f"r{i}" for i in range(9)]
+        for name in names:
+            vm.alloc(name, 0.0)
+        with pytest.raises(ValueError, match="more than 8 words"):
+            vm.shift_many(names, "right")
+        assert vm.steps == 0
+
+    def test_nine_words_rejected_even_with_unknown_register(self):
+        # width check precedes register lookup: the limit is a property
+        # of the record, not the register file
+        vm = MeshVM(2, 2)
+        with pytest.raises(ValueError, match="more than 8 words"):
+            vm.shift_many([f"ghost{i}" for i in range(9)], "left")
+        assert vm.steps == 0

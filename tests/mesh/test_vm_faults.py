@@ -1,0 +1,271 @@
+"""VM-level fault injection: determinism, observer-safety, zero cost off.
+
+The contracts under test mirror the engine fault layer's (PR 4) at the
+step level:
+
+* the injection log is a pure function of the plan and the program's
+  deterministic shift sequence;
+* a plan that never matches (site filter, kind without a surface) leaves
+  every register dump byte-identical and ``steps`` untouched;
+* injection itself never changes ``steps`` (observer-safety — the step
+  is charged once, up front, exactly like ``shift_many``'s
+  single-charge contract);
+* a paranoid VM detects every *logged* injection at the corrupted step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.faults import (
+    VM_FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InvariantViolation,
+)
+from repro.mesh.machine import MeshVM
+from repro.mesh.routing import route_permutation
+from repro.mesh.scan import broadcast_from_origin, snake_prefix_sum
+from repro.mesh.sorting import shearsort
+
+
+def _run_program(program, side, seed, injector=None, paranoid=False):
+    """Run one VM program to completion; returns (register dumps, steps)."""
+    rng = np.random.default_rng(seed)
+    n = side * side
+    vm = MeshVM(side, paranoid=paranoid)
+    if injector is not None:
+        injector.install_vm(vm)
+    if program == "sort":
+        vm.load_rowmajor("k", rng.integers(0, 50, n).astype(np.int64))
+        vm.load_rowmajor("p", rng.integers(0, 1000, n).astype(np.int64))
+        shearsort(vm, "k", ["p"], check=paranoid)
+        out = (vm.dump_rowmajor("k"), vm.dump_rowmajor("p"))
+    elif program == "route":
+        dest = rng.permutation(n).astype(np.int64)
+        out = (route_permutation(vm, dest, np.arange(n) + 100, check=paranoid),)
+    elif program == "scan":
+        vm.load_rowmajor("v", rng.integers(0, 9, n).astype(np.int64))
+        snake_prefix_sum(vm, "v", "p", check=paranoid)
+        out = (vm.dump_rowmajor("p"),)
+    else:  # broadcast
+        vm.load_rowmajor("s", rng.integers(0, 100, n).astype(np.int64))
+        broadcast_from_origin(vm, "s", "d", check=paranoid)
+        out = (vm.dump_rowmajor("d"),)
+    return out, vm.steps
+
+
+PROGRAMS = ("sort", "route", "scan", "broadcast")
+
+plan_cases = st.tuples(
+    st.sampled_from(VM_FAULT_KINDS),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.sampled_from(PROGRAMS),
+    st.sampled_from([4, 8]),
+)
+
+
+class TestDeterminism:
+    @given(plan_cases)
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_log(self, case):
+        kind, seed, program, side = case
+        logs = []
+        for _ in range(2):
+            inj = FaultInjector(FaultPlan(seed=seed, kind=kind))
+            try:
+                _run_program(program, side, seed=3, injector=inj)
+            except Exception:
+                pass
+            logs.append(inj.log())
+        assert logs[0] == logs[1]
+
+    @pytest.mark.parametrize("kind", VM_FAULT_KINDS)
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_every_kind_has_a_surface(self, kind, program):
+        # rate=1.0, unbounded: every program presents opportunities for
+        # every VM kind, and at least one injection lands
+        inj = FaultInjector(FaultPlan(seed=5, kind=kind, rate=1.0, max_faults=None))
+        try:
+            _run_program(program, 8, seed=3, injector=inj)
+        except Exception:
+            pass
+        assert inj.injected, f"{kind} never injected in {program}"
+        assert inj.opportunities[kind] > 0
+
+    def test_log_carries_step_index(self):
+        inj = FaultInjector(FaultPlan(seed=5, kind="vm_flip_word"))
+        _run_program("sort", 8, seed=3, injector=inj)
+        (fault,) = inj.injected
+        assert fault.kind == "vm_flip_word"
+        assert fault.site.startswith("vm:")
+        assert fault.detail["step"] >= 1
+
+    def test_global_numpy_state_is_irrelevant(self):
+        inj = FaultInjector(FaultPlan(seed=5, kind="vm_drop_link"))
+        np.random.seed(0)
+        _run_program("sort", 8, seed=3, injector=inj)
+        ref = FaultInjector(FaultPlan(seed=5, kind="vm_drop_link"))
+        np.random.seed(12345)
+        _run_program("sort", 8, seed=3, injector=ref)
+        assert inj.log() == ref.log()
+
+
+class TestNoMatchIsByteIdentical:
+    @given(plan_cases)
+    @settings(max_examples=40, deadline=None)
+    def test_site_filtered_plan_changes_nothing(self, case):
+        kind, seed, program, side = case
+        clean_out, clean_steps = _run_program(program, side, seed=3)
+        inj = FaultInjector(
+            FaultPlan(seed=seed, kind=kind, site="vm:no_such_register")
+        )
+        out, steps = _run_program(program, side, seed=3, injector=inj)
+        assert inj.injected == []
+        assert steps == clean_steps
+        for a, b in zip(out, clean_out):
+            assert a.dtype == b.dtype and (a == b).all()
+
+    def test_engine_kinds_have_no_vm_surface(self):
+        # engine-primitive plans never fire inside the VM
+        inj = FaultInjector(
+            FaultPlan(seed=5, kind="perturb_sort_key", rate=1.0, max_faults=None)
+        )
+        clean_out, clean_steps = _run_program("sort", 8, seed=3)
+        out, steps = _run_program("sort", 8, seed=3, injector=inj)
+        assert inj.injected == []
+        assert steps == clean_steps
+        for a, b in zip(out, clean_out):
+            assert (a == b).all()
+
+    def test_no_injector_costs_nothing_and_is_byte_identical(self):
+        # the acceptance contract: byte-identical register dumps and
+        # identical steps for every program with no installed plan
+        for program in PROGRAMS:
+            ref_out, ref_steps = _run_program(program, 8, seed=3)
+            out, steps = _run_program(program, 8, seed=3)
+            assert steps == ref_steps
+            for a, b in zip(out, ref_out):
+                assert a.dtype == b.dtype and (a == b).all()
+
+
+class TestObserverSafety:
+    @given(plan_cases)
+    @settings(max_examples=40, deadline=None)
+    def test_steps_unchanged_by_injection(self, case):
+        # every program's schedule is data-independent, and the hook never
+        # touches `steps`: an unchecked faulted run charges exactly the
+        # clean run's step count
+        kind, seed, program, side = case
+        _, clean_steps = _run_program(program, side, seed=3)
+        inj = FaultInjector(
+            FaultPlan(seed=seed, kind=kind, rate=1.0, max_faults=None)
+        )
+        try:
+            _, steps = _run_program(program, side, seed=3, injector=inj)
+        except Exception:
+            return  # bare runs may crash on corrupt indices; steps moot
+        assert steps == clean_steps
+
+    def test_hook_sees_final_step_count(self):
+        seen = []
+
+        class Spy(FaultInjector):
+            def on_vm_shift(self, vm, outs, grids, names, direction, fill):
+                seen.append(vm.steps)
+                return super().on_vm_shift(vm, outs, grids, names, direction, fill)
+
+        vm = MeshVM(2, 2)
+        Spy().install_vm(vm)
+        vm.alloc("a", 1.0)
+        vm.alloc("b", 2.0)
+        vm.shift("a", "left")
+        vm.shift_many(["a", "b"], "down")
+        assert seen == [1, 2]
+        assert vm.steps == 2
+
+
+class TestParanoidDetection:
+    @pytest.mark.parametrize("kind", VM_FAULT_KINDS)
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_paranoid_vm_detects_at_the_corrupted_step(self, kind, program):
+        inj = FaultInjector(FaultPlan(seed=5, kind=kind, rate=1.0, max_faults=None))
+        with pytest.raises(InvariantViolation) as err:
+            _run_program(program, 8, seed=3, injector=inj, paranoid=True)
+        assert err.value.check == "vm:shift:integrity"
+        assert inj.injected
+
+    def test_paranoid_without_faults_is_byte_identical(self):
+        for program in PROGRAMS:
+            plain_out, plain_steps = _run_program(program, 8, seed=3)
+            checked_out, checked_steps = _run_program(
+                program, 8, seed=3, paranoid=True
+            )
+            assert checked_steps == plain_steps
+            for a, b in zip(checked_out, plain_out):
+                assert a.dtype == b.dtype and (a == b).all()
+
+    def test_unlogged_stuck_link_is_not_a_fault(self):
+        # a stuck lane that redelivers identical words changes nothing:
+        # the hook must not log it, and the paranoid check must not fire
+        vm = MeshVM(2, 2, paranoid=True)
+        inj = FaultInjector(
+            FaultPlan(seed=1, kind="vm_drop_link", rate=1.0, max_faults=None)
+        ).install_vm(vm)
+        vm.alloc("x", 0.0)  # constant grid: stale == shifted on inner lanes
+        for _ in range(8):
+            vm.shift("x", "left", fill=0)
+        # fill-mode drops are also invisible on an all-zero grid
+        assert inj.injected == []
+        assert vm.steps == 8
+
+
+class TestProgramChecks:
+    """The phase-boundary checks catch corruption on their own.
+
+    ``paranoid=False`` disables the step-integrity boundary while
+    ``check=True`` keeps the program checks, so these tests prove the
+    second line of defense works without the first — the configuration a
+    caller gets from ``shearsort(vm, ..., check=True)`` on a plain VM.
+    """
+
+    def _faulted_vm(self, side, seed):
+        vm = MeshVM(side, paranoid=False)
+        inj = FaultInjector(
+            FaultPlan(seed=seed, kind="vm_flip_word", rate=1.0, max_faults=None)
+        ).install_vm(vm)
+        return vm, inj
+
+    def test_shearsort_check(self):
+        vm, inj = self._faulted_vm(8, seed=2)
+        vm.load_rowmajor("k", np.arange(64, dtype=np.int64))
+        with pytest.raises(InvariantViolation) as err:
+            shearsort(vm, "k", check=True)
+        assert err.value.check.startswith("vm:sort:")
+        assert inj.injected
+
+    def test_route_check(self):
+        vm, inj = self._faulted_vm(4, seed=2)
+        with pytest.raises(InvariantViolation) as err:
+            route_permutation(
+                vm, np.random.default_rng(0).permutation(16), np.arange(16),
+                check=True,
+            )
+        assert err.value.check.startswith(("vm:sort:", "vm:route:"))
+        assert inj.injected
+
+    def test_scan_recurrence_check(self):
+        vm, inj = self._faulted_vm(4, seed=2)
+        vm.load_rowmajor("v", np.ones(16, dtype=np.int64))
+        with pytest.raises(InvariantViolation) as err:
+            snake_prefix_sum(vm, "v", "p", check=True)
+        assert err.value.check.startswith("vm:scan:")
+        assert inj.injected
+
+    def test_broadcast_uniform_check(self):
+        vm, inj = self._faulted_vm(4, seed=2)
+        vm.load_rowmajor("s", np.arange(16, dtype=np.int64))
+        with pytest.raises(InvariantViolation) as err:
+            broadcast_from_origin(vm, "s", "d", check=True)
+        assert err.value.check == "vm:broadcast:uniform"
+        assert inj.injected

@@ -1,0 +1,200 @@
+"""Differential conformance: every VM program vs its engine primitive.
+
+Clean runs over adversarial inputs (heavy ties, dead routing slots,
+full-grid loads, non-square and degenerate one-row/one-column meshes)
+must classify as ``clean_match``; faulted paranoid runs must classify as
+``detected`` — never ``silent_corruption``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import vm_oracle
+from repro.mesh.engine import MeshEngine
+from repro.mesh.faults import VM_FAULT_KINDS, FaultPlan
+from repro.mesh.topology import rowmajor_to_snake
+from repro.mesh.vm_oracle import (
+    PROGRAMS,
+    compare,
+    engine_reference,
+    make_inputs,
+    run_differential,
+    vm_run,
+)
+
+SHAPES = [(8, 8), (5, 3), (3, 5), (1, 8), (8, 1), (2, 2), (1, 1)]
+
+
+class TestCleanMatch:
+    @pytest.mark.parametrize("program", PROGRAMS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_all_programs_all_shapes(self, program, shape):
+        rows, cols = shape
+        out = run_differential(program, rows=rows, cols=cols, seed=1)
+        assert out.outcome == "clean_match", out.to_dict()
+        assert out.vm_steps is not None and out.vm_steps >= 0
+        assert out.injected == []
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_many_seeds(self, program):
+        for seed in range(1, 8):
+            out = run_differential(program, rows=6, cols=6, seed=seed)
+            assert out.outcome == "clean_match", out.to_dict()
+
+    def test_sort_with_all_equal_keys(self):
+        # the extreme tie case: every key equal, payload order is free
+        inputs = make_inputs("sort", 4, 4, seed=1)
+        inputs["keys"] = np.zeros(16, dtype=np.int64)
+        ref = engine_reference(inputs)
+        out, _ = vm_run(inputs)
+        assert compare("sort", out, ref)
+
+    def test_route_identity_permutation(self):
+        inputs = make_inputs("route", 4, 4, seed=1)
+        inputs["dest"] = np.arange(16, dtype=np.int64)
+        ref = engine_reference(inputs)
+        out, _ = vm_run(inputs)
+        assert compare("route", out, ref)
+        assert np.array_equal(out[0], inputs["payload"])
+
+    def test_route_all_discarded(self):
+        inputs = make_inputs("route", 4, 4, seed=1)
+        inputs["dest"] = np.full(16, -1, dtype=np.int64)
+        ref = engine_reference(inputs)
+        out, _ = vm_run(inputs)
+        assert compare("route", out, ref)
+        assert (out[0] == vm_oracle._ROUTE_FILL).all()
+
+    def test_scan_matches_cumsum(self):
+        inputs = make_inputs("scan", 5, 3, seed=2)
+        out, _ = vm_run(inputs)
+        assert np.array_equal(out[0], np.cumsum(inputs["values"]))
+
+
+class TestInputs:
+    def test_inputs_are_deterministic(self):
+        for program in PROGRAMS:
+            a = make_inputs(program, 4, 4, seed=9)
+            b = make_inputs(program, 4, 4, seed=9)
+            for k, v in a.items():
+                if isinstance(v, np.ndarray):
+                    assert np.array_equal(v, b[k])
+                else:
+                    assert v == b[k]
+
+    def test_sort_inputs_have_ties(self):
+        inputs = make_inputs("sort", 8, 8, seed=1)
+        assert len(np.unique(inputs["keys"])) < inputs["n"]
+
+    def test_route_inputs_have_dead_slots(self):
+        inputs = make_inputs("route", 8, 8, seed=1)
+        assert (inputs["dest"] == -1).sum() > 0
+        live = inputs["dest"][inputs["dest"] >= 0]
+        assert len(np.unique(live)) == len(live)
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ValueError, match="unknown VM oracle program"):
+            make_inputs("fft", 4, 4, seed=1)
+
+
+class TestCompare:
+    def test_sort_tie_reorder_is_a_match(self):
+        # shearsort is unstable: tied keys may swap payloads
+        keys = np.array([1, 1, 2], dtype=np.int64)
+        pay_a = np.array([10, 20, 30], dtype=np.int64)
+        pay_b = np.array([20, 10, 30], dtype=np.int64)
+        assert compare("sort", (keys, pay_a), (keys, pay_b))
+
+    def test_sort_payload_swap_across_keys_is_not(self):
+        keys = np.array([1, 1, 2], dtype=np.int64)
+        pay_a = np.array([10, 20, 30], dtype=np.int64)
+        pay_b = np.array([30, 20, 10], dtype=np.int64)
+        assert not compare("sort", (keys, pay_a), (keys, pay_b))
+
+    def test_sort_wrong_keys_is_not(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([1, 2, 4], dtype=np.int64)
+        assert not compare("sort", (a, a), (b, b))
+
+    def test_route_exact(self):
+        a = np.array([5, -7, 6], dtype=np.int64)
+        assert compare("route", (a,), (a.copy(),))
+        assert not compare("route", (a,), (a[::-1].copy(),))
+
+
+class TestFaultedDifferential:
+    @pytest.mark.parametrize("kind", VM_FAULT_KINDS)
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_paranoid_faulted_run_is_detected(self, kind, program):
+        plan = FaultPlan(seed=7, kind=kind, rate=1.0, max_faults=None)
+        out = run_differential(program, rows=8, cols=8, seed=3, plans=(plan,))
+        assert out.outcome == "detected", out.to_dict()
+        assert out.injected
+        assert out.error["check"] == "vm:shift:integrity"
+        assert out.injected[0]["site"].startswith("vm:")
+
+    @pytest.mark.parametrize("program", PROGRAMS)
+    def test_unfaulted_checked_run_stays_clean(self, program):
+        out = run_differential(program, rows=5, cols=3, seed=4, plans=())
+        assert out.outcome == "clean_match"
+
+    def test_never_silent_with_check(self):
+        # the acceptance criterion in miniature: all kinds x programs x a
+        # band of seeds, checked runs never silently corrupt
+        outcomes = set()
+        for kind in VM_FAULT_KINDS:
+            for program in PROGRAMS:
+                for seed in (1, 2):
+                    plan = FaultPlan(seed=seed, kind=kind, rate=0.3, max_faults=1)
+                    out = run_differential(
+                        program, rows=6, cols=6, seed=5, plans=(plan,)
+                    )
+                    outcomes.add(out.outcome)
+                    assert out.outcome != "silent_corruption", out.to_dict()
+                    if out.injected:
+                        assert out.outcome == "detected"
+        assert "detected" in outcomes
+
+    def test_unchecked_faults_do_corrupt(self):
+        # sanity that the harness isn't vacuous: without checks, at least
+        # one faulted cell actually goes silently wrong
+        bad = 0
+        for kind in VM_FAULT_KINDS:
+            plan = FaultPlan(seed=7, kind=kind, rate=1.0, max_faults=None)
+            out = run_differential(
+                "sort", rows=8, cols=8, seed=3, plans=(plan,), check=False
+            )
+            bad += out.outcome in ("silent_corruption", "crash")
+        assert bad > 0
+
+    def test_outcome_to_dict_roundtrip(self):
+        out = run_differential("scan", rows=4, cols=4, seed=1)
+        doc = out.to_dict()
+        assert doc["program"] == "scan"
+        assert doc["outcome"] == "clean_match"
+        assert doc["rows"] == doc["cols"] == 4
+        assert "error" not in doc
+
+
+class TestSnakeCorrespondence:
+    def test_sort_readback_is_globally_sorted(self):
+        inputs = make_inputs("sort", 5, 3, seed=6)
+        (keys, _), _ = vm_run(inputs)
+        assert (np.diff(keys) >= 0).all()
+
+    def test_scan_loads_in_snake_order(self):
+        # processor j must hold logical element snake_rank(j); a row-major
+        # load would compute a different (wrong) prefix order
+        inputs = make_inputs("scan", 4, 4, seed=6)
+        to_snake = rowmajor_to_snake(4, 4)
+        assert not np.array_equal(to_snake, np.arange(16))  # snake != rowmajor
+        out, _ = vm_run(inputs)
+        assert np.array_equal(out[0], np.cumsum(inputs["values"]))
+
+    @pytest.mark.parametrize("shape", [(5, 3), (1, 8), (8, 1)])
+    def test_engine_and_vm_agree_on_nonsquare_scan(self, shape):
+        rows, cols = shape
+        inputs = make_inputs("scan", rows, cols, seed=2)
+        ref = engine_reference(inputs)
+        out, _ = vm_run(inputs)
+        assert np.array_equal(out[0], ref[0])

@@ -21,7 +21,7 @@ import asyncio
 import numpy as np
 import pytest
 
-from repro.mesh.faults import FaultPlan, InvariantViolation
+from repro.mesh.faults import VM_FAULT_KINDS, FaultPlan, InvariantViolation
 from repro.serve import BatchingServer, ResultCache, restore_service
 
 NAN_KEY = FaultPlan(seed=5, kind="nan_query_key", rate=1.0, max_faults=None)
@@ -41,7 +41,7 @@ async def _submit_all(server, queries):
     return await asyncio.gather(*tasks, return_exceptions=True)
 
 
-def _fresh_server(env, plans, cache=None):
+def _fresh_server(env, plans, cache=None, vm_witness=False):
     # a fresh restore per chaos test: injected corruption must never be
     # able to leak into the session-scoped service other tests share
     return BatchingServer(
@@ -51,6 +51,7 @@ def _fresh_server(env, plans, cache=None):
         cache=cache,
         fault_plans=plans,
         engine_kwargs={"paranoid": True},
+        vm_witness=vm_witness,
     )
 
 
@@ -138,3 +139,68 @@ def test_injection_is_deterministic(pointloc_env):
         return [str(o) for o in outcomes]
 
     assert run_once() == run_once()
+
+
+# -- the cycle-accurate witness ---------------------------------------------
+
+
+@pytest.mark.parametrize("plan_kind", VM_FAULT_KINDS)
+def test_vm_fault_mid_request_faults_the_whole_batch(plan_kind, pointloc_env):
+    # a step-level fault in the witness VM fires *before* any answer is
+    # computed: every future resolves exceptionally, nothing is cached
+    env = pointloc_env
+    cache = ResultCache(256)
+    plan = FaultPlan(seed=5, kind=plan_kind, rate=1.0, max_faults=None)
+    server = _fresh_server(env, [plan], cache=cache, vm_witness=True)
+    outcomes = asyncio.run(_submit_all(server, env["queries"][:4]))
+    assert server.stats["faulted_batches"] == server.stats["batches"] == 1
+    assert all(isinstance(o, InvariantViolation) for o in outcomes), outcomes
+    assert all("vm:" in str(o) for o in outcomes)
+    assert len(cache) == 0
+    # the batch died in pre-flight: no engine steps were ever charged
+    assert server.stats["mesh_steps"] == 0.0
+
+
+def test_clean_vm_witness_is_transparent(pointloc_env):
+    # with no installed faults the witness adds steps to the witness
+    # counter only; answers are byte-identical to a direct batch
+    env = pointloc_env
+    server = _fresh_server(env, [], vm_witness=True)
+    results = asyncio.run(_submit_all(server, env["queries"][:4]))
+    direct, _ = env["service"].run_batch(env["queries"][:4])
+    assert np.array_equal(np.array(results), np.array(direct))
+    assert server.stats["faulted_batches"] == 0
+    assert server.stats["vm_witness_steps"] > 0
+
+
+def test_vm_witness_ignores_engine_level_plans(pointloc_env):
+    # engine fault kinds have no surface inside the witness VM — the
+    # batch must fault (or not) exactly as it would without the witness
+    env = pointloc_env
+    server = _fresh_server(env, [NAN_KEY], vm_witness=True)
+    outcomes = asyncio.run(_submit_all(server, env["queries"][:4]))
+    assert all(isinstance(o, InvariantViolation) for o in outcomes)
+    # the NaN query fault fired at the engine boundary, not in the VM
+    assert all("vm:" not in str(o) for o in outcomes)
+
+
+def test_vm_witness_recovery(pointloc_env):
+    # after the chaos window closes, the same server serves cleanly and
+    # the witness keeps running on every flush
+    env = pointloc_env
+    plan = FaultPlan(seed=5, kind="vm_flip_word", rate=1.0, max_faults=None)
+    cache = ResultCache(256)
+    server = _fresh_server(env, [plan], cache=cache, vm_witness=True)
+
+    async def run():
+        faulted = await _submit_all(server, env["queries"][:4])
+        server.fault_plans = ()
+        clean = await _submit_all(server, env["queries"][:4])
+        return faulted, clean
+
+    faulted, clean = asyncio.run(run())
+    assert all(isinstance(o, InvariantViolation) for o in faulted)
+    direct, _ = env["service"].run_batch(env["queries"][:4])
+    assert np.array_equal(np.array(clean), np.array(direct))
+    assert len(cache) == 4
+    assert server.stats["vm_witness_steps"] > 0
