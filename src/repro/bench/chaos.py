@@ -29,6 +29,28 @@ committed blind-spot baseline (``FAULTS_baseline.json``)::
 
     python -m repro.bench.chaos --seeds 1 2 3 --baseline FAULTS_baseline.json
     python -m repro.bench.chaos --seeds 1 2 3 --write-baseline FAULTS_baseline.json
+
+**Process suite** (``--suite process``): the supervised serving layer
+(:mod:`repro.serve.pool`) under the ``worker_*`` process-fault kinds —
+crash, hang, slow, corrupt reply — injected *inside worker processes*.
+Recovery is a success here, so the suite has its own outcome taxonomy:
+
+* ``recovered`` — every query answered byte-identical to the direct
+  single-process batch, despite injected faults;
+* ``detected`` — some queries failed with *typed* serving errors
+  (retries exhausted / pool quarantined), every answered query correct,
+  cache clean: the failure was contained and reported, not hidden;
+* ``silent_corruption`` — an answered query differed from the direct
+  run (the outcome supervision exists to prevent);
+* ``cache_pollution`` — the result cache holds a wrong answer;
+* ``unresolved`` — an accepted query's future never resolved
+  (exactly-once violated);
+* ``no_opportunity`` — no evidence the fault ever manifested.
+
+Gated against ``process_blind_spots`` in the same baseline file::
+
+    python -m repro.bench.chaos --suite process --seeds 1 2 3 \\
+        --baseline FAULTS_baseline.json
 """
 
 from __future__ import annotations
@@ -45,6 +67,7 @@ from repro.mesh.engine import MeshEngine
 from repro.mesh.faults import (
     ADVERSARIAL_KINDS,
     FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
     VM_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
@@ -57,7 +80,10 @@ __all__ = [
     "SCENARIO_KINDS",
     "run_cell",
     "run_matrix",
+    "run_process_cell",
+    "run_process_matrix",
     "gate",
+    "gate_process",
     "main",
 ]
 
@@ -348,6 +374,266 @@ def blind_spots(report: dict) -> dict[str, str]:
     return spots
 
 
+# -- process suite: the supervised serving layer under worker faults --------
+#
+# Per-kind pool tuning: rates below 1.0 leave the retry path a healthy
+# worker to land on (a rate-1.0 plan re-arms on every restarted worker,
+# so recovery is impossible by construction and the only correct outcome
+# is a typed failure — that is the engine-suite's job, not this one's).
+_PROCESS_TUNING = {
+    "worker_crash": dict(rate=0.5),
+    "worker_hang": dict(rate=0.4),
+    "worker_slow": dict(rate=0.5),
+    "worker_corrupt_reply": dict(rate=0.7),
+}
+
+#: pool stats that evidence each kind actually manifested in a worker
+#: (the injector's own log lives in the worker process and dies with it;
+#: the supervisor's counters are the observable truth)
+_PROCESS_EVIDENCE = {
+    "worker_crash": ("crashes",),
+    "worker_hang": ("hangs", "timeouts"),
+    "worker_slow": ("hedges", "timeouts"),
+    "worker_corrupt_reply": ("corrupt_replies",),
+}
+
+
+def _process_snapshot(tmpdir: pathlib.Path) -> tuple[pathlib.Path, np.ndarray, list]:
+    """One small pointloc snapshot + its direct (fault-free) answers."""
+    from repro.serve.service import restore_service
+    from repro.serve.snapshot import read_snapshot, snapshot_pointloc
+
+    rng = np.random.default_rng(1331)
+    sites = rng.standard_normal((48, 2))
+    path = tmpdir / "chaos_pointloc.npz"
+    snapshot_pointloc(path, sites, seed=0)
+    service = restore_service(read_snapshot(path))
+    queries = rng.standard_normal((16, 2))
+    direct, _ = service.run_batch(queries)
+    return path, queries, list(direct)
+
+
+def run_process_cell(
+    kind: str,
+    seed: int,
+    snapshot_path,
+    queries: np.ndarray,
+    direct: list,
+    wait_s: float = 60.0,
+) -> dict:
+    """One (kind, seed) cell of the process-fault suite.
+
+    Spawns a 2-worker supervised pool with the kind's fault plan, pushes
+    every query through, and classifies on the invariants the supervisor
+    promises: exactly-once resolution, byte-identical answers, typed
+    errors only, a clean cache.
+    """
+    import asyncio
+
+    from repro.serve import ResultCache, ServingError, SupervisedServer, WorkerPool
+    from repro.serve.cache import query_cache_key
+
+    plan = FaultPlan(
+        seed=seed, kind=kind, max_faults=None, **_PROCESS_TUNING[kind]
+    )
+    pool = WorkerPool(
+        snapshot_path,
+        workers=2,
+        batch_deadline_s=2.5,
+        heartbeat_s=0.1,
+        heartbeat_timeout_s=1.0,
+        max_retries=6,
+        backoff_s=0.02,
+        hedge_s=0.15,
+        restart_backoff_s=0.05,
+        breaker_threshold=8,
+        fault_plans=[plan],
+        slow_s=0.6,
+    )
+    cache = ResultCache()
+    outcomes: list = []
+    unresolved = False
+
+    async def drive():
+        nonlocal unresolved
+        server = SupervisedServer(pool, batch_size=4, deadline_s=0.01, cache=cache)
+        tasks = [asyncio.ensure_future(server.submit(q)) for q in queries]
+        done, pending = await asyncio.wait(tasks, timeout=wait_s)
+        unresolved = bool(pending)
+        for task in pending:
+            task.cancel()
+        for task in tasks:
+            if task in pending:
+                outcomes.append(("unresolved", None))
+            elif task.exception() is not None:
+                outcomes.append(("error", task.exception()))
+            else:
+                outcomes.append(("ok", task.result()))
+        await server.close(close_pool=True)
+
+    try:
+        asyncio.run(drive())
+    finally:
+        pool.close(timeout=1.0)
+
+    wrong = sum(
+        1
+        for (tag, value), want in zip(outcomes, direct)
+        if tag == "ok" and not np.array_equal(value, want)
+    )
+    typed_errors = sum(
+        1 for tag, value in outcomes if tag == "error" and isinstance(value, ServingError)
+    )
+    untyped_errors = sum(
+        1
+        for tag, value in outcomes
+        if tag == "error" and not isinstance(value, ServingError)
+    )
+    snapshot_id = pool.snapshot_id
+    polluted = 0
+    for q, want in zip(queries, direct):
+        found, got = cache.get(query_cache_key(snapshot_id, q))
+        if found and not np.array_equal(got, want):
+            polluted += 1
+    evidence = sum(
+        int(pool.stats.get(stat, 0)) for stat in _PROCESS_EVIDENCE[kind]
+    )
+
+    if wrong:
+        outcome = "silent_corruption"
+    elif polluted:
+        outcome = "cache_pollution"
+    elif unresolved:
+        outcome = "unresolved"
+    elif untyped_errors:
+        outcome = "crash"
+    elif evidence == 0:
+        outcome = "no_opportunity"
+    elif typed_errors:
+        outcome = "detected"
+    else:
+        outcome = "recovered"
+    return {
+        "scenario": "serve_pool",
+        "kind": kind,
+        "seed": seed,
+        "mode": "supervised",
+        "outcome": outcome,
+        "wrong_answers": wrong,
+        "typed_errors": typed_errors,
+        "untyped_errors": untyped_errors,
+        "cache_polluted": polluted,
+        "evidence": evidence,
+        "pool_stats": {
+            k: v
+            for k, v in pool.stats.items()
+            if isinstance(v, (int, float)) and v
+        },
+    }
+
+
+def run_process_matrix(seeds, kinds=None, tmpdir=None) -> dict:
+    """The process-fault suite over ``kinds`` x ``seeds``.
+
+    Worker scheduling is nondeterministic, so unlike the engine matrix
+    the *evidence counts* vary run to run — but the classification rests
+    on invariants (exactly-once, byte-identity, typed-only, cache-clean)
+    that must hold under any interleaving.
+    """
+    import tempfile
+
+    kinds = list(kinds or PROCESS_FAULT_KINDS)
+    bad = [k for k in kinds if k not in PROCESS_FAULT_KINDS]
+    if bad:
+        raise ValueError(f"not process fault kinds: {bad}")
+    owned = None
+    if tmpdir is None:
+        owned = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        tmpdir = owned.name
+    try:
+        path, queries, direct = _process_snapshot(pathlib.Path(tmpdir))
+        results = [
+            run_process_cell(kind, seed, path, queries, direct)
+            for kind in kinds
+            for seed in seeds
+        ]
+    finally:
+        if owned is not None:
+            owned.cleanup()
+    summary: dict[str, int] = {}
+    for cell in results:
+        summary[cell["outcome"]] = summary.get(cell["outcome"], 0) + 1
+    handled = sum(
+        1 for c in results if c["outcome"] in ("recovered", "detected")
+    )
+    with_evidence = sum(1 for c in results if c["outcome"] != "no_opportunity")
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "process",
+        "seeds": list(seeds),
+        "kinds": kinds,
+        "results": results,
+        "summary": summary,
+        "handled_rate": (handled / with_evidence) if with_evidence else None,
+    }
+
+
+def gate_process(report: dict, baseline: dict | None) -> list[str]:
+    """Process-suite cells that broke a supervision invariant.
+
+    Anything other than ``recovered`` / ``detected`` /
+    ``no_opportunity`` must be documented in the baseline's
+    ``process_blind_spots`` map, else the chaos job exits 1.
+    """
+    known = (baseline or {}).get("process_blind_spots", {})
+    failures = []
+    for cell in report["results"]:
+        if cell["outcome"] in ("recovered", "detected", "no_opportunity"):
+            continue
+        key = f"{cell['mode']}:{cell['scenario']}:{cell['kind']}"
+        if key not in known:
+            failures.append(
+                f"{key} seed={cell['seed']}: {cell['outcome']} "
+                f"(wrong={cell['wrong_answers']} "
+                f"polluted={cell['cache_polluted']} "
+                f"untyped={cell['untyped_errors']}) — not in the "
+                "process blind-spot baseline"
+            )
+    return failures
+
+
+def process_blind_spots(report: dict) -> dict[str, str]:
+    """The process report's invariant breaks, as a baseline fragment."""
+    spots: dict[str, str] = {}
+    for cell in report["results"]:
+        if cell["outcome"] not in ("recovered", "detected", "no_opportunity"):
+            spots.setdefault(
+                f"{cell['mode']}:{cell['scenario']}:{cell['kind']}",
+                f"{cell['outcome']} (first seen seed={cell['seed']})",
+            )
+    return spots
+
+
+def _render_process(report: dict) -> str:
+    lines = ["process chaos matrix (supervised serving):"]
+    for cell in report["results"]:
+        stats = cell["pool_stats"]
+        interesting = {
+            k: stats[k]
+            for k in ("retries", "hedges", "crashes", "hangs", "timeouts",
+                      "corrupt_replies", "restarts", "quarantined")
+            if k in stats
+        }
+        lines.append(
+            f"  {cell['kind']:<22} seed={cell['seed']} -> {cell['outcome']}"
+            + (f"  {interesting}" if interesting else "")
+        )
+    rate = report["handled_rate"]
+    rate_txt = "n/a" if rate is None else f"{rate:.0%}"
+    lines.append(f"summary: {report['summary']}  handled={rate_txt}")
+    return "\n".join(lines)
+
+
 def _render(report: dict) -> str:
     lines = ["chaos matrix:"]
     for cell in report["results"]:
@@ -373,6 +659,11 @@ def main(argv: list[str] | None = None) -> int:
         "--scenarios", nargs="+", choices=sorted(SCENARIOS), default=None
     )
     parser.add_argument(
+        "--suite", choices=("engine", "process", "all"), default="engine",
+        help="engine: the in-process fault matrix (default); process: the "
+        "supervised serving layer under worker_* faults; all: both",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="write the full JSON report here",
     )
@@ -387,29 +678,52 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_matrix(args.seeds, scenarios=args.scenarios)
-    print(_render(report), flush=True)
+    engine_report = process_report = None
+    if args.suite in ("engine", "all"):
+        engine_report = run_matrix(args.seeds, scenarios=args.scenarios)
+        print(_render(engine_report), flush=True)
+    if args.suite in ("process", "all"):
+        process_report = run_process_matrix(args.seeds)
+        print(_render_process(process_report), flush=True)
     if args.out is not None:
-        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        if engine_report is not None and process_report is not None:
+            doc = dict(engine_report)
+            doc["process"] = process_report
+        else:
+            doc = engine_report if engine_report is not None else process_report
+        args.out.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {args.out}", flush=True)
     if args.write_baseline is not None:
-        doc = {
-            "schema": SCHEMA_VERSION,
-            "blind_spots": blind_spots(report),
+        # merge into an existing baseline so the engine and process
+        # suites can maintain their halves independently
+        doc = {"schema": SCHEMA_VERSION, "blind_spots": {}, "covers": {}}
+        if args.write_baseline.exists():
+            doc.update(json.loads(args.write_baseline.read_text()))
+        if engine_report is not None:
+            doc["blind_spots"] = blind_spots(engine_report)
             # informational: the scenario/kind universe this baseline's
             # empty-or-not blind-spot list was established over
-            "covers": {
-                "scenarios": report["scenarios"],
-                "kinds": report["kinds"],
-            },
-        }
+            doc["covers"] = {
+                "scenarios": engine_report["scenarios"],
+                "kinds": engine_report["kinds"],
+            }
+        if process_report is not None:
+            doc["process_blind_spots"] = process_blind_spots(process_report)
+            doc["process_covers"] = {
+                "scenarios": ["serve_pool"],
+                "kinds": process_report["kinds"],
+            }
         args.write_baseline.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {args.write_baseline}", flush=True)
         return 0
     baseline = None
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
-    failures = gate(report, baseline)
+    failures = []
+    if engine_report is not None:
+        failures.extend(gate(engine_report, baseline))
+    if process_report is not None:
+        failures.extend(gate_process(process_report, baseline))
     if failures:
         print("\nUNDOCUMENTED BLIND SPOTS:", file=sys.stderr)
         for failure in failures:

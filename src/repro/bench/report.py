@@ -31,7 +31,7 @@ import json
 import pathlib
 import sys
 
-from repro.bench.runner import REGRESSION_TOLERANCE, compare
+from repro.bench.runner import REGRESSION_TOLERANCE, compare, error_kind_of
 from repro.mesh.profile import CostProfile
 from repro.mesh.trace import Span
 
@@ -142,7 +142,7 @@ def render_doc(doc: dict) -> str:
     for point in doc["points"]:
         if "error" in point:
             lines.append(
-                f"  [{_params_txt(point)}] ERROR after "
+                f"  [{_params_txt(point)}] ERROR({error_kind_of(point)}) after "
                 f"{point.get('attempts', '?')} attempt(s): {point['error']}"
             )
             continue
@@ -164,9 +164,13 @@ def render_doc(doc: dict) -> str:
             prof = CostProfile.from_dict(point["profile"])
             lines.extend("    " + ln for ln in prof.render().splitlines())
     if errored:
+        kinds: dict[str, int] = {}
+        for p in errored:
+            kinds[error_kind_of(p)] = kinds.get(error_kind_of(p), 0) + 1
+        kind_txt = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
         lines.append(
             f"ERRORS: {len(errored)} of {len(doc['points'])} points failed "
-            "(crash, exception, or timeout) — see lines above"
+            f"({kind_txt}) — see lines above"
         )
     if "profile" in doc:
         lines.append("merged per-label profile:")
@@ -253,7 +257,10 @@ def render_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]
     for point in new["points"]:
         base = old_by_params.get(_params_key(point))
         if "error" in point:
-            lines.append(f"  [{_params_txt(point)}] ERROR: {point['error']}")
+            lines.append(
+                f"  [{_params_txt(point)}] ERROR({error_kind_of(point)}): "
+                f"{point['error']}"
+            )
             continue
         if base is None:
             lines.append(f"  [{_params_txt(point)}] new point (no baseline)")
@@ -261,7 +268,7 @@ def render_diff(old: dict, new: dict, tolerance: float) -> tuple[str, list[str]]
         if "error" in base:
             lines.append(
                 f"  [{_params_txt(point)}] baseline point errored "
-                f"({base['error']}); no comparison"
+                f"({error_kind_of(base)} — {base['error']}); no comparison"
             )
             continue
         ow, nw = base["fast"]["wall_s_min"], point["fast"]["wall_s_min"]

@@ -59,7 +59,15 @@ from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
-__all__ = ["REGISTRY", "BenchSpec", "provenance", "run_bench", "run_point", "main"]
+__all__ = [
+    "REGISTRY",
+    "BenchSpec",
+    "error_kind_of",
+    "provenance",
+    "run_bench",
+    "run_point",
+    "main",
+]
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 BENCH_DIR = REPO_ROOT / "benchmarks"
@@ -488,10 +496,45 @@ def _params_key(params: dict) -> str:
     return json.dumps({k: norm(v) for k, v in params.items()}, sort_keys=True)
 
 
-def _error_record(job: "_Job", error: str, tb: str | None = None, **extra) -> dict:
+def error_kind_of(point: dict) -> str:
+    """The failure kind of an errored point record.
+
+    New documents carry ``error_kind`` explicitly; older ones are
+    classified from the fields they do have (``timed_out`` flags a
+    deadline kill, the ``worker crashed`` message a dead process), so
+    diffs against pre-``error_kind`` baselines still render the
+    distinction.
+    """
+    kind = point.get("error_kind")
+    if kind:
+        return str(kind)
+    error = str(point.get("error", ""))
+    if point.get("timed_out") or error.startswith("timed out"):
+        return "timeout"
+    if error.startswith("worker crashed"):
+        return "crash"
+    return "exception"
+
+
+def _error_record(
+    job: "_Job", error: str, tb: str | None = None, kind: str = "exception", **extra
+) -> dict:
+    """A failed point's record.  ``kind`` distinguishes *how* it failed:
+
+    - ``exception`` — the bench fn raised and the worker reported it;
+    - ``crash`` — the worker process died without reporting (segfault,
+      OOM kill, ``os._exit``);
+    - ``timeout`` — the per-point deadline expired and the runner killed
+      the worker.
+
+    The distinction matters for triage (a timeout wants a bigger budget
+    or a smaller point; a crash wants a debugger) and is rendered by
+    ``report``/``--compare``.
+    """
     rec: dict = {
         "params": dict(job.point),
         "error": error,
+        "error_kind": kind,
         "traceback": tb,
         "attempts": job.attempts,
     }
@@ -672,7 +715,9 @@ def run_bench(
             elif status == "error":
                 finish(
                     job,
-                    _error_record(job, payload["error"], payload["traceback"]),
+                    _error_record(
+                        job, payload["error"], payload["traceback"], kind="exception"
+                    ),
                 )
             else:  # died without reporting: crash — retry with backoff
                 code = job.process.exitcode
@@ -688,7 +733,7 @@ def run_bench(
                         flush=True,
                     )
                 else:
-                    finish(job, _error_record(job, crash))
+                    finish(job, _error_record(job, crash, kind="crash"))
         # enforce per-point deadlines on whoever is still running
         now = time.monotonic()
         for conn, job in list(running.items()):
@@ -699,7 +744,10 @@ def run_bench(
                 finish(
                     job,
                     _error_record(
-                        job, f"timed out after {timeout:.1f}s", timed_out=True
+                        job,
+                        f"timed out after {timeout:.1f}s",
+                        kind="timeout",
+                        timed_out=True,
                     ),
                 )
 
@@ -741,7 +789,10 @@ def compare(doc: dict, baseline: dict, tolerance: float = REGRESSION_TOLERANCE) 
     for point in doc["points"]:
         key = _params_key(point["params"])
         if "error" in point:
-            failures.append(f"{doc['bench']} {point['params']}: {point['error']}")
+            failures.append(
+                f"{doc['bench']} {point['params']}: "
+                f"{error_kind_of(point)} — {point['error']}"
+            )
             continue
         base = base_by_params.get(key)
         if base is None:
@@ -749,7 +800,7 @@ def compare(doc: dict, baseline: dict, tolerance: float = REGRESSION_TOLERANCE) 
         if "error" in base:
             failures.append(
                 f"{doc['bench']} {point['params']}: baseline point errored "
-                f"({base['error']}); no comparison possible"
+                f"({error_kind_of(base)} — {base['error']}); no comparison possible"
             )
             continue
         old = base["fast"]["wall_s_min"]
@@ -768,8 +819,8 @@ def _render_bench(doc: dict) -> str:
         params = ", ".join(f"{k}={v}" for k, v in point["params"].items())
         if "error" in point:
             lines.append(
-                f"  [{params}] ERROR after {point.get('attempts', '?')} "
-                f"attempt(s): {point['error']}"
+                f"  [{params}] ERROR({error_kind_of(point)}) after "
+                f"{point.get('attempts', '?')} attempt(s): {point['error']}"
             )
             continue
         steps = point["fast"]["mesh_steps"]

@@ -47,6 +47,7 @@ __all__ = [
     "FAULT_KINDS",
     "ADVERSARIAL_KINDS",
     "VM_FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "FaultPlan",
     "InjectedFault",
     "FaultInjector",
@@ -81,6 +82,17 @@ VM_FAULT_KINDS = (
     "vm_drop_link",     # one link lane delivers stale (stuck) or fill values
     "vm_corrupt_fill",  # the mesh-boundary fill arrives corrupted
     "vm_dup_step",      # the link double-pumps: data moves two hops in one step
+)
+
+#: fault kinds applied at the *process* level, inside a serving worker of
+#: :mod:`repro.serve.pool` (see :meth:`FaultInjector.on_worker_batch` /
+#: :meth:`FaultInjector.on_reply_bytes`) — the failure domains the
+#: supervisor exists to survive
+PROCESS_FAULT_KINDS = (
+    "worker_crash",          # the worker process dies mid-batch (os._exit)
+    "worker_hang",           # the worker freezes (SIGSTOP): no reply, no heartbeat
+    "worker_slow",           # the worker stalls past the batch deadline, then replies
+    "worker_corrupt_reply",  # the reply payload is corrupted in transit
 )
 
 
@@ -167,7 +179,7 @@ class FaultPlan:
     max_faults: int | None = 1
 
     def __post_init__(self) -> None:
-        known = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS
+        known = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS + PROCESS_FAULT_KINDS
         if self.kind not in known:
             raise ValueError(
                 f"unknown fault kind {self.kind!r} (know {known})"
@@ -455,6 +467,48 @@ class FaultInjector:
                 )
 
         return outs
+
+    # -- worker-process hooks ----------------------------------------------
+
+    def on_worker_batch(self, site: str) -> list[str]:
+        """Process-level fault decisions for one batch inside a serving worker.
+
+        Called by :func:`repro.serve.pool._worker_main` once per received
+        batch with site ``worker:<id>``.  Returns the subset of
+        ``worker_crash`` / ``worker_hang`` / ``worker_slow`` that fires on
+        this batch (the *worker* then crashes/stalls itself — the
+        injector only decides and logs).  ``worker_corrupt_reply`` is
+        excluded: it applies to reply *bytes*, via :meth:`on_reply_bytes`.
+        Each plan's RNG advances exactly once per batch, so the
+        kill/stall schedule is a pure function of the plan and the
+        worker's batch sequence.
+        """
+        fired = []
+        for kind in ("worker_crash", "worker_hang", "worker_slow"):
+            i = self._match(kind, site)
+            if i is not None:
+                self._record(i, kind, site, {"batch_seq": self.opportunities[kind]})
+                fired.append(kind)
+        return fired
+
+    def on_reply_bytes(self, payload: bytes, site: str) -> bytes:
+        """Maybe flip one byte of a serialized reply payload (a copy).
+
+        Models corruption on the supervisor-worker link *after* the
+        worker computed the reply checksum — the end-to-end argument: the
+        digest travels with the payload, so the supervisor detects the
+        mismatch, discards the reply, and retries, and a corrupt answer
+        can never resolve a future or reach the result cache.
+        """
+        i = self._match("worker_corrupt_reply", site)
+        if i is None or not payload:
+            return payload
+        rng = self._rngs[i]
+        j = int(rng.integers(0, len(payload)))
+        out = bytearray(payload)
+        out[j] ^= 0xFF
+        self._record(i, "worker_corrupt_reply", site, {"byte": j})
+        return bytes(out)
 
 
 def _words_equal(a: np.ndarray, b: np.ndarray) -> bool:

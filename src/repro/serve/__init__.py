@@ -10,11 +10,22 @@ the two across process lifetimes:
 * :mod:`repro.serve.service` — per-application query services over
   restored structures, batch-in / per-query-results-out;
 * :mod:`repro.serve.batcher` — asyncio front-end turning individual
-  queries into mesh-sized batches (flush on size or deadline);
+  queries into mesh-sized batches (flush on size or deadline), with
+  single-flight dedup and typed shutdown;
 * :mod:`repro.serve.cache` — bounded LRU over
-  ``(snapshot_id, query bytes)`` with profile-visible hit/miss counters.
+  ``(snapshot_id, query bytes)`` with profile-visible hit/miss counters;
+* :mod:`repro.serve.pool` / :mod:`repro.serve.supervisor` — self-healing
+  multi-process serving: snapshot-restored workers under a supervisor
+  with heartbeats, deadlines, retry/hedging, circuit breakers, and load
+  shedding;
+* :mod:`repro.serve.errors` — the typed serving failures
+  (``Overloaded`` / ``ServerClosed`` / ``WorkerUnavailable`` /
+  ``BatchFailed``);
+* :mod:`repro.serve.ipc` — the checksummed supervisor↔worker wire
+  protocol.
 
-See DESIGN.md ("The serving layer") and EXPERIMENTS.md E13.
+See DESIGN.md ("The serving layer", "Supervision & failure domains")
+and EXPERIMENTS.md E13/E14.
 """
 
 from repro.serve.batcher import BatchingServer
@@ -22,8 +33,18 @@ from repro.serve.cache import (
     ResultCache,
     cache_counters,
     drain_cache_counters,
+    note_coalesced,
     query_cache_key,
 )
+from repro.serve.errors import (
+    BatchFailed,
+    Overloaded,
+    ServerClosed,
+    ServingError,
+    WorkerUnavailable,
+)
+from repro.serve.pool import WorkerPool
+from repro.serve.supervisor import SupervisedServer
 from repro.serve.service import (
     IntervalCountService,
     LinePolyService,
@@ -46,9 +67,17 @@ from repro.serve.snapshot import (
 
 __all__ = [
     "BatchingServer",
+    "SupervisedServer",
+    "WorkerPool",
+    "ServingError",
+    "Overloaded",
+    "ServerClosed",
+    "WorkerUnavailable",
+    "BatchFailed",
     "ResultCache",
     "cache_counters",
     "drain_cache_counters",
+    "note_coalesced",
     "query_cache_key",
     "MultisearchService",
     "PointLocationService",

@@ -17,6 +17,19 @@ known queries without touching the mesh; answers from a *faulted* batch
 (fault injection or any other execution error) are delivered as
 exceptions and are **never** written to the cache, so a fault cannot
 poison later requests.
+
+Two service-hygiene behaviors ride on the same state machine:
+
+* **single-flight dedup** — when a cache is configured and an identical
+  query is already pending, a new submit *coalesces* onto the in-flight
+  future instead of occupying a second batch slot (counted in
+  ``stats["coalesced"]`` and as ``result-cache:coalesced`` trace
+  events).  A faulted leader propagates its typed exception to every
+  coalesced follower — never a stale or partial result.
+* **shutdown fail-fast** — after :meth:`close` the server drains what it
+  accepted, then rejects new submits synchronously with a typed
+  :class:`~repro.serve.errors.ServerClosed`, so a submit racing a
+  shutdown can never strand an unresolved future.
 """
 
 from __future__ import annotations
@@ -26,7 +39,8 @@ import asyncio
 import numpy as np
 
 from repro.mesh.faults import FaultInjector
-from repro.serve.cache import ResultCache, query_cache_key
+from repro.serve.cache import ResultCache, note_coalesced, query_cache_key
+from repro.serve.errors import ServerClosed
 from repro.serve.service import MultisearchService
 
 __all__ = ["BatchingServer"]
@@ -87,6 +101,8 @@ class BatchingServer:
         self.vm_witness = bool(vm_witness)
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
+        self._inflight: dict[tuple[str, bytes], asyncio.Future] = {}
+        self._closed = False
         self.stats = {
             "queries": 0,
             "batches": 0,
@@ -96,33 +112,58 @@ class BatchingServer:
             "faulted_batches": 0,
             "mesh_steps": 0.0,
             "cache_hits": 0,
+            "coalesced": 0,
             "vm_witness_steps": 0,
         }
 
     # -- submission ----------------------------------------------------------
 
     async def submit(self, query):
-        """Answer one query; resolves when its batch is served (or cached)."""
+        """Answer one query; resolves when its batch is served (or cached).
+
+        Raises :class:`ServerClosed` synchronously once the server has
+        been closed — a post-shutdown submit fails fast instead of
+        queueing onto a batch that will never flush.
+        """
+        if self._closed:
+            raise ServerClosed("BatchingServer is closed; submit rejected")
         row = self.service.canonical_queries(query)
         if row.shape[0] != 1:
             raise ValueError("submit() takes a single query; use submit_many()")
         row = row[0]
         self.stats["queries"] += 1
+        key = None
         if self.cache is not None:
-            found, value = self.cache.get(
-                query_cache_key(self.service.snapshot_id, row)
-            )
+            key = query_cache_key(self.service.snapshot_id, row)
+            found, value = self.cache.get(key)
             if found:
                 self.stats["cache_hits"] += 1
                 return value
+            leader = self._inflight.get(key)
+            if leader is not None and not leader.done():
+                # single-flight: identical query already pending — ride
+                # its future instead of burning a second batch slot
+                self.stats["coalesced"] += 1
+                note_coalesced()
+                return await asyncio.shield(leader)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        if key is not None:
+            self._inflight[key] = future
+            future.add_done_callback(self._uninflight(key))
         self._pending.append((row, future))
         if len(self._pending) >= self.batch_size:
             self._flush("size")
         elif self._timer is None:
             self._timer = loop.call_later(self.deadline_s, self._flush, "deadline")
         return await future
+
+    def _uninflight(self, key):
+        def _done(future, _key=key):
+            if self._inflight.get(_key) is future:
+                self._inflight.pop(_key, None)
+
+        return _done
 
     async def submit_many(self, queries) -> list:
         """Submit a batch of rows concurrently; exceptions propagate per query."""
@@ -134,6 +175,23 @@ class BatchingServer:
         if self._pending:
             self._flush("drain")
         await asyncio.sleep(0)
+
+    async def close(self):
+        """Drain what was accepted, then reject all further submits.
+
+        Idempotent.  Everything pending at the call resolves normally
+        (or exceptionally, if its flush faults); everything submitted
+        after raises :class:`ServerClosed` without creating a future.
+        """
+        self._closed = True
+        await self.drain()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     @property
     def pending(self) -> int:

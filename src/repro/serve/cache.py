@@ -21,7 +21,13 @@ import numpy as np
 
 from repro.mesh.trace import emit_event
 
-__all__ = ["ResultCache", "query_cache_key", "cache_counters", "drain_cache_counters"]
+__all__ = [
+    "ResultCache",
+    "query_cache_key",
+    "cache_counters",
+    "drain_cache_counters",
+    "note_coalesced",
+]
 
 
 def query_cache_key(snapshot_id: str, query: np.ndarray) -> tuple[str, bytes]:
@@ -47,6 +53,10 @@ class ResultCache:
     #: attribution (drained per point by ``drain_cache_counters``)
     total_hits = 0
     total_misses = 0
+    #: misses that were coalesced behind an identical in-flight computation
+    #: (single-flight dedup in the batching front-ends) rather than
+    #: re-submitted to the mesh
+    total_coalesced = 0
 
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
@@ -94,9 +104,25 @@ class ResultCache:
         }
 
 
+def note_coalesced() -> None:
+    """Record one coalesced miss: an identical query was already in flight.
+
+    Called by the batching front-ends when single-flight dedup piggybacks
+    a cache miss on an identical pending computation instead of running
+    it again.  Emits the zero-step ``result-cache:coalesced`` trace event
+    so profiles can see dedup working alongside hits and misses.
+    """
+    ResultCache.total_coalesced += 1
+    emit_event("result-cache:coalesced")
+
+
 def cache_counters() -> dict[str, int]:
     """Process-wide result-cache totals (across all cache instances)."""
-    return {"hits": ResultCache.total_hits, "misses": ResultCache.total_misses}
+    return {
+        "hits": ResultCache.total_hits,
+        "misses": ResultCache.total_misses,
+        "coalesced": ResultCache.total_coalesced,
+    }
 
 
 def drain_cache_counters() -> dict[str, int]:
@@ -104,4 +130,5 @@ def drain_cache_counters() -> dict[str, int]:
     out = cache_counters()
     ResultCache.total_hits = 0
     ResultCache.total_misses = 0
+    ResultCache.total_coalesced = 0
     return out

@@ -1,0 +1,62 @@
+"""Typed serving errors: every rejected or failed query says *why*.
+
+The supervised serving layer promises that every accepted query's future
+resolves exactly once — with a result, or with one of these types.  A
+caller can branch on the type (shed load → back off and retry later;
+closed → stop submitting; pool exhausted → page someone) instead of
+parsing strings, and the chaos/property suites can assert that *only*
+typed errors ever surface from a fault.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "Overloaded",
+    "ServerClosed",
+    "WorkerUnavailable",
+    "BatchFailed",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for every typed serving-layer failure."""
+
+
+class Overloaded(ServingError):
+    """Admission control shed this query: the bounded ingress queue is full.
+
+    The request was *rejected before any work happened* — retry later.
+    Raised instead of queueing without bound, so a traffic spike degrades
+    to fast typed rejections rather than unbounded memory growth.
+    """
+
+
+class ServerClosed(ServingError):
+    """The server has been closed; post-shutdown submits fail fast.
+
+    Raised synchronously by ``submit``/``submit_many`` after ``close()``,
+    so a submit racing a drain can never strand an unresolved future.
+    """
+
+
+class WorkerUnavailable(ServingError):
+    """No healthy worker remains (all dead or quarantined).
+
+    The circuit breaker stopped restarting workers that keep dying (a
+    poisoned snapshot, a broken environment); queries fail typed instead
+    of the pool crash-looping.
+    """
+
+
+class BatchFailed(ServingError):
+    """A batch exhausted its retry budget without one clean reply.
+
+    ``reasons`` lists the per-attempt failure kinds (``crash`` / ``hang``
+    / ``timeout`` / ``corrupt_reply`` / ``error:<type>``), newest last.
+    """
+
+    def __init__(self, detail: str, reasons: tuple[str, ...] = ()) -> None:
+        self.reasons = tuple(reasons)
+        suffix = f" (attempts: {', '.join(self.reasons)})" if self.reasons else ""
+        super().__init__(f"{detail}{suffix}")

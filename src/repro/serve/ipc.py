@@ -1,0 +1,84 @@
+"""Wire protocol between the supervisor and its worker processes.
+
+Everything crossing a worker pipe is a small picklable tuple whose first
+element is the message tag:
+
+========= ============================================ ==================
+tag       payload                                      direction
+========= ============================================ ==================
+batch     ``(batch_id, shape, rows_bytes)``            supervisor → worker
+stop      ``()``                                       supervisor → worker
+ready     ``(worker_id, snapshot_id)``                 worker → supervisor
+hb        ``(worker_id, seq)``                         worker → supervisor
+reply     ``(worker_id, batch_id, payload, digest)``   worker → supervisor
+fatal     ``(worker_id, message)``                     worker → supervisor
+========= ============================================ ==================
+
+Query rows travel as raw float64 bytes plus a shape (cheap, no pickle of
+array objects).  Replies travel as an *opaque checksummed payload*: the
+worker serializes ``(results, mesh_steps)``, hashes the bytes, and sends
+both.  The supervisor verifies the digest **before** deserializing, so a
+reply corrupted in transit (the ``worker_corrupt_reply`` fault, a torn
+pipe, bit rot) is detected end-to-end and discarded — a corrupt reply
+can never resolve a future, however it was damaged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import numpy as np
+
+__all__ = [
+    "ReplyCorrupt",
+    "encode_rows",
+    "decode_rows",
+    "pack_reply",
+    "unpack_reply",
+]
+
+
+class ReplyCorrupt(ValueError):
+    """A reply payload failed its checksum (or could not deserialize)."""
+
+
+def encode_rows(rows: np.ndarray) -> tuple[tuple[int, ...], bytes]:
+    """Canonical float64 row-batch encoding for a ``batch`` message."""
+    q = np.ascontiguousarray(np.asarray(rows, dtype=np.float64))
+    return q.shape, q.tobytes()
+
+
+def decode_rows(shape: tuple[int, ...], data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_rows` (a fresh writable array)."""
+    return np.frombuffer(data, dtype=np.float64).reshape(shape).copy()
+
+
+def pack_reply(results, mesh_steps: float) -> tuple[bytes, str]:
+    """Serialize a batch's answer; returns ``(payload, sha256 digest)``.
+
+    The digest is computed over the exact bytes shipped, so any later
+    mutation of the payload — injected or real — breaks verification.
+    """
+    payload = pickle.dumps(
+        (list(results), float(mesh_steps)), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return payload, hashlib.sha256(payload).hexdigest()
+
+
+def unpack_reply(payload: bytes, digest: str) -> tuple[list, float]:
+    """Verify and deserialize a reply; raises :class:`ReplyCorrupt`.
+
+    Verification happens before ``pickle.loads`` ever sees the bytes:
+    corrupt data is rejected without being interpreted.
+    """
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != digest:
+        raise ReplyCorrupt(
+            f"reply checksum mismatch (sent {digest[:12]}…, got {actual[:12]}…)"
+        )
+    try:
+        results, mesh_steps = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any failure here is corruption
+        raise ReplyCorrupt(f"reply payload undecodable: {exc}") from exc
+    return results, float(mesh_steps)

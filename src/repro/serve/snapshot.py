@@ -118,18 +118,39 @@ def write_snapshot(
     )
 
 
-def read_snapshot(path) -> Snapshot:
+def read_snapshot(path, expected_id: str | None = None) -> Snapshot:
     """Load and validate a snapshot written by :func:`write_snapshot`.
 
     Raises :class:`SnapshotError` on a bad magic, an unsupported version,
     an unknown kind, or a content hash that no longer matches the header
     (bit rot / truncation / hand-editing).  ``path`` may also be an open
     binary file object.
+
+    A truncated or partially-written file (a torn write: the ``.npz``
+    zip directory lives at the end, so any prefix is unreadable) fails
+    *closed*: the low-level load error is wrapped in
+    :class:`SnapshotError` instead of leaking ``zipfile``/``numpy``
+    internals.  Pass ``expected_id`` (e.g. the id a supervisor restored
+    at startup) to pin the restore to one exact snapshot — the error
+    then names the snapshot id the caller wanted, even when the file is
+    too damaged to say what it holds.
     """
     source = path if hasattr(path, "read") else Path(path)
-    with np.load(source, allow_pickle=False) as npz:
+    want = f" (expected snapshot {expected_id})" if expected_id else ""
+    try:
+        npz_ctx = np.load(source, allow_pickle=False)
+    except SnapshotError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise SnapshotError(
+            f"{path}: unreadable snapshot — truncated, torn write, or not "
+            f"an archive ({type(exc).__name__}: {exc}){want}"
+        ) from exc
+    with npz_ctx as npz:
         if _HEADER_KEY not in npz.files:
-            raise SnapshotError(f"{path}: not a repro snapshot (missing header)")
+            raise SnapshotError(
+                f"{path}: not a repro snapshot (missing header){want}"
+            )
         try:
             header = json.loads(bytes(npz[_HEADER_KEY].tobytes()).decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -144,12 +165,23 @@ def read_snapshot(path) -> Snapshot:
         kind = header.get("kind")
         if kind not in _KINDS:
             raise SnapshotError(f"{path}: unknown snapshot kind {kind!r}")
-        arrays = {name: npz[name] for name in npz.files if name != _HEADER_KEY}
+        try:
+            arrays = {name: npz[name] for name in npz.files if name != _HEADER_KEY}
+        except Exception as exc:  # a torn member decompresses short / CRC-fails
+            raise SnapshotError(
+                f"{path}: snapshot arrays unreadable — torn write or "
+                f"corruption ({type(exc).__name__}: {exc}){want}"
+            ) from exc
     recomputed = compute_snapshot_id(kind, arrays)
     if recomputed != header.get("snapshot_id"):
         raise SnapshotError(
             f"{path}: content hash mismatch (header {header.get('snapshot_id')!r}, "
-            f"recomputed {recomputed!r}) — file corrupt or modified"
+            f"recomputed {recomputed!r}) — file corrupt or modified{want}"
+        )
+    if expected_id is not None and recomputed != expected_id:
+        raise SnapshotError(
+            f"{path}: snapshot id {recomputed!r} is not the expected "
+            f"{expected_id!r} — file replaced or restored from the wrong build"
         )
     return Snapshot(
         kind=kind,

@@ -1,0 +1,224 @@
+"""Supervised serving front-end: the batcher, backed by a worker pool.
+
+:class:`SupervisedServer` keeps :class:`~repro.serve.batcher.BatchingServer`'s
+accumulate-and-flush contract — per-query futures, cache short-circuit,
+single-flight dedup, typed shutdown — but hands each flushed batch to a
+:class:`~repro.serve.pool.WorkerPool` instead of running it in-process.
+The mesh work therefore executes in worker *processes* that can crash,
+hang, stall, or corrupt their replies without taking the event loop (or
+any other query) down: the pool retries on healthy workers, restarts the
+dead ones from the snapshot, and sheds load when the ingress bound is
+hit.  Whatever happens, every accepted query's future resolves exactly
+once — with the same bytes a direct in-process batch would produce, or
+with a typed :class:`~repro.serve.errors.ServingError`.
+
+Caching stays in the supervisor process, keyed on the pool's pinned
+snapshot id.  Only *verified* replies (checksum-valid, from a clean
+worker run) ever reach :meth:`ResultCache.put` — a corrupt or faulted
+batch resolves exceptionally and leaves the cache untouched, exactly
+like the in-process batcher's faulted-flush path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.serve.cache import ResultCache, note_coalesced, query_cache_key
+from repro.serve.errors import ServerClosed, ServingError
+from repro.serve.pool import WorkerPool
+
+__all__ = ["SupervisedServer"]
+
+
+class SupervisedServer:
+    """Accumulate single queries into batches answered by a worker pool.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`WorkerPool` that answers flushed batches.  The
+        server restores a lightweight local copy of the pool's service
+        (construction-free, from the same pinned snapshot) purely for
+        query canonicalization and cache keys — no engine ever runs in
+        the supervisor process.
+    batch_size / deadline_s:
+        The flush state machine, identical to the in-process batcher.
+    cache:
+        Optional :class:`ResultCache`; hits bypass the pool entirely,
+        and identical in-flight misses coalesce (single-flight).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        batch_size: int = 64,
+        deadline_s: float = 0.01,
+        cache: ResultCache | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        from repro.serve.service import restore_service
+        from repro.serve.snapshot import read_snapshot
+
+        self.pool = pool
+        self.service = restore_service(
+            read_snapshot(pool.snapshot_path, expected_id=pool.snapshot_id),
+            **pool.service_kwargs,
+        )
+        self.batch_size = int(batch_size)
+        self.deadline_s = float(deadline_s)
+        self.cache = cache
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._inflight: dict[tuple[str, bytes], asyncio.Future] = {}
+        self._batch_futures: set[asyncio.Future] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+        self.stats = {
+            "queries": 0,
+            "batches": 0,
+            "flush_size": 0,
+            "flush_deadline": 0,
+            "flush_drain": 0,
+            "faulted_batches": 0,
+            "mesh_steps": 0.0,
+            "cache_hits": 0,
+            "coalesced": 0,
+        }
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, query):
+        """Answer one query; resolves when its batch is served (or cached).
+
+        Raises :class:`ServerClosed` synchronously once closed.  Pool
+        rejections (:class:`Overloaded`, :class:`WorkerUnavailable`) and
+        retry exhaustion (:class:`BatchFailed`) surface as typed
+        exceptions on the returned future.
+        """
+        if self._closed:
+            raise ServerClosed("SupervisedServer is closed; submit rejected")
+        row = self.service.canonical_queries(query)
+        if row.shape[0] != 1:
+            raise ValueError("submit() takes a single query; use submit_many()")
+        row = row[0]
+        self.stats["queries"] += 1
+        key = None
+        if self.cache is not None:
+            key = query_cache_key(self.pool.snapshot_id, row)
+            found, value = self.cache.get(key)
+            if found:
+                self.stats["cache_hits"] += 1
+                return value
+            leader = self._inflight.get(key)
+            if leader is not None and not leader.done():
+                self.stats["coalesced"] += 1
+                note_coalesced()
+                return await asyncio.shield(leader)
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        future: asyncio.Future = loop.create_future()
+        if key is not None:
+            self._inflight[key] = future
+            future.add_done_callback(self._uninflight(key))
+        self._pending.append((row, future))
+        if len(self._pending) >= self.batch_size:
+            self._flush("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(self.deadline_s, self._flush, "deadline")
+        return await future
+
+    def _uninflight(self, key):
+        def _done(future, _key=key):
+            if self._inflight.get(_key) is future:
+                self._inflight.pop(_key, None)
+
+        return _done
+
+    async def submit_many(self, queries) -> list:
+        """Submit a batch of rows concurrently; exceptions propagate per query."""
+        rows = self.service.canonical_queries(queries)
+        return await asyncio.gather(
+            *(self.submit(row) for row in rows), return_exceptions=False
+        )
+
+    async def drain(self):
+        """Flush pending queries and wait for their pool batches to land."""
+        if self._pending:
+            self._flush("drain")
+        while self._batch_futures:
+            await asyncio.gather(*list(self._batch_futures), return_exceptions=True)
+        await asyncio.sleep(0)
+
+    async def close(self, close_pool: bool = False):
+        """Drain accepted work, then reject all further submits (typed).
+
+        Idempotent.  With ``close_pool`` the underlying worker pool shuts
+        down too (its own close resolves any stragglers with
+        :class:`ServerClosed` — nothing is ever silently dropped).
+        """
+        self._closed = True
+        await self.drain()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if close_pool:
+            await asyncio.get_running_loop().run_in_executor(None, self.pool.close)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- the flush -----------------------------------------------------------
+
+    def _flush(self, reason: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.stats["batches"] += 1
+        self.stats[f"flush_{reason}"] += 1
+        rows = np.stack([row for row, _ in batch])
+        try:
+            pool_future = self.pool.submit_batch(rows)
+        except ServingError as exc:
+            # admission control / breaker rejection: typed, synchronous,
+            # before any work — every future in the batch learns why
+            self.stats["faulted_batches"] += 1
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        afut = asyncio.wrap_future(pool_future, loop=self._loop)
+        self._batch_futures.add(afut)
+        afut.add_done_callback(lambda f, b=batch: self._on_batch_done(b, f))
+
+    def _on_batch_done(self, batch, afut: asyncio.Future) -> None:
+        self._batch_futures.discard(afut)
+        exc = afut.exception() if not afut.cancelled() else None
+        if afut.cancelled() or exc is not None:
+            # retries exhausted / pool closed / all workers quarantined:
+            # typed exception out, cache untouched
+            self.stats["faulted_batches"] += 1
+            err = exc if exc is not None else ServerClosed("batch cancelled")
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(err)
+            return
+        results, steps = afut.result()
+        self.stats["mesh_steps"] += float(steps)
+        for (row, future), result in zip(batch, results):
+            if self.cache is not None:
+                self.cache.put(query_cache_key(self.pool.snapshot_id, row), result)
+            if not future.done():
+                future.set_result(result)

@@ -39,6 +39,7 @@ class TestCrashIsolation:
         err = by_mode["fail"]
         assert "RuntimeError: selftest: deliberate failure" in err["error"]
         assert "deliberate failure" in err["traceback"]
+        assert err["error_kind"] == "exception"
         assert doc["n_errors"] == 1
 
     def test_crash_retried_then_recorded(self, monkeypatch):
@@ -48,6 +49,7 @@ class TestCrashIsolation:
         )
         (point,) = doc["points"]
         assert "worker crashed" in point["error"]
+        assert point["error_kind"] == "crash"
         assert point["attempts"] == 2  # first run + one retry
         assert any("retrying" in note for note in point["notes"])
 
@@ -60,6 +62,7 @@ class TestCrashIsolation:
         assert "error" not in by_mode["ok"]
         assert "timed out after 2.0s" in by_mode["hang"]["error"]
         assert by_mode["hang"]["timed_out"] is True
+        assert by_mode["hang"]["error_kind"] == "timeout"
 
 
 class TestCheckpointResume:
@@ -214,7 +217,8 @@ class TestErrorAwareCompareAndReport:
             "points": [self.ERR_POINT, self.OK_POINT],
         }
         text = runner._render_bench(doc)
-        assert "ERROR after 1 attempt(s): timed out" in text
+        # pre-error_kind record: the kind is inferred from the message
+        assert "ERROR(timeout) after 1 attempt(s): timed out" in text
         assert "speedup=2.00x" in text
 
     def test_report_render_doc_shows_error(self):
@@ -223,8 +227,8 @@ class TestErrorAwareCompareAndReport:
             "points": [self.ERR_POINT, self.OK_POINT],
         }
         text = report.render_doc(doc)
-        assert "ERROR after 1 attempt(s)" in text
-        assert "ERRORS: 1 of 2 points failed" in text
+        assert "ERROR(timeout) after 1 attempt(s)" in text
+        assert "ERRORS: 1 of 2 points failed (timeout=1)" in text
 
     def test_report_render_diff_handles_errors(self):
         old = {"bench": "demo", "points": [self.OK_POINT, self.ERR_POINT]}
@@ -235,6 +239,40 @@ class TestErrorAwareCompareAndReport:
         text, failures = report.render_diff(old, new, tolerance=0.10)
         assert "baseline point errored" in text
         assert any("baseline point errored" in f for f in failures)
+
+    def test_error_kind_classification(self):
+        """Explicit error_kind wins; legacy records classify from their
+        fields so old baselines still render the distinction."""
+        assert runner.error_kind_of({"error_kind": "timeout"}) == "timeout"
+        assert runner.error_kind_of({"error": "x", "timed_out": True}) == "timeout"
+        assert runner.error_kind_of({"error": "timed out after 2.0s"}) == "timeout"
+        assert (
+            runner.error_kind_of({"error": "worker crashed (exit code -9)"})
+            == "crash"
+        )
+        assert runner.error_kind_of({"error": "ValueError: nope"}) == "exception"
+
+    def test_render_distinguishes_crash_from_timeout(self):
+        crash_point = {
+            "params": {"n": 3},
+            "error": "worker crashed (exit code -11)",
+            "error_kind": "crash",
+            "traceback": None,
+            "attempts": 2,
+        }
+        doc = {
+            "bench": "demo", "wall_s_total": 1.0, "repeats": 1,
+            "points": [self.ERR_POINT, crash_point],
+        }
+        text = runner._render_bench(doc)
+        assert "ERROR(timeout)" in text and "ERROR(crash)" in text
+        rep = report.render_doc(doc)
+        assert "ERROR(crash) after 2 attempt(s)" in rep
+        assert "(crash=1, timeout=1)" in rep
+        base = {"bench": "demo", "points": []}
+        failures = compare(doc, base)
+        assert any(f.startswith("demo {'n': 3}: crash — ") for f in failures)
+        assert any("timeout — " in f for f in failures)
 
 
 class TestChaosDeterminism:

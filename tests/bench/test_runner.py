@@ -20,10 +20,12 @@ from repro.bench.runner import (
 class TestRegistry:
     def test_every_bench_module_is_registered(self):
         # every benchmarks/bench_*.py is driven by the runner, except the
-        # figure-generation script (plots, not measurements)
+        # figure-generation script (plots, not measurements) and the
+        # supervision bench (its qps-vs-kill-rate points don't fit the
+        # runner's per-point record schema; it ships its own CLI + gates)
         on_disk = {p.stem for p in BENCH_DIR.glob("bench_*.py")}
         registered = {spec.module for spec in REGISTRY.values()}
-        assert on_disk - registered == {"bench_figures"}
+        assert on_disk - registered == {"bench_figures", "bench_e14_supervision"}
         assert registered <= on_disk
 
     def test_points_ascend(self):

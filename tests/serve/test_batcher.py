@@ -191,7 +191,7 @@ class TestCache:
         )
         totals = drain_cache_counters()
         assert totals["misses"] == 6
-        assert drain_cache_counters() == {"hits": 0, "misses": 0}
+        assert drain_cache_counters() == {"hits": 0, "misses": 0, "coalesced": 0}
 
     def test_hit_events_reach_trace_spans(self, pointloc_env):
         # cache hits/misses annotate the ambient span like the argsort memo
@@ -213,3 +213,145 @@ class TestCache:
             asyncio.run(run())
         assert tracer.root.events.get("result-cache:miss") == 4
         assert tracer.root.events.get("result-cache:hit") == 4
+
+
+class TestShutdown:
+    def test_close_drains_then_rejects_typed(self, pointloc_env):
+        """Post-close submits fail fast with ServerClosed; everything
+        accepted before the close still resolves normally."""
+        from repro.serve import ServerClosed
+
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"], batch_size=1000, deadline_s=60.0
+            )
+            tasks = [
+                asyncio.ensure_future(server.submit(q))
+                for q in pointloc_env["queries"][:5]
+            ]
+            await asyncio.sleep(0)
+            assert server.pending == 5
+            await server.close()
+            accepted = await asyncio.gather(*tasks)
+            assert server.closed
+            with pytest.raises(ServerClosed):
+                await server.submit(pointloc_env["queries"][0])
+            await server.close()  # idempotent
+            return accepted, server
+
+        accepted, server = asyncio.run(run())
+        assert len(accepted) == 5
+        assert server.pending == 0
+        direct, _ = pointloc_env["service"].run_batch(pointloc_env["queries"][:5])
+        assert _equal(_packed(accepted, "pointloc"), _packed(direct, "pointloc"), "pointloc")
+
+    def test_submit_racing_close_never_strands_a_future(self, pointloc_env):
+        """A submit issued after close() raises synchronously — it never
+        creates a future that nothing will resolve."""
+        from repro.serve import ServerClosed
+
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"], batch_size=4, deadline_s=0.005
+            )
+            await server.close()
+            for q in pointloc_env["queries"][:3]:
+                with pytest.raises(ServerClosed):
+                    await server.submit(q)
+            assert server.pending == 0
+            assert server.stats["queries"] == 0
+
+        asyncio.run(run())
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_misses_coalesce(self, pointloc_env):
+        """N concurrent submits of one uncached query run one computation:
+        one batch slot, N identical answers, N-1 coalesced."""
+        q = pointloc_env["queries"][0]
+        direct, _ = pointloc_env["service"].run_batch(q[None, :])
+
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"],
+                batch_size=8,
+                deadline_s=0.01,
+                cache=ResultCache(64),
+            )
+            results = await asyncio.gather(*(server.submit(q) for _ in range(6)))
+            return results, server
+
+        results, server = asyncio.run(run())
+        assert all(np.array_equal(r, direct[0]) for r in results)
+        assert server.stats["coalesced"] == 5
+        assert server.stats["batches"] == 1
+        # the flushed batch held one row, not six
+        direct_steps = pointloc_env["service"].run_batch(q[None, :])[1]
+        assert server.stats["mesh_steps"] == direct_steps
+
+    def test_coalesced_events_reach_trace(self, pointloc_env):
+        from repro.mesh.trace import Tracer, ambient
+
+        q = pointloc_env["queries"][1]
+        tracer = Tracer("serving")
+
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"],
+                batch_size=8,
+                deadline_s=0.01,
+                cache=ResultCache(64),
+            )
+            await asyncio.gather(*(server.submit(q) for _ in range(3)))
+
+        with ambient(tracer):
+            asyncio.run(run())
+        assert tracer.root.events.get("result-cache:coalesced") == 2
+
+    def test_faulted_leader_propagates_to_followers(self, interval_env):
+        """Coalesced followers of a faulted batch get the same typed
+        exception as the leader — never a stale or partial result."""
+        from repro.mesh.faults import FaultPlan, InvariantViolation
+        from repro.serve import restore_service
+
+        q = interval_env["queries"][0]
+        others = interval_env["queries"][1:4]
+        plan = FaultPlan(seed=5, kind="perturb_sort_key", rate=1.0, max_faults=None)
+        cache = ResultCache(64)
+
+        async def run():
+            server = BatchingServer(
+                restore_service(interval_env["path"]),
+                batch_size=8,
+                deadline_s=0.01,
+                cache=cache,
+                fault_plans=[plan],
+                engine_kwargs={"paranoid": True},
+            )
+            # three submits of q coalesce to one slot; the other rows give
+            # the flush a real sort surface for the fault to corrupt
+            subs = [server.submit(q) for _ in range(3)]
+            subs += [server.submit(row) for row in others]
+            settled = await asyncio.gather(*subs, return_exceptions=True)
+            return settled, server
+
+        settled, server = asyncio.run(run())
+        assert len(settled) == 6
+        assert all(isinstance(r, InvariantViolation) for r in settled)
+        assert server.stats["coalesced"] == 2
+        assert len(cache) == 0
+
+    def test_distinct_queries_do_not_coalesce(self, pointloc_env):
+        async def run():
+            server = BatchingServer(
+                pointloc_env["service"],
+                batch_size=8,
+                deadline_s=0.01,
+                cache=ResultCache(64),
+            )
+            await server.submit_many(pointloc_env["queries"][:4])
+            return server
+
+        server = asyncio.run(run())
+        assert server.stats["coalesced"] == 0
+        assert server.stats["queries"] == 4

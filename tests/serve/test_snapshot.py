@@ -124,3 +124,51 @@ class TestValidation:
         assert SNAPSHOT_MAGIC == "repro-snapshot"
         snapshot = read_snapshot(pointloc_env["path"])
         assert snapshot.version == 1
+
+
+class TestTornWrites:
+    """A truncated or partially-written .npz must fail *closed* with a
+    SnapshotError naming the expected snapshot id — never restore junk,
+    never leak zipfile/numpy internals as the caller-visible error."""
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.1, 0.5, 0.9, 0.999])
+    def test_truncated_file_fails_closed(self, pointloc_env, tmp_path, keep_fraction):
+        data = pointloc_env["path"].read_bytes()
+        torn = tmp_path / f"torn_{int(keep_fraction * 1000)}.npz"
+        torn.write_bytes(data[: int(len(data) * keep_fraction)])
+        want = pointloc_env["snapshot"].snapshot_id
+        with pytest.raises(SnapshotError) as info:
+            read_snapshot(torn, expected_id=want)
+        # the error names the snapshot the caller wanted, even though the
+        # file is too damaged to say what it holds
+        assert want in str(info.value)
+        assert "torn" in str(info.value) or "mismatch" in str(info.value)
+
+    def test_truncation_without_expected_id_still_fails(self, pointloc_env, tmp_path):
+        data = pointloc_env["path"].read_bytes()
+        torn = tmp_path / "torn.npz"
+        torn.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            read_snapshot(torn)
+
+    def test_garbage_prefix_fails_closed(self, pointloc_env, tmp_path):
+        bad = tmp_path / "garbage.npz"
+        bad.write_bytes(b"\x00" * 512)
+        want = pointloc_env["snapshot"].snapshot_id
+        with pytest.raises(SnapshotError) as info:
+            read_snapshot(bad, expected_id=want)
+        assert want in str(info.value)
+
+    def test_wrong_snapshot_rejected_by_expected_id(self, pointloc_env, interval_env):
+        # an intact snapshot of the wrong build: hash-valid, but not the
+        # one the caller pinned — the swap is detected by id, not luck
+        want = pointloc_env["snapshot"].snapshot_id
+        with pytest.raises(SnapshotError, match="not the expected"):
+            read_snapshot(interval_env["path"], expected_id=want)
+
+    def test_expected_id_accepts_the_right_file(self, pointloc_env):
+        snap = read_snapshot(
+            pointloc_env["path"],
+            expected_id=pointloc_env["snapshot"].snapshot_id,
+        )
+        assert snap.snapshot_id == pointloc_env["snapshot"].snapshot_id
