@@ -1,0 +1,71 @@
+"""E15 — sharded multi-chip mesh: where off-chip cost overtakes scaling.
+
+A :class:`repro.mesh.shard.MultiChipMesh` splits one global mesh into a
+``k_chip x k_chip`` grid of chiplets.  Chiplets run intra-chip phases
+concurrently (the clock folds their spans as a parallel section), so a
+finer grid shrinks the per-phase critical path — but every global
+primitive that spans chips also charges an off-chip exchange whose cost
+grows with the chip-grid span and with volume over link bandwidth.
+
+This sweep holds the global mesh (side 64) and the record count fixed
+and varies only the decomposition, so the two effects meet in one
+curve: total modelled steps *fall* while intra-chip parallelism wins,
+then *rise* once the ``xchip:*`` exchanges dominate.  The committed
+blob (``BENCH_e15_sharded.json``) records that crossover — with
+unit-bandwidth links the minimum sits at ``k_chip=2`` and ``k_chip=8``
+costs more than the unsharded mesh; widening the links (bandwidth 8)
+moves the minimum out to ``k_chip=4``.  ``k_chip=1`` is the unsharded
+engine by construction (byte-identical charges), so its row doubles as
+the sweep's baseline anchor.
+
+The workload is the full :class:`ShardedRecordSet` pipeline — sort,
+scan, route, gather — i.e. every exchange pattern the sharded store
+implements.  ``run_once`` returns total charged steps, which the runner
+records as ``mesh_steps``.
+"""
+
+import numpy as np
+
+from repro.mesh.shard import (
+    MultiChipMesh,
+    ShardedMeshEngine,
+    ShardedRecordSet,
+    XChipCost,
+)
+
+__all__ = ["run_once"]
+
+#: global mesh side, fixed across the sweep so only the decomposition
+#: varies; every swept k_chip must divide it
+SIDE = 64
+
+
+def run_once(
+    k_chip: int, n: int, bandwidth: float = 1.0, seed: int = 1
+) -> float:
+    """Run the sharded pipeline at one decomposition; return total steps."""
+    k_chip = int(k_chip)
+    if SIDE % k_chip:
+        raise ValueError(f"k_chip={k_chip} must divide the global side {SIDE}")
+    mesh = MultiChipMesh.square(
+        k_chip, SIDE // k_chip, XChipCost(bandwidth=float(bandwidth))
+    )
+    engine = ShardedMeshEngine(mesh)
+    rng = np.random.default_rng(seed)
+    n = int(n)
+    columns = {
+        "key": rng.integers(0, n, n),
+        "payload": rng.standard_normal(n),
+        "dest": rng.permutation(n).astype(np.int64),
+    }
+    with ShardedRecordSet(columns, mesh, engine=engine) as records:
+        records.sort_by("key")
+        records.scan("payload")
+        records.route("dest")
+        out = records.gather()
+    if out["key"].shape != (n,):
+        raise AssertionError(f"gather returned {out['key'].shape}, wanted ({n},)")
+    steps = float(engine.clock.time)
+    if not steps > 0:
+        raise AssertionError(f"k_chip={k_chip} n={n} charged no steps")
+    return steps

@@ -69,6 +69,7 @@ from repro.mesh.faults import (
     FAULT_KINDS,
     PROCESS_FAULT_KINDS,
     VM_FAULT_KINDS,
+    XCHIP_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     InvariantViolation,
@@ -224,18 +225,50 @@ def _scenario_vm(program: str, seed: int):
     return scenario
 
 
+def _scenario_xchip(paranoid: bool, injector: FaultInjector | None) -> str:
+    """Sharded multi-chip mesh: the off-chip exchange fault surface.
+
+    A :class:`~repro.mesh.shard.ShardedRecordSet` over a 2x2 chip grid
+    runs the decomposed sort -> scan -> route pipeline; ``xchip_drop`` /
+    ``xchip_corrupt`` plans fire on the inter-chip exchanges, and the
+    paranoid merge-point checks (count + key-multiset conservation,
+    merged sortedness) are what stands between an off-chip fault and a
+    silently wrong global order.
+    """
+    from repro.mesh.shard import MultiChipMesh, ShardedMeshEngine, ShardedRecordSet
+
+    mesh = MultiChipMesh.square(2, 4)
+    eng = ShardedMeshEngine(mesh, paranoid=paranoid)
+    if injector is not None:
+        injector.install(eng)
+    rng = np.random.default_rng(23)
+    n = 96
+    columns = {
+        "key": rng.integers(0, 40, n),
+        "payload": rng.standard_normal(n),
+        "dest": rng.permutation(n).astype(np.int64),
+    }
+    with ShardedRecordSet(columns, mesh, engine=eng) as rs:
+        rs.sort_by("key")
+        scanned = rs.scan("key")
+        rs.route("dest")
+        out = rs.gather()
+    return _fingerprint(out["key"], out["payload"], scanned, eng.clock.time)
+
+
 SCENARIOS = {
     "e1_smoke": _scenario_e1,
     "e2_smoke": _scenario_e2,
     "primitives": _scenario_primitives,
     "construct": _scenario_construct,
+    "xchip": _scenario_xchip,
     "vm_sort": _scenario_vm("sort", seed=11),
     "vm_route": _scenario_vm("route", seed=13),
     "vm_scan": _scenario_vm("scan", seed=17),
     "vm_broadcast": _scenario_vm("broadcast", seed=19),
 }
 
-ALL_KINDS = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS
+ALL_KINDS = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS + XCHIP_FAULT_KINDS
 
 #: each scenario's fault surface: engine scenarios never open a VM, and
 #: the VM scenarios never cross an engine primitive with an injector
@@ -247,6 +280,7 @@ SCENARIO_KINDS = {
     "e2_smoke": FAULT_KINDS + ADVERSARIAL_KINDS,
     "primitives": FAULT_KINDS + ADVERSARIAL_KINDS,
     "construct": FAULT_KINDS + ADVERSARIAL_KINDS,
+    "xchip": XCHIP_FAULT_KINDS,
     "vm_sort": VM_FAULT_KINDS,
     "vm_route": VM_FAULT_KINDS,
     "vm_scan": VM_FAULT_KINDS,

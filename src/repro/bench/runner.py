@@ -178,6 +178,14 @@ REGISTRY: dict[str, BenchSpec] = {
              batch=[8, 32, 128, 512], deadline_ms=[2.0, 20.0]),
         setup="sweep_setup",
     ),
+    # E15 holds the global mesh and record count fixed and sweeps only the
+    # chip decomposition: steps fall while intra-chip parallelism wins,
+    # then rise once off-chip exchanges dominate (the recorded crossover);
+    # the k_chip=1 row is the unsharded engine and anchors the curve
+    "e15_sharded": BenchSpec(
+        "bench_e15_sharded", "run_once",
+        _pts({"n": 2048}, k_chip=[1, 2, 4, 8], bandwidth=[1.0, 8.0]),
+    ),
     "a4_twothree": BenchSpec(
         "bench_a4_twothree", "run_once",
         _pts(n=[256, 1024, 4096], variant=["complete", "twothree"]),

@@ -189,8 +189,8 @@ def _constrained_multisearch(
         # the copy broadcast: executed as one root sort + route (records of
         # every G_i annotated with replica ids), charged as such.
         root.charge_local(1, label="cm:copy-plan")
-        engine.clock.charge(engine.clock.cost.sort * root.side, label="cm:copy-sort")
-        engine.clock.charge(engine.clock.cost.route * root.side, label="cm:copy-route")
+        engine.charge_phase(root.side, engine.clock.cost.sort, "cm:copy-sort")
+        engine.charge_phase(root.side, engine.clock.cost.route, "cm:copy-route")
         # capacity honesty: the heaviest physical submesh must hold its share
         # of copied records within O(1) words per processor.
         heavy = int(np.argmax(copies_per_phys))
@@ -218,7 +218,7 @@ def _constrained_multisearch(
         copy_of_query = np.full(qs.m, -1, dtype=np.int64)
         mk = marked
         copy_of_query[mk] = copy_base[comp_of_cur[mk]] + ranked[mk] // cap
-        engine.clock.charge(engine.clock.cost.route * root.side, label="cm:query-route")
+        engine.charge_phase(root.side, engine.clock.cost.route, "cm:query-route")
         if mk.any():
             per_copy = np.bincount(copy_of_query[mk], minlength=total_copies)
             stats.max_queries_per_copy = int(per_copy.max())
@@ -231,9 +231,9 @@ def _constrained_multisearch(
     # run sequentially, each round costing one RAR + one local step on a
     # submesh of side regions[0].side.
     sub_side = first_block.side
-    per_round_cost = (
-        engine.clock.cost.route * sub_side + engine.clock.cost.local
-    ) * stats.max_copies_per_submesh
+    mc = stats.max_copies_per_submesh
+    round_constant = engine.clock.cost.route * mc
+    round_extra = engine.clock.cost.local * mc
     steps_in_cm = np.zeros(qs.m, dtype=np.int64)
     with traced(engine.clock, "cm:rounds"):
         if fast and not qs.record_trace and should_fuse(structure):
@@ -256,7 +256,7 @@ def _constrained_multisearch(
             for _ in range(rounds):
                 if not li.size:
                     break
-                engine.clock.charge(per_round_cost, label="cm:round")
+                engine.charge_phase(sub_side, round_constant, "cm:round", extra=round_extra)
                 vrow = vblk[cur_li]
                 nxt, new_state = structure.successor(
                     cur_li,
@@ -300,7 +300,7 @@ def _constrained_multisearch(
             for _ in range(rounds):
                 if not live.any():
                     break
-                engine.clock.charge(per_round_cost, label="cm:round")
+                engine.charge_phase(sub_side, round_constant, "cm:round", extra=round_extra)
                 cur_live = qs.current[live]
                 nxt, new_state = structure.successor(
                     cur_live,
@@ -325,7 +325,7 @@ def _constrained_multisearch(
 
     # Step 7: discard copies; route the queries back to their home slots.
     with traced(engine.clock, "cm:return"):
-        engine.clock.charge(engine.clock.cost.route * root.side, label="cm:return-route")
+        engine.charge_phase(root.side, engine.clock.cost.route, "cm:return-route")
         if fast:
             # histogram of small non-negative ints: bincount + nonzero yields
             # the same {value: count} dict (ascending) as np.unique, in O(n).

@@ -370,20 +370,21 @@ def lemma1_band_steps(
     b1 = band.b1_levels
     if b1 is not None:
         with traced(clock, f"{label}:phase1"):
-            dup = (cost.sort + cost.route) * plan.sub_side
-            clock.charge(dup, f"{label}:dup-b1")
-            detail["dup_b1"] += dup
-            step1 = cost.route * plan.inner_side + cost.local
+            detail["dup_b1"] += engine.charge_phase(
+                plan.sub_side, cost.sort + cost.route, f"{label}:dup-b1"
+            )
             for lvl in range(b1[0], b1[1] + 1):
-                clock.charge(step1, f"{label}:phase1")
-                detail["phase1"] += step1
+                detail["phase1"] += engine.charge_phase(
+                    plan.inner_side, cost.route, f"{label}:phase1",
+                    extra=cost.local,
+                )
                 step(lvl)
     lo2, hi2 = band.b2_levels
-    step2 = cost.route * plan.sub_side + cost.local
     with traced(clock, f"{label}:phase2"):
         for lvl in range(lo2, hi2 + 1):
-            clock.charge(step2, f"{label}:phase2")
-            detail["phase2"] += step2
+            detail["phase2"] += engine.charge_phase(
+                plan.sub_side, cost.route, f"{label}:phase2", extra=cost.local
+            )
             step(lvl)
     if local_advancer is not None:  # caller-owned advancers flush later
         local_advancer.flush()
@@ -435,9 +436,10 @@ def hierdag_multisearch(
             setup = 0.0
             for j, bp in enumerate(plan.bands):
                 parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
-                charge = (cost.sort + cost.route + cost.scan) * parent_side
-                clock.charge(charge, "hierdag:distribute")
-                setup += charge
+                setup += engine.charge_phase(
+                    parent_side, cost.sort + cost.route + cost.scan,
+                    "hierdag:distribute",
+                )
             detail["setup"] = setup
 
         # Step 3: per band, duplicate B_i into each B_i-submesh, then Lemma 1.
@@ -445,8 +447,9 @@ def hierdag_multisearch(
         for j, bp in enumerate(plan.bands):
             with traced(clock, f"hierdag:band{j}"):
                 parent_side = plan.bands[j + 1].sub_side if j + 1 < len(plan.bands) else plan.mesh_side
-                dup = (cost.sort + cost.route) * parent_side
-                clock.charge(dup, "hierdag:dup-band")
+                dup = engine.charge_phase(
+                    parent_side, cost.sort + cost.route, "hierdag:dup-band"
+                )
                 detail[f"band{j}:dup"] = dup
                 d = lemma1_band_steps(engine, structure, qs, bp, advancer=advancer)
                 for k, v in d.items():
@@ -458,11 +461,11 @@ def hierdag_multisearch(
 
         # Step 4: B* level by level on the whole mesh (O(1) levels).
         bstar = 0.0
-        step_cost = cost.route * plan.mesh_side + cost.local
         with traced(clock, "hierdag:bstar"):
             for lvl in range(deco.bstar_lo, deco.h + 1):
-                clock.charge(step_cost, "hierdag:bstar")
-                bstar += step_cost
+                bstar += engine.charge_phase(
+                    plan.mesh_side, cost.route, "hierdag:bstar", extra=cost.local
+                )
                 if advancer is not None:
                     advancer.advance(lvl)
                 else:

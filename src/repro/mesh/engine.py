@@ -169,6 +169,47 @@ class MeshEngine:
     def size(self) -> int:
         return self.shape.size
 
+    # -- charging hooks ----------------------------------------------------
+
+    def charge_primitive(
+        self, spec: RegionSpec, constant: float, label: str, volume: int = 0
+    ) -> None:
+        """Charge one counted primitive run on region ``spec``.
+
+        The single point where primitive constants meet the clock:
+        ``constant * spec.side`` steps, exactly as the paper charges a
+        submesh.  Hierarchical engines (:mod:`repro.mesh.shard`) override
+        this to decompose a flat charge into per-chiplet intra-chip
+        phases plus a costed off-chip exchange, without touching the
+        primitives themselves.
+        """
+        self.clock.charge(constant * spec.side, label, volume=volume)
+
+    def charge_transfer(
+        self, src: RegionSpec, dst: RegionSpec, label: str, volume: int = 0
+    ) -> None:
+        """Charge an inter-region transfer (cost ~ bounding Manhattan span)."""
+        self.clock.charge(
+            self.clock.cost.transfer * src.distance_to(dst), label, volume=volume
+        )
+
+    def charge_phase(
+        self, side: int, constant: float, label: str, volume: int = 0,
+        extra: float = 0.0,
+    ) -> float:
+        """Charge a global algorithm phase proportional to a submesh side.
+
+        The multisearch cores (hierdag, constrained) compute charges at
+        phase granularity — ``constant * side + extra`` for a phase run
+        on submeshes of the given side — rather than through a Region
+        primitive.  Returns the flat-equivalent steps so callers can
+        keep per-phase accounting.  Hierarchical engines override this
+        to decompose phases whose submeshes span chip boundaries.
+        """
+        steps = constant * side + extra
+        self.clock.charge(steps, label, volume=volume)
+        return steps
+
     # -- parallel sections -------------------------------------------------
 
     @contextmanager
@@ -220,9 +261,8 @@ class MeshEngine:
                     f"transfer of {a.shape[0]} records exceeds capacity of {dst.spec}"
                 )
             out.append(a.copy())
-        span = src.spec.distance_to(dst.spec)
         volume = int(out[0].shape[0]) if out else 0
-        self.clock.charge(self.clock.cost.transfer * span, label, volume=volume)
+        self.charge_transfer(src.spec, dst.spec, label, volume=volume)
         result = tuple(out)
         if self.faults is not None:
             result = self.faults.on_transfer(result, label)
@@ -304,7 +344,7 @@ class Region:
 
     def _charge(self, constant: float, label: str, volume: int = 0) -> None:
         self.engine._check_scope(self.spec)
-        self.engine.clock.charge(constant * self.side, label, volume=volume)
+        self.engine.charge_primitive(self.spec, constant, label, volume=volume)
 
     def charge_local(self, steps: int = 1, label: str = "local") -> None:
         """Charge ``steps`` SIMD local steps (side-independent)."""

@@ -48,6 +48,7 @@ __all__ = [
     "ADVERSARIAL_KINDS",
     "VM_FAULT_KINDS",
     "PROCESS_FAULT_KINDS",
+    "XCHIP_FAULT_KINDS",
     "FaultPlan",
     "InjectedFault",
     "FaultInjector",
@@ -93,6 +94,14 @@ PROCESS_FAULT_KINDS = (
     "worker_hang",           # the worker freezes (SIGSTOP): no reply, no heartbeat
     "worker_slow",           # the worker stalls past the batch deadline, then replies
     "worker_corrupt_reply",  # the reply payload is corrupted in transit
+)
+
+#: fault kinds injected on the off-chip links of the sharded multi-chip
+#: mesh (:mod:`repro.mesh.shard`), at inter-shard exchange boundaries
+#: (see :meth:`FaultInjector.on_xchip_exchange`)
+XCHIP_FAULT_KINDS = (
+    "xchip_drop",     # an off-chip link loses a suffix of the exchanged records
+    "xchip_corrupt",  # one exchanged word is corrupted crossing a chip boundary
 )
 
 
@@ -179,7 +188,13 @@ class FaultPlan:
     max_faults: int | None = 1
 
     def __post_init__(self) -> None:
-        known = FAULT_KINDS + ADVERSARIAL_KINDS + VM_FAULT_KINDS + PROCESS_FAULT_KINDS
+        known = (
+            FAULT_KINDS
+            + ADVERSARIAL_KINDS
+            + VM_FAULT_KINDS
+            + PROCESS_FAULT_KINDS
+            + XCHIP_FAULT_KINDS
+        )
         if self.kind not in known:
             raise ValueError(
                 f"unknown fault kind {self.kind!r} (know {known})"
@@ -467,6 +482,46 @@ class FaultInjector:
                 )
 
         return outs
+
+    # -- off-chip link hook ------------------------------------------------
+
+    def on_xchip_exchange(
+        self, arrays: tuple[np.ndarray, ...], site: str
+    ) -> tuple[np.ndarray, ...]:
+        """Maybe corrupt records crossing an off-chip link (returns copies).
+
+        Called by the sharded record set at every inter-shard exchange
+        boundary (merge of per-shard sorted runs, redistribution, gather)
+        with the exchanged record arrays; site is the exchange's charge
+        label (``xchip:sort``, ``xchip:route``, ``xchip:gather``, ...).
+        ``xchip_drop`` truncates a suffix of every exchanged array (a
+        lossy link), ``xchip_corrupt`` perturbs one word of one array (a
+        noisy link).  Both are detected by the sharded merge-point
+        paranoid checks: record-count conservation and merged
+        sortedness.
+        """
+        i = self._match("xchip_drop", site)
+        if i is not None and arrays and arrays[0].shape[0] > 0:
+            rng = self._rngs[i]
+            n = int(arrays[0].shape[0])
+            keep = int(rng.integers(0, n))  # drop at least one record
+            self._record(i, "xchip_drop", site, {"kept": keep, "dropped": n - keep})
+            arrays = tuple(a[:keep] for a in arrays)
+        i = self._match("xchip_corrupt", site)
+        if i is not None and arrays and arrays[0].shape[0] > 0:
+            rng = self._rngs[i]
+            k = int(rng.integers(0, len(arrays)))
+            a = np.array(arrays[k])
+            flat = a.reshape(a.shape[0], -1)
+            j = int(rng.integers(0, flat.shape[0]))
+            c = int(rng.integers(0, flat.shape[1]))
+            if flat.dtype.kind == "b":
+                flat[j, c] = ~flat[j, c]
+            else:
+                flat[j, c] = flat[j, c] + flat.dtype.type(1)
+            self._record(i, "xchip_corrupt", site, {"array": k, "record": j})
+            arrays = tuple(a if m == k else arr for m, arr in enumerate(arrays))
+        return arrays
 
     # -- worker-process hooks ----------------------------------------------
 

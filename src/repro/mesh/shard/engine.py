@@ -1,0 +1,141 @@
+"""Hierarchical charging engine over a :class:`MultiChipMesh`.
+
+:class:`ShardedMeshEngine` is a :class:`~repro.mesh.engine.MeshEngine`
+whose *cost model* knows about chip boundaries.  Data execution is
+untouched — every primitive computes byte-identical outputs through the
+same kernels — but the charging hooks decompose each flat
+``constant * side`` charge the way the hardware would run it:
+
+* a region inside **one chiplet** charges exactly as the flat engine
+  does (same steps, same label, same volume) — at ``k_chip == 1`` every
+  region is such a region, so charges, trace spans and ``clock.time``
+  are byte-identical to the flat engine;
+* a region **spanning chiplets** becomes a ``clock.parallel()`` section
+  with one branch per covered chiplet (each charging ``constant *
+  intersection.side`` inside a ``chip:i,j`` trace span — the chiplets
+  run their intra-chip phases concurrently), followed by one
+  ``xchip:<label>`` charge for the inter-chip exchange the primitive
+  needs to act globally, costed by
+  :meth:`MultiChipMesh.exchange_steps`.
+
+Because the decomposition rides the ordinary ``clock.parallel()``
+machinery, the tracer's parallel-fold bookkeeping keeps span sums equal
+to ``clock.time`` exactly, and :class:`~repro.mesh.profile.CostProfile`
+picks the ``xchip:*`` labels up with no changes — ``fraction("xchip:")``
+is the off-chip share of a run.
+"""
+
+from __future__ import annotations
+
+from repro.mesh.engine import MeshEngine
+from repro.mesh.shard.topology import MultiChipMesh, XChipCost
+from repro.mesh.topology import RegionSpec
+from repro.mesh.trace import traced
+
+__all__ = ["ShardedMeshEngine"]
+
+
+class ShardedMeshEngine(MeshEngine):
+    """A mesh engine charging per-chiplet phases plus off-chip exchanges."""
+
+    def __init__(self, chips: MultiChipMesh, **kwargs) -> None:
+        super().__init__(chips.shape, **kwargs)
+        self.chips = chips
+
+    @classmethod
+    def for_problem(  # type: ignore[override]
+        cls,
+        n: int,
+        chip_rows: int = 1,
+        chip_cols: int | None = None,
+        xchip: XChipCost | None = None,
+        **kwargs,
+    ) -> "ShardedMeshEngine":
+        """Smallest chip grid of the given shape holding an ``n``-record problem."""
+        return cls(
+            MultiChipMesh.for_problem(
+                n, chip_rows=chip_rows, chip_cols=chip_cols, xchip=xchip
+            ),
+            **kwargs,
+        )
+
+    # -- hierarchical charging ---------------------------------------------
+
+    def charge_primitive(
+        self, spec: RegionSpec, constant: float, label: str, volume: int = 0
+    ) -> None:
+        cover = self.chips.chips_covering(spec)
+        if len(cover) == 1:
+            # one chiplet covers the region: the flat charge IS the
+            # hardware behavior (this is every charge at k_chip == 1)
+            super().charge_primitive(spec, constant, label, volume=volume)
+            return
+        size = spec.size
+        with self.clock.parallel() as section:
+            for ci, cj, part in cover:
+                with section.branch():
+                    with traced(self.clock, f"chip:{ci},{cj}"):
+                        self.clock.charge(
+                            constant * part.side,
+                            label,
+                            volume=(volume * part.size) // size,
+                        )
+        hops = self.chips.chip_span(spec)
+        self.clock.charge(
+            self.chips.exchange_steps(hops, volume),
+            f"xchip:{label}",
+            volume=volume,
+        )
+
+    def charge_phase(
+        self, side: int, constant: float, label: str, volume: int = 0,
+        extra: float = 0.0,
+    ) -> float:
+        # phases are root-anchored for covering purposes (clamped to the
+        # mesh so non-square chip grids stay in-bounds); a phase whose
+        # submeshes fit one chiplet charges flat, a spanning phase
+        # decomposes like a spanning primitive
+        spec = RegionSpec(
+            0, 0, min(side, self.shape.rows), min(side, self.shape.cols)
+        )
+        cover = self.chips.chips_covering(spec)
+        if len(cover) == 1:
+            return super().charge_phase(
+                side, constant, label, volume=volume, extra=extra
+            )
+        size = spec.size
+        with self.clock.parallel() as section:
+            for ci, cj, part in cover:
+                with section.branch():
+                    with traced(self.clock, f"chip:{ci},{cj}"):
+                        self.clock.charge(
+                            constant * part.side + extra,
+                            label,
+                            volume=(volume * part.size) // size,
+                        )
+        self.clock.charge(
+            self.chips.exchange_steps(self.chips.chip_span(spec), volume),
+            f"xchip:{label}",
+            volume=volume,
+        )
+        return constant * side + extra
+
+    def charge_transfer(
+        self, src: RegionSpec, dst: RegionSpec, label: str, volume: int = 0
+    ) -> None:
+        hops = self.chips.chip_span(src, dst)
+        if hops == 0:
+            # source and destination share a chiplet: on-chip transfer
+            super().charge_transfer(src, dst, label, volume=volume)
+            return
+        # drain to the chip boundary, cross off-chip, fill from the boundary
+        cost = self.clock.cost.transfer
+        with self.clock.parallel() as section:
+            for spec in (src, dst):
+                with section.branch():
+                    self.clock.charge(cost * spec.side, label, volume=volume)
+        self.clock.charge(
+            self.chips.exchange_steps(hops, volume),
+            f"xchip:{label}",
+            volume=volume,
+        )

@@ -16,6 +16,8 @@ Two linearizations are used throughout:
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -132,7 +134,9 @@ class RegionSpec:
         return (row_hi - row_lo) + (col_hi - col_lo)
 
 
-_CUTS_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_CUTS_CAPACITY = 256
+_CUTS_LOCK = threading.Lock()
+_CUTS_CACHE: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
 
 
 def _cuts(length: int, parts: int) -> np.ndarray:
@@ -141,15 +145,27 @@ def _cuts(length: int, parts: int) -> np.ndarray:
     Grid geometry repeats endlessly in the simulators' inner loops (the
     same region cut into the same grid every call); the cut positions are
     pure functions of ``(length, parts)``.  Cached arrays are read-only.
+
+    The cache is a lock-guarded bounded LRU: sharded dispatcher threads
+    hit it concurrently, and eviction drops only the least-recently-used
+    entry instead of wholesale-clearing the hot keys.  The linspace for a
+    racing miss may be computed twice (outside the lock, to keep the
+    critical section tiny) — both computations produce identical
+    read-only arrays, so last-write-wins is harmless.
     """
     key = (length, parts)
-    cuts = _CUTS_CACHE.get(key)
-    if cuts is None:
-        cuts = np.linspace(0, length, parts + 1).astype(int)
-        cuts.setflags(write=False)
-        if len(_CUTS_CACHE) >= 256:
-            _CUTS_CACHE.clear()
+    with _CUTS_LOCK:
+        cuts = _CUTS_CACHE.get(key)
+        if cuts is not None:
+            _CUTS_CACHE.move_to_end(key)
+            return cuts
+    cuts = np.linspace(0, length, parts + 1).astype(int)
+    cuts.setflags(write=False)
+    with _CUTS_LOCK:
         _CUTS_CACHE[key] = cuts
+        _CUTS_CACHE.move_to_end(key)
+        while len(_CUTS_CACHE) > _CUTS_CAPACITY:
+            _CUTS_CACHE.popitem(last=False)
     return cuts
 
 

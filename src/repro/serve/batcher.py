@@ -130,7 +130,19 @@ class BatchingServer:
         row = self.service.canonical_queries(query)
         if row.shape[0] != 1:
             raise ValueError("submit() takes a single query; use submit_many()")
-        row = row[0]
+        return await self._submit_row(row[0])
+
+    async def _submit_row(self, row: np.ndarray):
+        """Enqueue one already-canonical ``(query_width,)`` row.
+
+        The shared tail of :meth:`submit` and :meth:`submit_many`: rows
+        arriving here have passed through ``canonical_queries`` exactly
+        once, so the shape-ambiguous re-canonicalization of a bare row
+        (a length-``d`` 1-D row reads as ``d`` scalar queries on a
+        single-column service) can never happen.
+        """
+        if self._closed:
+            raise ServerClosed("BatchingServer is closed; submit rejected")
         self.stats["queries"] += 1
         key = None
         if self.cache is not None:
@@ -139,7 +151,7 @@ class BatchingServer:
             if found:
                 self.stats["cache_hits"] += 1
                 return value
-            leader = self._inflight.get(key)
+            leader = self._inflight.get(key) if key is not None else None
             if leader is not None and not leader.done():
                 # single-flight: identical query already pending — ride
                 # its future instead of burning a second batch slot
@@ -166,9 +178,18 @@ class BatchingServer:
         return _done
 
     async def submit_many(self, queries) -> list:
-        """Submit a batch of rows concurrently; exceptions propagate per query."""
+        """Submit a batch of rows concurrently; exceptions propagate per query.
+
+        The batch is canonicalized **exactly once**; rows then take the
+        pre-canonical path (:meth:`_submit_row`) instead of being pushed
+        back through ``canonical_queries`` one by one.
+        """
+        if self._closed:
+            raise ServerClosed("BatchingServer is closed; submit rejected")
         rows = self.service.canonical_queries(queries)
-        return await asyncio.gather(*(self.submit(row) for row in rows))
+        return list(
+            await asyncio.gather(*(self._submit_row(row) for row in rows))
+        )
 
     async def drain(self):
         """Flush any pending queries immediately (shutdown / test barrier)."""

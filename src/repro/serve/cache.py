@@ -30,14 +30,22 @@ __all__ = [
 ]
 
 
-def query_cache_key(snapshot_id: str, query: np.ndarray) -> tuple[str, bytes]:
+def query_cache_key(snapshot_id: str, query: np.ndarray) -> tuple[str, bytes] | None:
     """The canonical cache key for one query against one snapshot.
 
     The query is canonicalized to a contiguous float64 buffer so that the
     same point submitted as a list, a float32 array, or a strided slice
     maps to the same entry.
+
+    Returns ``None`` for rows containing non-finite values: NaN compares
+    unequal to itself, so a NaN-bearing row is either malformed input or
+    a corruption artifact (the chaos ``nan_query_key`` corruptor's
+    signature), and must never populate or serve from the cache.
+    :class:`ResultCache` treats a ``None`` key as uncacheable.
     """
     q = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
+    if not np.isfinite(q).all():
+        return None
     return (snapshot_id, q.tobytes())
 
 
@@ -70,8 +78,17 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, key: tuple[str, bytes]):
-        """Return ``(found, value)``; refreshes LRU order on a hit."""
+    def get(self, key: tuple[str, bytes] | None):
+        """Return ``(found, value)``; refreshes LRU order on a hit.
+
+        A ``None`` key (an uncacheable non-finite row, see
+        :func:`query_cache_key`) always misses.
+        """
+        if key is None:
+            self.misses += 1
+            ResultCache.total_misses += 1
+            emit_event("result-cache:miss")
+            return False, None
         try:
             value = self._data[key]
         except KeyError:
@@ -85,7 +102,10 @@ class ResultCache:
         emit_event("result-cache:hit")
         return True, value
 
-    def put(self, key: tuple[str, bytes], value) -> None:
+    def put(self, key: tuple[str, bytes] | None, value) -> None:
+        """Store ``value``; a ``None`` key (uncacheable row) is dropped."""
+        if key is None:
+            return
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.capacity:
@@ -94,6 +114,10 @@ class ResultCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+    def keys(self) -> list[tuple[str, bytes]]:
+        """Snapshot of the stored keys, LRU order (tests audit cleanliness)."""
+        return list(self._data.keys())
 
     def counters(self) -> dict[str, int]:
         return {

@@ -269,6 +269,18 @@ class WorkerPool:
     mp_context:
         ``multiprocessing`` start method (default ``spawn``, matching
         the bench runner's crash isolation).
+    shards:
+        Split every submitted batch's rows into up to this many
+        contiguous chunks dispatched as independent sub-batches (so
+        they land on distinct workers when workers are idle — the
+        shard-per-worker serving mode the sharded mesh unlocks).  The
+        returned future resolves with the per-query results
+        concatenated back in submission order and the per-shard mesh
+        steps summed; queries are answered independently, so the
+        results are byte-identical to an unsharded submit.  Each chunk
+        retries/hedges/fails independently; the first chunk failure
+        fails the whole submit.  ``1`` (default) preserves the
+        one-batch-one-worker behavior.
     """
 
     def __init__(
@@ -290,11 +302,14 @@ class WorkerPool:
         fault_plans=(),
         slow_s: float = 1.0,
         mp_context: str = "spawn",
+        shards: int = 1,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         plans = tuple(fault_plans)
         bad = [p.kind for p in plans if p.kind not in PROCESS_FAULT_KINDS]
         if bad:
@@ -322,6 +337,7 @@ class WorkerPool:
         self.ready_timeout_s = float(ready_timeout_s)
         self.fault_plans = plans
         self.slow_s = float(slow_s)
+        self.shards = int(shards)
         self._ctx = get_context(mp_context)
 
         self.stats: dict[str, float] = {key: 0 for key in POOL_STAT_KEYS}
@@ -352,8 +368,21 @@ class WorkerPool:
         ``(results, mesh_steps)``.  Raises :class:`ServerClosed` /
         :class:`WorkerUnavailable` / :class:`Overloaded` synchronously —
         a rejected submit never creates a future.
+
+        With ``shards > 1`` the rows are cut into contiguous chunks
+        enqueued atomically (admission control sees all of them or
+        none); the future resolves with results re-concatenated in
+        submission order and the per-shard mesh steps summed.
         """
-        shape, data = encode_rows(rows)
+        rows = np.asarray(rows)
+        n_shards = min(self.shards, max(1, int(rows.shape[0])))
+        if n_shards <= 1:
+            encoded = [encode_rows(rows)]
+        else:
+            bounds = np.linspace(0, rows.shape[0], n_shards + 1).astype(int)
+            encoded = [
+                encode_rows(rows[bounds[i]:bounds[i + 1]]) for i in range(n_shards)
+            ]
         with self._lock:
             if self._closed:
                 raise ServerClosed("pool is closed; no new batches accepted")
@@ -362,19 +391,64 @@ class WorkerPool:
                     "every worker slot is quarantined (circuit breaker open); "
                     f"snapshot {self.snapshot_id[:12]}… cannot be served"
                 )
-            if len(self._queue) + len(self._inflight) >= self.max_pending:
+            if len(self._queue) + len(self._inflight) + len(encoded) > self.max_pending:
                 self.stats["shed"] += 1
                 emit_event("supervisor:shed")
                 raise Overloaded(
                     f"ingress queue full ({self.max_pending} batches pending); "
                     "load shed"
                 )
-            self._next_batch_id += 1
-            batch = _Batch(batch_id=self._next_batch_id, shape=shape, data=data)
-            self._queue.append(batch)
-            self.stats["batches"] += 1
+            batches = []
+            for shape, data in encoded:
+                self._next_batch_id += 1
+                batches.append(
+                    _Batch(batch_id=self._next_batch_id, shape=shape, data=data)
+                )
+                self._queue.append(batches[-1])
+                self.stats["batches"] += 1
         self._wake()
-        return batch.future
+        if len(batches) == 1:
+            return batches[0].future
+        return self._aggregate([b.future for b in batches])
+
+    @staticmethod
+    def _aggregate(parts: list[Future]) -> Future:
+        """One future over per-shard futures: ordered concat + summed steps.
+
+        The first shard failure (typed ``BatchFailed`` etc.) fails the
+        aggregate; late sibling results are discarded exactly like a
+        hedge loser's reply.
+        """
+        agg: Future = Future()
+        lock = threading.Lock()
+        slots: list = [None] * len(parts)
+        remaining = [len(parts)]
+
+        def _on_done(i: int):
+            def callback(fut: Future) -> None:
+                with lock:
+                    if agg.done():
+                        return
+                    exc = fut.exception()
+                    if exc is not None:
+                        agg.set_exception(exc)
+                        return
+                    slots[i] = fut.result()
+                    remaining[0] -= 1
+                    if remaining[0]:
+                        return
+                results: list = []
+                steps = 0.0
+                for part_results, part_steps in slots:
+                    results.extend(part_results)
+                    steps += float(part_steps)
+                agg.set_result((results, steps))
+
+            return callback
+
+        for i, part in enumerate(parts):
+            part.add_done_callback(_on_done(i))
+        return agg
 
     @property
     def pending(self) -> int:

@@ -51,8 +51,22 @@ class MultisearchService:
         self.snapshot_id = snapshot.snapshot_id
 
     def canonical_queries(self, queries) -> np.ndarray:
-        """Validate and canonicalize a batch to ``(m, query_width)`` float64."""
-        q = np.ascontiguousarray(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+        """Validate and canonicalize a batch to ``(m, query_width)`` float64.
+
+        The 1-D contract is pinned: a 1-D array is **one query row** of
+        length ``query_width`` — except for single-column services
+        (``query_width == 1``), where a length-``m`` 1-D array can only
+        mean ``m`` scalar queries and is read as ``(m, 1)``.  The result
+        is idempotent: feeding a returned batch (or one of its rows, for
+        multi-column services) back through yields the same rows, which
+        is what lets the batching front-end canonicalize exactly once.
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        if q.ndim == 0:
+            q = q.reshape(1, 1)
+        elif q.ndim == 1:
+            q = q.reshape(-1, 1) if self.query_width == 1 else q.reshape(1, -1)
+        q = np.ascontiguousarray(q)
         if q.ndim != 2 or q.shape[1] != self.query_width:
             raise ValueError(
                 f"{self.kind} queries must be (m, {self.query_width}); got {q.shape}"

@@ -142,6 +142,7 @@ class TestDiff:
             "BENCH_e1_hierdag.json",
             "BENCH_e2_constrained.json",
             "BENCH_e11_construct.json",
+            "BENCH_e15_sharded.json",
         ):
             path = REPO_ROOT / name
             assert path.exists()

@@ -1,0 +1,62 @@
+"""Regression: the geometry cut cache must be thread-safe and bounded.
+
+The serving layer calls partition geometry from worker callback threads;
+the original dict cache could tear under concurrent mutation and grew
+without bound across distinct (length, parts) keys.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.mesh.topology import _CUTS_CACHE, _CUTS_CAPACITY, _cuts
+
+
+def expected(length: int, parts: int) -> np.ndarray:
+    return np.linspace(0, length, parts + 1).astype(int)
+
+
+def test_values_correct_and_immutable():
+    cuts = _cuts(100, 7)
+    assert cuts.tobytes() == expected(100, 7).tobytes()
+    assert not cuts.flags.writeable  # cached arrays are shared: frozen
+    assert _cuts(100, 7) is cuts  # second lookup hits the cache
+
+
+def test_capacity_bounded():
+    for i in range(3 * _CUTS_CAPACITY):
+        _cuts(1000 + i, 3)
+    assert len(_CUTS_CACHE) <= _CUTS_CAPACITY
+
+
+def test_concurrent_access_returns_correct_cuts():
+    """Hammer the cache from many threads over mixed keys.
+
+    Every returned array must be the correct cuts for its own key — a
+    torn read under the unlocked dict could hand key A's array to key B
+    — and the cache must stay within capacity throughout.
+    """
+    keys = [(64 + i, 1 + (i % 9)) for i in range(300)]
+    errors: list[str] = []
+    start = threading.Barrier(8)
+
+    def worker(offset: int) -> None:
+        start.wait()
+        for i in range(len(keys)):
+            length, parts = keys[(i + offset * 37) % len(keys)]
+            got = _cuts(length, parts)
+            want = expected(length, parts)
+            if got.shape != want.shape or got.tobytes() != want.tobytes():
+                errors.append(f"wrong cuts for ({length}, {parts})")
+            # small slack: an unlocked reader may observe the instant
+            # between insert and evict inside the locked critical section
+            if len(_CUTS_CACHE) > _CUTS_CAPACITY + 8:
+                errors.append("cache exceeded capacity")
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:5]
+    assert len(_CUTS_CACHE) <= _CUTS_CAPACITY

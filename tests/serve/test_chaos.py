@@ -35,6 +35,18 @@ CASES = [
 ]
 
 
+def _assert_cache_clean(cache):
+    """Every stored key must decode to finite float64s.
+
+    The ``nan_query_key`` corruptor used to be able to park a poisoned
+    row under a NaN-bearing key — unreachable (NaN != NaN) yet occupying
+    a slot; ``query_cache_key`` now refuses non-finite rows outright.
+    """
+    for _sid, qbytes in cache.keys():
+        decoded = np.frombuffer(qbytes, dtype=np.float64)
+        assert np.isfinite(decoded).all(), "non-finite query key in cache"
+
+
 async def _submit_all(server, queries):
     tasks = [asyncio.ensure_future(server.submit(q)) for q in queries]
     await server.drain()
@@ -69,6 +81,7 @@ def test_no_corrupt_response_escapes(kind, plan, all_envs):
     # and nothing from the faulted batch reached the cache
     assert len(cache) == 0
     assert cache.counters()["misses"] == 4 and cache.counters()["hits"] == 0
+    _assert_cache_clean(cache)
 
 
 @pytest.mark.parametrize(
@@ -111,6 +124,7 @@ def test_recovery_after_faulted_batch(pointloc_env):
     assert np.array_equal(np.array(clean), np.array(direct))
     # the clean batch repopulated the cache; the faulted one never did
     assert len(cache) == 4
+    _assert_cache_clean(cache)
     assert server.stats["faulted_batches"] == 1
     assert server.stats["batches"] == 2
 
@@ -157,6 +171,7 @@ def test_vm_fault_mid_request_faults_the_whole_batch(plan_kind, pointloc_env):
     assert all(isinstance(o, InvariantViolation) for o in outcomes), outcomes
     assert all("vm:" in str(o) for o in outcomes)
     assert len(cache) == 0
+    _assert_cache_clean(cache)
     # the batch died in pre-flight: no engine steps were ever charged
     assert server.stats["mesh_steps"] == 0.0
 
@@ -203,4 +218,5 @@ def test_vm_witness_recovery(pointloc_env):
     direct, _ = env["service"].run_batch(env["queries"][:4])
     assert np.array_equal(np.array(clean), np.array(direct))
     assert len(cache) == 4
+    _assert_cache_clean(cache)
     assert server.stats["vm_witness_steps"] > 0
